@@ -1,0 +1,145 @@
+/**
+ * @file
+ * Ablation / sensitivity study over the framework's own modeling
+ * choices (the DESIGN.md ablation targets):
+ *
+ *   (a) process-node scaling — how the cross-technology orderings
+ *       hold from 45 nm down to 7 nm projections;
+ *   (b) access word width — 8 B scratchpad records vs 64 B lines;
+ *   (c) the area-efficiency floor — how constraining the organization
+ *       search trades latency for density;
+ *   (d) bank count ceiling — sensitivity of the long-pole model.
+ *
+ * The paper's conclusions should be robust to all four; this bench
+ * quantifies by how much.
+ */
+
+#include <cmath>
+#include <iostream>
+
+#include "celldb/tentpole.hh"
+#include "eval/engine.hh"
+#include "nvsim/array_model.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+namespace {
+
+ArrayResult
+build(const MemCell &cell, ArrayConfig config)
+{
+    config.nodeNm = cell.tech == CellTech::SRAM
+        ? std::max(7, config.nodeNm - 6) : config.nodeNm;
+    ArrayDesigner designer(cell, config);
+    return designer.optimize(OptTarget::ReadEDP);
+}
+
+} // namespace
+
+int
+main()
+{
+    setQuiet(true);
+    CellCatalog catalog;
+    MemCell sram = CellCatalog::sram16();
+    MemCell stt = catalog.optimistic(CellTech::STT);
+    MemCell fefet = catalog.optimistic(CellTech::FeFET);
+
+    // (a) Node scaling: iso-capacity 4 MiB arrays.
+    Table nodes("Ablation (a): process-node scaling, 4MiB ReadEDP",
+                {"Node[nm]", "Cell", "ReadLat[ns]", "ReadE[pJ]",
+                 "Density[Mb/mm2]", "Leak[mW]"});
+    for (int node : {45, 28, 22, 16, 7}) {
+        for (const MemCell &cell : {stt, fefet}) {
+            ArrayConfig config;
+            config.capacityBytes = 4.0 * 1024 * 1024;
+            config.nodeNm = node;
+            ArrayResult r = build(cell, config);
+            nodes.row()
+                .add((long long)node)
+                .add(cell.name)
+                .add(r.readLatency * 1e9)
+                .add(r.readEnergy * 1e12)
+                .add(r.densityMbPerMm2())
+                .add(r.leakage * 1e3);
+        }
+    }
+    nodes.print(std::cout);
+    nodes.writeCsv("ablation_nodes.csv");
+
+    // (b) Word width: same array serving 8 B records vs 64 B lines.
+    Table words("Ablation (b): access word width, 8MiB STT-Opt",
+                {"WordBits", "ReadLat[ns]", "ReadE[pJ]",
+                 "E/byte[pJ]", "ReadBW[GB/s]"});
+    for (int wordBits : {64, 128, 256, 512, 1024}) {
+        ArrayConfig config;
+        config.capacityBytes = 8.0 * 1024 * 1024;
+        config.wordBits = wordBits;
+        ArrayResult r = build(stt, config);
+        words.row()
+            .add((long long)wordBits)
+            .add(r.readLatency * 1e9)
+            .add(r.readEnergy * 1e12)
+            .add(r.readEnergy * 1e12 / (wordBits / 8.0))
+            .add(r.readBandwidth / 1e9);
+    }
+    words.print(std::cout);
+    words.writeCsv("ablation_words.csv");
+
+    // (c) Area-efficiency floor: the Fig. 12 trade-off as a knob.
+    Table floors("Ablation (c): area-efficiency floor, 8MiB STT-Opt",
+                 {"MinAeff", "ChosenAeff", "ReadLat[ns]",
+                  "Density[Mb/mm2]"});
+    for (double floor : {0.05, 0.2, 0.35, 0.5, 0.65}) {
+        ArrayConfig config;
+        config.capacityBytes = 8.0 * 1024 * 1024;
+        config.minAreaEfficiency = floor;
+        ArrayResult r = build(stt, config);
+        floors.row()
+            .add(floor)
+            .add(r.areaEfficiency)
+            .add(r.readLatency * 1e9)
+            .add(r.densityMbPerMm2());
+    }
+    floors.print(std::cout);
+    floors.writeCsv("ablation_floors.csv");
+
+    // (d) Bank ceiling: long-pole viability of a write-limited cell.
+    Table banks("Ablation (d): bank ceiling vs FeFET-Opt viability",
+                {"MaxBanks", "Banks", "LatencyLoad", "Viable"});
+    TrafficPattern traffic =
+        TrafficPattern::fromByteRates("graphish", 4e9, 6e7, 64);
+    for (int maxBanks : {1, 2, 4, 8, 16}) {
+        ArrayConfig config;
+        config.capacityBytes = 8.0 * 1024 * 1024;
+        config.wordBits = 64;
+        config.maxBanks = maxBanks;
+        ArrayResult r = build(fefet, config);
+        EvalResult ev = evaluate(r, traffic);
+        banks.row()
+            .add((long long)maxBanks)
+            .add((long long)r.org.banks)
+            .add(ev.latencyLoad)
+            .add(ev.viable() ? "yes" : "no");
+    }
+    banks.print(std::cout);
+    banks.writeCsv("ablation_banks.csv");
+
+    // Robustness summary: the SRAM-vs-STT density ratio across nodes.
+    Table summary("Robustness: STT/SRAM density ratio per node",
+                  {"Node[nm]", "Ratio"});
+    for (int node : {45, 28, 22, 16}) {
+        ArrayConfig config;
+        config.capacityBytes = 4.0 * 1024 * 1024;
+        config.nodeNm = node;
+        ArrayResult sttArr = build(stt, config);
+        ArrayResult sramArr = build(sram, config);
+        summary.row()
+            .add((long long)node)
+            .add(sttArr.densityMbPerMm2() / sramArr.densityMbPerMm2());
+    }
+    summary.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,68 @@
+/**
+ * @file
+ * Regenerates Fig. 12: trading area efficiency for performance. Array
+ * organizations with lower area efficiency (less periphery
+ * amortization) tend to deliver lower access latency; the bench
+ * reports the correlation per technology across the full enumerated
+ * design space at 8 MB.
+ */
+
+#include <iostream>
+#include <map>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/ascii_plot.hh"
+#include "util/stats.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    auto arrays = studies::areaEfficiencyStudy();
+
+    AsciiPlot plot("Fig 12: read latency vs area efficiency (8MB)",
+                   "area efficiency", "read latency [s]");
+    plot.setYScale(AxisScale::Log10);
+
+    std::map<std::string, std::pair<std::vector<double>,
+                                    std::vector<double>>> perCell;
+    std::string lastSeries;
+    for (const auto &array : arrays) {
+        if (array.cell.name != lastSeries) {
+            plot.addSeries(array.cell.name);
+            lastSeries = array.cell.name;
+        }
+        plot.addPoint(array.cell.name, array.areaEfficiency,
+                      array.readLatency);
+        auto &series = perCell[array.cell.name];
+        series.first.push_back(array.areaEfficiency);
+        series.second.push_back(array.readLatency);
+    }
+    plot.print(std::cout);
+
+    Table table("Fig 12: area-efficiency vs latency correlation",
+                {"Cell", "DesignPoints", "Corr(aeff, readLat)",
+                 "MinAeff", "MaxAeff"});
+    for (const auto &[name, series] : perCell) {
+        RunningStats aeff;
+        for (double a : series.first)
+            aeff.add(a);
+        double corr = series.first.size() > 2
+            ? pearson(series.first, series.second) : 0.0;
+        table.row()
+            .add(name)
+            .add((long long)series.first.size())
+            .add(corr)
+            .add(aeff.min())
+            .add(aeff.max());
+    }
+    table.print(std::cout);
+    table.writeCsv("fig12_area_eff.csv");
+    return 0;
+}

@@ -1,0 +1,39 @@
+/**
+ * @file
+ * Regenerates Fig. 14: masking write latency and reducing write
+ * traffic with a write-buffering scheme broadens the set of viable
+ * eNVMs for write-heavy workloads (SPEC-like LLC traffic and
+ * Facebook-graph BFS).
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    Table table("Fig 14: write-buffer masking / traffic-reduction",
+                {"Cell", "Workload", "LatencyMask", "TrafficCut",
+                 "Power[mW]", "LatencyLoad", "Viable"});
+    for (const auto &row : studies::writeBufferStudy()) {
+        table.row()
+            .add(row.cell)
+            .add(row.workload)
+            .add(row.latencyMask)
+            .add(row.trafficReduction)
+            .add(row.totalPowerW * 1e3)
+            .add(row.latencyLoad)
+            .add(row.viable ? "yes" : "no");
+    }
+    table.print(std::cout);
+    table.writeCsv("fig14_write_buffer.csv");
+    return 0;
+}

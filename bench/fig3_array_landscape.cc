@@ -1,0 +1,70 @@
+/**
+ * @file
+ * Regenerates Fig. 3: 4 MB arrays per technology under every
+ * optimization target — read energy vs. latency, write energy vs.
+ * latency, and storage density.
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/ascii_plot.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    auto arrays = studies::arrayLandscape();
+
+    Table table("Fig 3: 4MB array landscape (22nm eNVM, 16nm SRAM)",
+                {"Cell", "Target", "ReadLat[ns]", "ReadE[pJ]",
+                 "WriteLat[ns]", "WriteE[pJ]", "Density[Mb/mm2]",
+                 "Leak[mW]"});
+    AsciiPlot readPlot("Fig 3a: read energy vs read latency",
+                       "read latency [s]", "read energy [J]");
+    AsciiPlot writePlot("Fig 3b: write energy vs write latency",
+                        "write latency [s]", "write energy [J]");
+    readPlot.setXScale(AxisScale::Log10);
+    readPlot.setYScale(AxisScale::Log10);
+    writePlot.setXScale(AxisScale::Log10);
+    writePlot.setYScale(AxisScale::Log10);
+
+    const auto &targets = allOptTargets();
+    std::string lastSeries;
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+        const auto &array = arrays[i];
+        // One optimization target per row; Fig 3 omits pessimistic PCM
+        // writes (> 10 us) from the plot but the table keeps them.
+        table.row()
+            .add(array.cell.name)
+            .add(optTargetName(targets[i % targets.size()]))
+            .add(array.readLatency * 1e9)
+            .add(array.readEnergy * 1e12)
+            .add(array.writeLatency * 1e9)
+            .add(array.writeEnergy * 1e12)
+            .add(array.densityMbPerMm2())
+            .add(array.leakage * 1e3);
+        if (array.cell.name != lastSeries) {
+            readPlot.addSeries(array.cell.name);
+            writePlot.addSeries(array.cell.name);
+            lastSeries = array.cell.name;
+        }
+        readPlot.addPoint(array.cell.name, array.readLatency,
+                          array.readEnergy);
+        if (array.writeLatency < 10e-6) {
+            writePlot.addPoint(array.cell.name, array.writeLatency,
+                               array.writeEnergy);
+        }
+    }
+    table.print(std::cout);
+    table.writeCsv("fig3_landscape.csv");
+    readPlot.print(std::cout);
+    writePlot.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Regenerates Fig. 4: tentpole STT arrays vs a published 1 MB
+ * STT-RAM macro — the optimistic/pessimistic pair must bracket the
+ * published metrics.
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    auto rows = studies::tentpoleValidation();
+
+    Table table("Fig 4: tentpole STT vs published 1MB array",
+                {"Metric", "Optimistic", "Published", "Pessimistic",
+                 "Covered"});
+    bool allCovered = true;
+    for (const auto &row : rows) {
+        table.row()
+            .add(row.metric)
+            .add(row.optimistic)
+            .add(row.reference)
+            .add(row.pessimistic)
+            .add(row.covered ? "yes" : "NO");
+        allCovered = allCovered && row.covered;
+    }
+    table.print(std::cout);
+    table.writeCsv("fig4_validation.csv");
+    std::cout << (allCovered
+                      ? "validation PASSED: tentpoles cover the "
+                        "published array\n"
+                      : "validation FAILED: see table\n");
+    return allCovered ? 0 : 1;
+}

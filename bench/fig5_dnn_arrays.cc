@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Regenerates Fig. 5: read characteristics and storage density of
+ * 2 MB arrays provisioned to replace the NVDLA on-chip SRAM buffer.
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/ascii_plot.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    auto arrays = studies::dnnBufferArrays();
+
+    Table table("Fig 5: 2MB NVDLA buffer arrays (ReadEDP-optimized)",
+                {"Cell", "ReadLat[ns]", "ReadE[pJ/acc]",
+                 "Density[Mb/mm2]", "Area[mm2]", "Leak[mW]"});
+    AsciiPlot plot("Fig 5: read energy vs read latency (2MB)",
+                   "read latency [s]", "read energy [J]");
+    plot.setXScale(AxisScale::Log10);
+    plot.setYScale(AxisScale::Log10);
+    AsciiPlot density("Fig 5: storage density per cell",
+                      "cell index", "density [Mb/mm2]");
+    density.setYScale(AxisScale::Log10);
+    density.addSeries("density");
+
+    double sramDensity = 0.0;
+    for (std::size_t i = 0; i < arrays.size(); ++i) {
+        const auto &array = arrays[i];
+        table.row()
+            .add(array.cell.name)
+            .add(array.readLatency * 1e9)
+            .add(array.readEnergy * 1e12)
+            .add(array.densityMbPerMm2())
+            .add(array.areaM2 * 1e6)
+            .add(array.leakage * 1e3);
+        plot.addSeries(array.cell.name);
+        plot.addPoint(array.cell.name, array.readLatency,
+                      array.readEnergy);
+        density.addPoint("density", (double)i, array.densityMbPerMm2());
+        if (array.cell.tech == CellTech::SRAM)
+            sramDensity = array.densityMbPerMm2();
+        else if (array.cell.name == "STT-Opt" && sramDensity > 0.0) {
+            std::cout << "STT-Opt density advantage over SRAM: "
+                      << array.densityMbPerMm2() / sramDensity << "x\n";
+        }
+    }
+    table.print(std::cout);
+    table.writeCsv("fig5_dnn_arrays.csv");
+    plot.print(std::cout);
+    density.print(std::cout);
+    return 0;
+}

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Regenerates Fig. 6: (left) continuous-operation total memory power
+ * per DNN deployment scenario at 60 FPS; (right) intermittent
+ * energy-per-inference. Candidates failing the 60 FPS long-pole or
+ * accuracy targets are excluded, as in the paper.
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+
+    Table left("Fig 6 (left): continuous operating power @60FPS",
+               {"Cell", "Scenario", "Power[mW]", "LatencyLoad",
+                "Included"});
+    for (const auto &row : studies::dnnContinuousPower()) {
+        bool included = row.meetsFps && row.meetsAccuracy;
+        left.row()
+            .add(row.cell)
+            .add(row.scenario)
+            .add(row.totalPowerW * 1e3)
+            .add(row.latencyLoad)
+            .add(included ? "yes" : "excluded");
+    }
+    left.print(std::cout);
+    left.writeCsv("fig6_left_power.csv");
+
+    Table right("Fig 6 (right): intermittent energy per inference "
+                "(1 inference/sec)",
+                {"Cell", "Task", "E/inference[uJ]", "E/day[J]",
+                 "Included"});
+    for (const auto &row : studies::dnnIntermittentEnergy({86400.0})) {
+        if (row.task != "img-single" && row.task != "img-multi")
+            continue;
+        bool included = row.meetsLatency && row.meetsAccuracy;
+        right.row()
+            .add(row.cell)
+            .add(row.task)
+            .add(row.energyPerEvent * 1e6)
+            .add(row.energyPerDay)
+            .add(included ? "yes" : "excluded");
+    }
+    right.print(std::cout);
+    right.writeCsv("fig6_right_intermittent.csv");
+    return 0;
+}

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Regenerates Fig. 7: total memory energy per day vs. wake-up
+ * frequency for image classification (left) and NLP (right). The
+ * paper's headline shape: optimistic FeFET wins at low inference
+ * rates, optimistic STT takes over at high rates, and the crossover
+ * happens earlier for ALBERT than for ResNet26.
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/ascii_plot.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    std::vector<double> rates = {1e2, 1e3, 1e4, 1e5, 1e6, 1e7};
+    auto rows = studies::dnnIntermittentEnergy(rates);
+
+    for (const char *task : {"img-single", "nlp-single"}) {
+        Table table(std::string("Fig 7: energy/day vs inferences/day (") +
+                        task + ")",
+                    {"Cell", "Inf/day", "E/day[J]", "E/inf[uJ]"});
+        AsciiPlot plot(std::string("Fig 7: ") + task,
+                       "inferences per day", "memory energy per day [J]");
+        plot.setXScale(AxisScale::Log10);
+        plot.setYScale(AxisScale::Log10);
+        std::string lastSeries;
+        for (const auto &row : rows) {
+            if (row.task != task)
+                continue;
+            table.row()
+                .add(row.cell)
+                .add(row.eventsPerDay)
+                .add(row.energyPerDay)
+                .add(row.energyPerEvent * 1e6);
+            if (row.cell != lastSeries) {
+                plot.addSeries(row.cell);
+                lastSeries = row.cell;
+            }
+            plot.addPoint(row.cell, row.eventsPerDay, row.energyPerDay);
+        }
+        table.print(std::cout);
+        table.writeCsv(std::string("fig7_") + task + ".csv");
+        plot.print(std::cout);
+
+        // Report the winner at each rate (eNVMs only, like the paper).
+        std::cout << "winners (" << task << "):";
+        for (double rate : rates) {
+            const studies::IntermittentRow *best = nullptr;
+            for (const auto &row : rows) {
+                if (row.task != task || row.eventsPerDay != rate ||
+                    row.cell == "SRAM" || !row.meetsLatency ||
+                    !row.meetsAccuracy) {
+                    continue;
+                }
+                if (!best || row.energyPerDay < best->energyPerDay)
+                    best = &row;
+            }
+            std::cout << "  " << Table::formatEng(rate) << "/day:"
+                      << (best ? best->cell : "none");
+        }
+        std::cout << "\n";
+    }
+    return 0;
+}

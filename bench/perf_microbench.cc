@@ -1,0 +1,137 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the framework itself: array
+ * design-space search, subarray characterization, fault injection,
+ * graph kernels, cache simulation, and full-study throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cachesim/streams.hh"
+#include "celldb/tentpole.hh"
+#include "dnn/inference.hh"
+#include "eval/engine.hh"
+#include "fault/injector.hh"
+#include "graph/kernels.hh"
+#include "nvsim/array_model.hh"
+#include "util/logging.hh"
+
+using namespace nvmexp;
+
+namespace {
+
+void
+BM_SubarrayCharacterize(benchmark::State &state)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    const TechNode &node = techNodeFor(22);
+    SubarrayDesign design;
+    design.rows = (int)state.range(0);
+    design.cols = 1024;
+    design.sensedBits = 512;
+    for (auto _ : state) {
+        auto metrics = characterizeSubarray(cell, node, design);
+        benchmark::DoNotOptimize(metrics);
+    }
+}
+BENCHMARK(BM_SubarrayCharacterize)->Arg(256)->Arg(1024)->Arg(4096);
+
+void
+BM_ArrayOptimize(benchmark::State &state)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::RRAM);
+    ArrayConfig config;
+    config.capacityBytes = (double)state.range(0) * 1024.0 * 1024.0;
+    for (auto _ : state) {
+        ArrayDesigner designer(cell, config);
+        auto result = designer.optimize(OptTarget::ReadEDP);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_ArrayOptimize)->Arg(2)->Arg(16)->Arg(64);
+
+void
+BM_Evaluate(benchmark::State &state)
+{
+    CellCatalog catalog;
+    ArrayConfig config;
+    ArrayDesigner designer(catalog.optimistic(CellTech::STT), config);
+    ArrayResult array = designer.optimize(OptTarget::ReadEDP);
+    TrafficPattern traffic =
+        TrafficPattern::fromByteRates("bench", 5e9, 50e6, 512);
+    for (auto _ : state) {
+        auto result = evaluate(array, traffic);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_Evaluate);
+
+void
+BM_FaultInjection(benchmark::State &state)
+{
+    CellCatalog catalog;
+    MemCell mlc = catalog.optimistic(CellTech::RRAM).makeMlc();
+    FaultModel model(mlc);
+    std::vector<std::int8_t> weights((std::size_t)state.range(0), 42);
+    FaultInjector injector(model, 7);
+    for (auto _ : state) {
+        auto flips = injector.inject(
+            std::span<std::int8_t>(weights.data(), weights.size()));
+        benchmark::DoNotOptimize(flips);
+    }
+    state.SetBytesProcessed((std::int64_t)state.iterations() *
+                            state.range(0));
+}
+BENCHMARK(BM_FaultInjection)->Arg(1 << 16)->Arg(1 << 20);
+
+void
+BM_GraphBfs(benchmark::State &state)
+{
+    Graph g = facebookLike();
+    for (auto _ : state) {
+        auto result = bfs(g, 0);
+        benchmark::DoNotOptimize(result);
+    }
+}
+BENCHMARK(BM_GraphBfs);
+
+void
+BM_CacheSim(benchmark::State &state)
+{
+    const BenchmarkProfile &profile = profileByName("gcc");
+    Hierarchy::Config config;
+    for (auto _ : state) {
+        auto traffic = runBenchmark(profile, 1'000'000, 0, config);
+        benchmark::DoNotOptimize(traffic);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            1'000'000);
+}
+BENCHMARK(BM_CacheSim);
+
+void
+BM_QuantizedInference(benchmark::State &state)
+{
+    SyntheticTask task(32, 10, 256, 256, 1);
+    Mlp mlp({32, 64, 10}, 2);
+    mlp.train(task, 2, 0.02);
+    QuantizedMlp q = mlp.quantize();
+    for (auto _ : state) {
+        double acc = q.accuracy(task.testX(), task.testY());
+        benchmark::DoNotOptimize(acc);
+    }
+}
+BENCHMARK(BM_QuantizedInference);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

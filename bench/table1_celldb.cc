@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Regenerates Table I: per-technology ranges of surveyed cell
+ * characteristics, plus the derived tentpole cell definitions.
+ */
+
+#include <iostream>
+
+#include "celldb/survey.hh"
+#include "celldb/tentpole.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    CellCatalog catalog;
+    const SurveyDatabase &db = catalog.survey();
+
+    Table ranges("Table I: surveyed technology ranges",
+                 {"Tech", "#Pubs", "Area[F2]", "WritePulse[ns]",
+                  "WriteI[uA]", "Endurance", "Retention[s]", "MLC"});
+    for (int t = (int)CellTech::PCM; t < (int)CellTech::NumTech; ++t) {
+        auto tech = (CellTech)t;
+        auto fmtRange = [&](std::optional<double> SurveyEntry::*field) {
+            auto range = db.paramRange(tech, field);
+            if (!range)
+                return std::string("-");
+            if (range->first == range->second)
+                return Table::formatNumber(range->first);
+            return Table::formatNumber(range->first) + "-" +
+                Table::formatNumber(range->second);
+        };
+        bool mlc = false;
+        for (const auto &entry : db.entriesFor(tech))
+            mlc = mlc || entry.mlcDemonstrated;
+        ranges.row()
+            .add(techName(tech))
+            .add((long long)db.countFor(tech))
+            .add(fmtRange(&SurveyEntry::areaF2))
+            .add(fmtRange(&SurveyEntry::writePulseNs))
+            .add(fmtRange(&SurveyEntry::writeCurrentUa))
+            .add(fmtRange(&SurveyEntry::endurance))
+            .add(fmtRange(&SurveyEntry::retentionSec))
+            .add(mlc ? "yes" : "no");
+    }
+    ranges.print(std::cout);
+    ranges.writeCsv("table1_ranges.csv");
+
+    Table cells("Tentpole cell definitions",
+                {"Cell", "Area[F2]", "Pulse[ns]", "I[uA]", "Vw[V]",
+                 "Vr[V]", "Endurance", "Retention[s]"});
+    auto emit = [&](const MemCell &cell) {
+        cells.row()
+            .add(cell.name)
+            .add(cell.areaF2)
+            .add(cell.worstWritePulse() * 1e9)
+            .add(cell.setCurrent * 1e6)
+            .add(cell.writeVoltage)
+            .add(cell.readVoltage)
+            .add(cell.endurance)
+            .add(cell.retention);
+    };
+    emit(CellCatalog::sram16());
+    for (const auto &cell : catalog.studyEnvms())
+        emit(cell);
+    emit(CellCatalog::backGatedFeFET());
+    cells.print(std::cout);
+    cells.writeCsv("table1_tentpoles.csv");
+    return 0;
+}

@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Regenerates Table II: the preferred eNVM per DNN use case, task,
+ * storage strategy, and optimization priority, under optimistic
+ * ("Opt. eNVM") and pessimistic/reference ("Alt. eNVM") assumptions.
+ */
+
+#include <iostream>
+
+#include <cmath>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    Table table("Table II: preferred eNVM per DNN use case",
+                {"Use Case", "Task", "Storage", "Priority", "Opt eNVM",
+                 "Alt eNVM"});
+    for (const auto &row : studies::dnnUseCaseSummary()) {
+        table.row()
+            .add(row.useCase)
+            .add(row.task)
+            .add(row.storage)
+            .add(row.priority)
+            .add(row.optChoice)
+            .add(row.altChoice);
+    }
+    table.print(std::cout);
+    table.writeCsv("table2_summary.csv");
+    return 0;
+}

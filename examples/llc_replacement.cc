@@ -1,0 +1,65 @@
+/**
+ * @file
+ * LLC-replacement example: simulate a SPEC-like benchmark through the
+ * built-in L1/L2/LLC hierarchy, then ask which eNVM could replace the
+ * 16 MB SRAM LLC (paper Sec. IV-C) — with constraint filtering and a
+ * Pareto front over (power, latency load).
+ */
+
+#include <functional>
+#include <iostream>
+
+#include "cachesim/streams.hh"
+#include "celldb/tentpole.hh"
+#include "core/sweep.hh"
+#include "util/logging.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    setQuiet(true);
+    const BenchmarkProfile &profile = profileByName("gcc");
+    Hierarchy::Config hconfig;
+    LlcTraffic llc = runBenchmark(profile, 10'000'000, 2'000'000,
+                                  hconfig);
+    std::cout << profile.name << ": " << llc.llcReads << " LLC reads, "
+              << llc.llcWrites << " LLC writes over " << llc.execTime
+              << " s (" << llc.instructions << " instructions)\n";
+
+    CellCatalog catalog;
+    SweepConfig sweep;
+    sweep.cells = catalog.studyCells();
+    sweep.capacitiesBytes = {16.0 * 1024 * 1024};
+    sweep.targets = {OptTarget::ReadEDP, OptTarget::WriteEDP};
+    sweep.traffics = {llcTrafficPattern(llc)};
+    auto results = runSweep(sweep);
+
+    // Filter: must meet demand and last at least 3 years.
+    Constraints constraints;
+    constraints.minLifetimeSec = 3.0 * 365 * 86400;
+    auto eligible = filterResults(results, constraints);
+
+    Table table("16MB LLC candidates (viable, >=3yr lifetime)",
+                {"Cell", "Power[mW]", "LatencyLoad", "Lifetime[yr]"});
+    for (const auto &ev : eligible) {
+        table.row()
+            .add(ev.array.cell.name)
+            .add(ev.totalPower * 1e3)
+            .add(ev.latencyLoad)
+            .add(ev.lifetimeYears());
+    }
+    table.print(std::cout);
+
+    auto front = paretoFront<EvalResult>(
+        eligible,
+        [](const EvalResult &e) { return e.totalPower; },
+        [](const EvalResult &e) { return e.latencyLoad; });
+    std::cout << "Pareto-optimal (power x latency load):";
+    for (const auto &ev : front)
+        std::cout << " " << ev.array.cell.name;
+    std::cout << "\n";
+    return 0;
+}

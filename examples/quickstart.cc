@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Quickstart: characterize one eNVM array and evaluate it against a
+ * simple traffic pattern — the minimal end-to-end NVMExplorer-CPP
+ * flow (configure -> characterize -> evaluate -> inspect).
+ */
+
+#include <iostream>
+
+#include "celldb/tentpole.hh"
+#include "eval/engine.hh"
+#include "nvsim/array_model.hh"
+#include "util/table.hh"
+
+using namespace nvmexp;
+
+int
+main()
+{
+    // 1. Pick a cell from the built-in tentpole catalog.
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    std::cout << "cell: " << cell.name << ", " << cell.areaF2
+              << " F^2, write pulse "
+              << cell.worstWritePulse() * 1e9 << " ns\n";
+
+    // 2. Characterize a 4 MiB array at 22 nm, optimized for read EDP.
+    ArrayConfig config;
+    config.capacityBytes = 4.0 * 1024 * 1024;
+    config.wordBits = 512;
+    config.nodeNm = 22;
+    ArrayDesigner designer(cell, config);
+    ArrayResult array = designer.optimize(OptTarget::ReadEDP);
+
+    Table table("4MiB STT-Opt array",
+                {"Metric", "Value"});
+    table.row().add("read latency [ns]").add(array.readLatency * 1e9);
+    table.row().add("write latency [ns]").add(array.writeLatency * 1e9);
+    table.row().add("read energy [pJ]").add(array.readEnergy * 1e12);
+    table.row().add("write energy [pJ]").add(array.writeEnergy * 1e12);
+    table.row().add("leakage [mW]").add(array.leakage * 1e3);
+    table.row().add("area [mm^2]").add(array.areaM2 * 1e6);
+    table.row().add("density [Mb/mm^2]").add(array.densityMbPerMm2());
+    table.print(std::cout);
+
+    // 3. Evaluate against application traffic: 2 GB/s reads, 20 MB/s
+    //    writes.
+    TrafficPattern traffic =
+        TrafficPattern::fromByteRates("my-workload", 2e9, 20e6, 512);
+    EvalResult result = evaluate(array, traffic);
+
+    std::cout << "total power: " << result.totalPower * 1e3 << " mW ("
+              << result.dynamicPower * 1e3 << " dynamic + "
+              << result.leakagePower * 1e3 << " leakage)\n"
+              << "latency load: " << result.latencyLoad
+              << (result.viable() ? " (meets demand)" : " (slowdown!)")
+              << "\nprojected lifetime: " << result.lifetimeYears()
+              << " years\n";
+    return 0;
+}

@@ -1,0 +1,182 @@
+#include "cachesim/cache.hh"
+
+#include <bit>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+Cache::Cache(std::string name, std::size_t capacityBytes, int ways,
+             int lineBytes)
+    : name_(std::move(name)), ways_(ways), lineBytes_(lineBytes)
+{
+    if (ways < 1)
+        fatal("cache '", name_, "': needs at least 1 way");
+    if (lineBytes < 8 || !std::has_single_bit((unsigned)lineBytes))
+        fatal("cache '", name_, "': line size must be a power of two");
+    std::size_t lines = capacityBytes / (std::size_t)lineBytes;
+    if (lines == 0 || lines % (std::size_t)ways != 0)
+        fatal("cache '", name_, "': capacity/line/ways mismatch");
+    std::size_t numSets = lines / (std::size_t)ways;
+    if (!std::has_single_bit(numSets))
+        fatal("cache '", name_, "': set count must be a power of two");
+    sets_.assign(numSets, std::vector<Line>((std::size_t)ways));
+    lineShift_ = std::countr_zero((unsigned)lineBytes);
+}
+
+std::uint64_t
+Cache::lineAddr(std::uint64_t address) const
+{
+    return address >> lineShift_ << lineShift_;
+}
+
+std::size_t
+Cache::setIndex(std::uint64_t lineAddress) const
+{
+    return (std::size_t)((lineAddress >> lineShift_) &
+                         (sets_.size() - 1));
+}
+
+Cache::AccessResult
+Cache::access(std::uint64_t address, MemOp op)
+{
+    ++clock_;
+    ++stats_.accesses;
+    std::uint64_t line = lineAddr(address);
+    auto &set = sets_[setIndex(line)];
+    std::uint64_t tag = line >> lineShift_;
+
+    AccessResult result;
+    for (auto &way : set) {
+        if (way.valid && way.tag == tag) {
+            way.lru = clock_;
+            way.dirty = way.dirty || op == MemOp::Write;
+            ++stats_.hits;
+            result.hit = true;
+            return result;
+        }
+    }
+
+    // Miss: allocate into the LRU way.
+    ++stats_.misses;
+    Line *victim = &set[0];
+    for (auto &way : set) {
+        if (!way.valid) {
+            victim = &way;
+            break;
+        }
+        if (way.lru < victim->lru)
+            victim = &way;
+    }
+    if (victim->valid) {
+        result.evictedLine = victim->tag << lineShift_;
+        if (victim->dirty) {
+            result.evictedDirty = true;
+            ++stats_.writebacks;
+        }
+    }
+    victim->valid = true;
+    victim->tag = tag;
+    victim->dirty = op == MemOp::Write;
+    victim->lru = clock_;
+    return result;
+}
+
+bool
+Cache::invalidate(std::uint64_t lineAddress)
+{
+    std::uint64_t line = lineAddr(lineAddress);
+    auto &set = sets_[setIndex(line)];
+    std::uint64_t tag = line >> lineShift_;
+    for (auto &way : set) {
+        if (way.valid && way.tag == tag) {
+            way.valid = false;
+            way.dirty = false;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+Cache::contains(std::uint64_t lineAddress) const
+{
+    std::uint64_t line = lineAddr(lineAddress);
+    const auto &set = sets_[setIndex(line)];
+    std::uint64_t tag = line >> lineShift_;
+    for (const auto &way : set)
+        if (way.valid && way.tag == tag)
+            return true;
+    return false;
+}
+
+Hierarchy::Hierarchy(const Config &config)
+    : config_(config),
+      l1_("L1D", config.l1Bytes, config.l1Ways, config.lineBytes),
+      l2_("L2", config.l2Bytes, config.l2Ways, config.lineBytes),
+      llc_("LLC", config.llcBytes, config.llcWays, config.lineBytes)
+{
+}
+
+void
+Hierarchy::access(std::uint64_t address, MemOp op)
+{
+    auto l1r = l1_.access(address, op);
+    if (l1r.evictedDirty) {
+        // L1 dirty victim lands in L2 (hit by inclusion).
+        l2_.access(l1r.evictedLine, MemOp::Write);
+    }
+    if (l1r.hit)
+        return;
+
+    stallCycles_ += config_.l2HitCycles;
+    auto l2r = l2_.access(address, op == MemOp::Write ? MemOp::Read : op);
+    if (l2r.evictedDirty) {
+        ++llcWrites_;
+        llc_.access(l2r.evictedLine, MemOp::Write);
+    }
+    if (l2r.hit)
+        return;
+
+    stallCycles_ += config_.llcHitCycles;
+    ++llcReads_;
+    auto llcr = llc_.access(address, MemOp::Read);
+    if (llcr.evictedDirty) {
+        ++dramWrites_;
+    }
+    if (!llcr.hit) {
+        stallCycles_ += config_.dramCycles;
+        ++dramReads_;
+        // The fill writes the new line into the LLC data array.
+        ++llcWrites_;
+    }
+    if (llcr.evictedLine != 0 || llcr.evictedDirty) {
+        // Inclusive LLC: back-invalidate upper levels on eviction.
+        l1_.invalidate(llcr.evictedLine);
+        l2_.invalidate(llcr.evictedLine);
+    }
+}
+
+void
+Hierarchy::retireInstructions(std::uint64_t count)
+{
+    instructions_ += count;
+}
+
+LlcTraffic
+Hierarchy::summarize(const std::string &benchmark) const
+{
+    LlcTraffic t;
+    t.benchmark = benchmark;
+    t.llcReads = llcReads_;
+    t.llcWrites = llcWrites_;
+    t.dramReads = dramReads_;
+    t.dramWrites = dramWrites_;
+    t.instructions = instructions_;
+    double cycles = (double)instructions_ * config_.cyclesPerInstr +
+        stallCycles_;
+    t.execTime = cycles / config_.clockHz;
+    return t;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,150 @@
+#include "cachesim/streams.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace nvmexp {
+
+const std::vector<BenchmarkProfile> &
+specLikeSuite()
+{
+    using MB = double;
+    constexpr MB Mi = 1024.0 * 1024.0;
+    static const std::vector<BenchmarkProfile> suite = {
+        // Cache-friendly integer codes: tiny LLC traffic.
+        {"perlbench", 0.4 * Mi, 0.35, 0.75, 0.02, 0.90, 96e3, 101},
+        {"x264", 1.2 * Mi, 0.30, 0.70, 0.25, 0.72, 256e3, 102},
+        {"deepsjeng", 3.0 * Mi, 0.28, 0.72, 0.10, 0.65, 512e3, 103},
+        // Mid working sets.
+        {"gcc", 12.0 * Mi, 0.32, 0.70, 0.15, 0.50, 512e3, 104},
+        {"xz", 32.0 * Mi, 0.30, 0.60, 0.35, 0.40, 1e6, 105},
+        {"omnetpp", 40.0 * Mi, 0.34, 0.72, 0.05, 0.30, 1e6, 106},
+        // LLC-thrashing pointer chasing.
+        {"mcf", 96.0 * Mi, 0.36, 0.74, 0.05, 0.15, 2e6, 107},
+        // Streaming floating-point with heavy write-back volume.
+        {"lbm", 160.0 * Mi, 0.38, 0.52, 0.90, 0.05, 1e6, 108},
+        {"fotonik3d", 128.0 * Mi, 0.34, 0.65, 0.85, 0.08, 1e6, 109},
+        {"cactuBSSN", 64.0 * Mi, 0.33, 0.62, 0.60, 0.20, 1e6, 110},
+    };
+    return suite;
+}
+
+const BenchmarkProfile &
+profileByName(const std::string &name)
+{
+    for (const auto &profile : specLikeSuite())
+        if (profile.name == name)
+            return profile;
+    fatal("unknown benchmark profile '", name, "'");
+}
+
+namespace {
+
+/** Stateful address generator for one profile. */
+class StreamGen
+{
+  public:
+    explicit StreamGen(const BenchmarkProfile &profile)
+        : profile_(profile), rng_(profile.seed)
+    {
+        workingLines_ = (std::uint64_t)(profile.workingSetBytes / 64.0);
+        hotLines_ = (std::uint64_t)(profile.hotSetBytes / 64.0);
+        workingLines_ = std::max<std::uint64_t>(workingLines_, 16);
+        hotLines_ = std::max<std::uint64_t>(
+            std::min(hotLines_, workingLines_ / 2), 4);
+    }
+
+    /** Next (address, op). */
+    std::pair<std::uint64_t, MemOp> next()
+    {
+        double u = rng_.uniform();
+        std::uint64_t line;
+        if (u < profile_.hotFraction) {
+            line = rng_.range(hotLines_);
+        } else if (u < profile_.hotFraction + profile_.streamFraction) {
+            line = hotLines_ + (streamCursor_++ %
+                                (workingLines_ - hotLines_));
+        } else {
+            line = hotLines_ +
+                rng_.range(workingLines_ - hotLines_);
+        }
+        MemOp op = rng_.uniform() < profile_.readFraction
+            ? MemOp::Read : MemOp::Write;
+        return {line * 64ull, op};
+    }
+
+  private:
+    BenchmarkProfile profile_;
+    Rng rng_;
+    std::uint64_t workingLines_;
+    std::uint64_t hotLines_;
+    std::uint64_t streamCursor_ = 0;
+};
+
+void
+drive(Hierarchy &hierarchy, StreamGen &gen,
+      const BenchmarkProfile &profile, std::uint64_t instructions,
+      Rng &issueRng)
+{
+    std::uint64_t remaining = instructions;
+    while (remaining > 0) {
+        // Retire a small non-memory burst, then one memory access.
+        double gap = 1.0 / std::max(profile.memOpsPerInstr, 1e-3);
+        auto burst = (std::uint64_t)gap;
+        if (issueRng.uniform() < gap - (double)burst)
+            ++burst;
+        burst = std::min(burst, remaining);
+        hierarchy.retireInstructions(burst);
+        remaining -= burst;
+        auto [addr, op] = gen.next();
+        hierarchy.access(addr, op);
+    }
+}
+
+} // namespace
+
+LlcTraffic
+runBenchmark(const BenchmarkProfile &profile, std::uint64_t instructions,
+             std::uint64_t warmupInstructions,
+             const Hierarchy::Config &config)
+{
+    if (instructions == 0)
+        fatal("runBenchmark: need a positive instruction budget");
+
+    Hierarchy hierarchy(config);
+    StreamGen gen(profile);
+    Rng issueRng(profile.seed ^ 0xF00Dull);
+
+    if (warmupInstructions > 0)
+        drive(hierarchy, gen, profile, warmupInstructions, issueRng);
+    LlcTraffic before = hierarchy.summarize(profile.name);
+
+    drive(hierarchy, gen, profile, instructions, issueRng);
+    LlcTraffic after = hierarchy.summarize(profile.name);
+
+    LlcTraffic t;
+    t.benchmark = profile.name;
+    t.llcReads = after.llcReads - before.llcReads;
+    t.llcWrites = after.llcWrites - before.llcWrites;
+    t.dramReads = after.dramReads - before.dramReads;
+    t.dramWrites = after.dramWrites - before.dramWrites;
+    t.instructions = after.instructions - before.instructions;
+    t.execTime = after.execTime - before.execTime;
+    return t;
+}
+
+TrafficPattern
+llcTrafficPattern(const LlcTraffic &traffic)
+{
+    if (traffic.execTime <= 0.0)
+        fatal("LLC traffic for '", traffic.benchmark,
+              "' has no execution time");
+    return TrafficPattern::fromCounts(traffic.benchmark,
+                                      (double)traffic.llcReads,
+                                      (double)traffic.llcWrites,
+                                      traffic.execTime);
+}
+
+} // namespace nvmexp

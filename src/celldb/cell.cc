@@ -1,0 +1,132 @@
+#include "celldb/cell.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+std::string
+techName(CellTech tech)
+{
+    switch (tech) {
+      case CellTech::SRAM:  return "SRAM";
+      case CellTech::PCM:   return "PCM";
+      case CellTech::STT:   return "STT";
+      case CellTech::SOT:   return "SOT";
+      case CellTech::RRAM:  return "RRAM";
+      case CellTech::CTT:   return "CTT";
+      case CellTech::FeRAM: return "FeRAM";
+      case CellTech::FeFET: return "FeFET";
+      default: panic("bad CellTech value ", (int)tech);
+    }
+}
+
+std::string
+flavorName(CellFlavor flavor)
+{
+    switch (flavor) {
+      case CellFlavor::Optimistic:  return "Opt";
+      case CellFlavor::Pessimistic: return "Pess";
+      case CellFlavor::Reference:   return "Ref";
+      case CellFlavor::Custom:      return "Custom";
+      default: panic("bad CellFlavor value ", (int)flavor);
+    }
+}
+
+CellTech
+techFromName(const std::string &name)
+{
+    for (int t = 0; t < (int)CellTech::NumTech; ++t) {
+        if (techName((CellTech)t) == name)
+            return (CellTech)t;
+    }
+    fatal("unknown cell technology '", name, "'");
+}
+
+double
+MemCell::worstWritePulse() const
+{
+    return std::max(setPulse, resetPulse);
+}
+
+double
+MemCell::writeEnergyPerBit() const
+{
+    // Average of SET and RESET programming energies: V * I * t.
+    double eSet = writeVoltage * setCurrent * setPulse;
+    double eReset = writeVoltage * resetCurrent * resetPulse;
+    return 0.5 * (eSet + eReset);
+}
+
+double
+MemCell::readCurrentOn() const
+{
+    return readVoltage / resistanceOn;
+}
+
+double
+MemCell::readCurrentOff() const
+{
+    return readVoltage / resistanceOff;
+}
+
+double
+MemCell::densityBitsPerF2() const
+{
+    return (double)bitsPerCell / areaF2;
+}
+
+MemCell
+MemCell::makeMlc(int bits, int nVerifyPulses) const
+{
+    if (!mlcCapable)
+        fatal("cell '", name, "' (", techName(tech),
+              ") does not support multi-level programming");
+    if (bits < 2 || bits > 4)
+        fatal("MLC bits per cell must be in [2,4], got ", bits);
+    if (nVerifyPulses < 1)
+        fatal("MLC needs at least one program pulse");
+
+    MemCell mlc = *this;
+    mlc.name = name + "-MLC" + std::to_string(bits);
+    mlc.bitsPerCell = bits;
+    // Program-and-verify: each written cell takes several narrower
+    // pulses to land between tighter resistance levels.
+    mlc.setPulse = setPulse * nVerifyPulses;
+    mlc.resetPulse = resetPulse * nVerifyPulses;
+    // Two-step (or 2^bits-1 reference) sensing slows and burns more
+    // sensing energy; modeled in nvsim via the level count, and here as
+    // extra per-bit sense energy.
+    mlc.readEnergyPerBit = readEnergyPerBit * (double)bits +
+        1e-16 * (double)(bits - 1);
+    // Narrower level margins cost endurance headroom.
+    mlc.endurance = endurance / 10.0;
+    return mlc;
+}
+
+void
+MemCell::validate() const
+{
+    if (areaF2 <= 0.0)
+        fatal("cell '", name, "': non-positive area");
+    if (bitsPerCell < 1 || bitsPerCell > 4)
+        fatal("cell '", name, "': bitsPerCell out of range");
+    if (readVoltage <= 0.0 || writeVoltage <= 0.0)
+        fatal("cell '", name, "': non-positive access voltage");
+    if (resistanceOn <= 0.0 || resistanceOff < resistanceOn)
+        fatal("cell '", name, "': need 0 < Ron <= Roff");
+    if (setPulse <= 0.0 || resetPulse <= 0.0)
+        fatal("cell '", name, "': non-positive write pulse");
+    if (endurance <= 0.0)
+        fatal("cell '", name, "': non-positive endurance");
+    if (retention <= 0.0)
+        fatal("cell '", name, "': non-positive retention");
+    if (cellLeakage < 0.0)
+        fatal("cell '", name, "': negative leakage");
+    if (!nonVolatile && tech != CellTech::SRAM)
+        fatal("cell '", name, "': only SRAM may be volatile");
+}
+
+} // namespace nvmexp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Memory cell technology definitions.
+ *
+ * A MemCell is the circuits-and-devices layer of the NVMExplorer stack:
+ * the complete set of device parameters the array simulator (src/nvsim)
+ * needs to characterize a memory array built from that cell. Cells are
+ * produced either from the surveyed-publication database (survey.hh) via
+ * the tentpole methodology (tentpole.hh) or constructed directly by the
+ * user.
+ */
+
+#ifndef NVMEXP_CELLDB_CELL_HH
+#define NVMEXP_CELLDB_CELL_HH
+
+#include <string>
+
+namespace nvmexp {
+
+/** Technology classes surveyed by the paper (Table I). */
+enum class CellTech
+{
+    SRAM,
+    PCM,
+    STT,
+    SOT,
+    RRAM,
+    CTT,
+    FeRAM,
+    FeFET,
+    NumTech
+};
+
+/** Tentpole classification of a fixed cell definition. */
+enum class CellFlavor
+{
+    Optimistic,   ///< best-case published density + best fill-ins
+    Pessimistic,  ///< worst-case published density + worst fill-ins
+    Reference,    ///< a specific (industry) published result
+    Custom        ///< user-provided definition
+};
+
+/** How the cell's stored state is sensed. */
+enum class SenseMode
+{
+    Voltage,   ///< SRAM-style differential voltage sensing
+    Current,   ///< resistive sensing (PCM, RRAM, STT, SOT, CTT)
+    FetGated,  ///< FET-threshold sensing (FeFET): reads cost a WL swing
+    Charge     ///< destructive charge sensing (FeRAM): read == write-back
+};
+
+/** @return the canonical short name, e.g. "STT". */
+std::string techName(CellTech tech);
+
+/** @return the flavor name, e.g. "Opt". */
+std::string flavorName(CellFlavor flavor);
+
+/** Parse a technology name; fatal() on unknown names. */
+CellTech techFromName(const std::string &name);
+
+/**
+ * Complete device-level description of one memory cell configuration.
+ *
+ * All quantities are SI. Parameters a publication did not report are
+ * filled in by the tentpole constructor before a MemCell is built, so a
+ * MemCell is always fully specified.
+ */
+struct MemCell
+{
+    std::string name;       ///< e.g. "STT-Opt"
+    CellTech tech = CellTech::SRAM;
+    CellFlavor flavor = CellFlavor::Custom;
+    SenseMode senseMode = SenseMode::Voltage;
+
+    int bitsPerCell = 1;     ///< 1 = SLC, 2 = 2-bit MLC
+    double areaF2 = 146.0;   ///< cell footprint in F^2 (per cell)
+    double aspectRatio = 1.0;
+
+    double readVoltage = 0.8;   ///< V applied for sensing
+    double writeVoltage = 0.8;  ///< V applied while programming
+
+    /**
+     * Low/high resistance states [ohm]; sensing current and bitline
+     * discharge time derive from these. For SRAM these model the
+     * pull-down path.
+     */
+    double resistanceOn = 3e3;
+    double resistanceOff = 6e3;
+
+    double setPulse = 1e-9;      ///< s, SET/program pulse width
+    double resetPulse = 1e-9;    ///< s, RESET pulse width
+    double setCurrent = 50e-6;   ///< A during SET
+    double resetCurrent = 50e-6; ///< A during RESET
+
+    /** Extra per-bit sensing energy beyond bitline/SA switching [J]. */
+    double readEnergyPerBit = 0.0;
+
+    double endurance = 1e16;     ///< write cycles before wear-out
+    double retention = 10 * 365 * 86400.0;  ///< s
+
+    bool nonVolatile = false;
+    double cellLeakage = 0.0;    ///< W per cell (SRAM only)
+
+    int minNodeNm = 22;          ///< smallest demonstrated process node
+    bool mlcCapable = true;
+
+    /** Write pulse for the slower of SET/RESET [s]. */
+    double worstWritePulse() const;
+
+    /** Energy deposited in the cell per written bit [J]. */
+    double writeEnergyPerBit() const;
+
+    /** Sensing read current at readVoltage through the ON state [A]. */
+    double readCurrentOn() const;
+
+    /** Sensing read current through the OFF state [A]. */
+    double readCurrentOff() const;
+
+    /** Storage density figure of merit, bits per F^2. */
+    double densityBitsPerF2() const;
+
+    /**
+     * Derive a 2-bit MLC variant: same footprint stores two bits, with
+     * program-and-verify write (pulse x nVerify) and two-step sensing.
+     * @pre mlcCapable
+     */
+    MemCell makeMlc(int bits = 2, int nVerifyPulses = 4) const;
+
+    /** Sanity-check all parameters; fatal() with a message if invalid. */
+    void validate() const;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_CELLDB_CELL_HH

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Surveyed-publication database of eNVM cell characteristics.
+ *
+ * The paper compiles 122 ISSCC/IEDM/VLSI publications (2016-2020) into
+ * per-technology parameter ranges (Table I). This module carries a
+ * representative corpus of survey entries spanning those ranges; fields
+ * a publication did not report are left unset (std::nullopt), exactly
+ * the situation the tentpole methodology (tentpole.hh) is designed to
+ * handle.
+ */
+
+#ifndef NVMEXP_CELLDB_SURVEY_HH
+#define NVMEXP_CELLDB_SURVEY_HH
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "celldb/cell.hh"
+
+namespace nvmexp {
+
+/**
+ * One published eNVM demonstration. Optional fields model the grey
+ * cells of Table I: parameters unavailable in the publication.
+ */
+struct SurveyEntry
+{
+    std::string label;     ///< e.g. "ISSCC18-STT-1Mb"
+    CellTech tech = CellTech::STT;
+    std::string venue;     ///< ISSCC / IEDM / VLSI
+    int year = 2018;
+    int nodeNm = 22;       ///< process node of the demonstration
+
+    std::optional<double> areaF2;        ///< cell footprint [F^2]
+    std::optional<double> writePulseNs;  ///< program pulse width [ns]
+    std::optional<double> writeCurrentUa;///< program current [uA]
+    std::optional<double> writeVoltage;  ///< program voltage [V]
+    std::optional<double> readVoltage;   ///< sensing voltage [V]
+    std::optional<double> ronKohm;       ///< low-resistance state [kOhm]
+    std::optional<double> roffKohm;      ///< high-resistance state [kOhm]
+    std::optional<double> endurance;     ///< cycles
+    std::optional<double> retentionSec;  ///< seconds
+    bool mlcDemonstrated = false;
+
+    /** Array-level reported results, kept for validation (Fig. 4). */
+    std::optional<double> arrayCapacityMb;
+    std::optional<double> arrayReadLatencyNs;
+    std::optional<double> arrayReadEnergyPjPerBit;
+
+    /** Storage density figure of merit used to pick tentpoles. */
+    std::optional<double> densityBitsPerF2() const;
+};
+
+/**
+ * The full survey corpus plus query helpers.
+ */
+class SurveyDatabase
+{
+  public:
+    /** Build the built-in corpus (Table I ranges, 2016-2020). */
+    SurveyDatabase();
+
+    /** All entries. */
+    const std::vector<SurveyEntry> &entries() const { return entries_; }
+
+    /** Entries for one technology class. */
+    std::vector<SurveyEntry> entriesFor(CellTech tech) const;
+
+    /** Add a user entry (the database is extensible, Sec. III-A). */
+    void addEntry(const SurveyEntry &entry);
+
+    /** Number of distinct publications for a technology. */
+    std::size_t countFor(CellTech tech) const;
+
+    /**
+     * Min/max of a parameter across one technology's entries;
+     * returns nullopt when no entry reports the parameter.
+     */
+    std::optional<std::pair<double, double>>
+    paramRange(CellTech tech,
+               std::optional<double> SurveyEntry::*field) const;
+
+  private:
+    std::vector<SurveyEntry> entries_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_CELLDB_SURVEY_HH

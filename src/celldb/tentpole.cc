@@ -1,0 +1,371 @@
+#include "celldb/tentpole.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/logging.hh"
+#include "util/units.hh"
+
+namespace nvmexp {
+
+namespace {
+
+/**
+ * Per-technology fallback parameters used when *no* surveyed
+ * publication reports a value (the paper's device-model / expert-
+ * consultation path for grey Table I cells).
+ */
+struct TechDefaults
+{
+    double readVoltage;
+    double writeVoltage;
+    double ronKohm;
+    double roffKohm;
+    double writeCurrentUa;
+    double writePulseNs;
+    double endurance;
+    double retentionSec;
+    SenseMode senseMode;
+    bool mlcCapable;
+    /**
+     * Extra per-bit sensing energy from published macro
+     * characterizations [J]: gate-sensed cells (FeFET, CTT) burn
+     * substantially more per sensed bit than resistive dividers.
+     */
+    double readEnergyPerBit;
+};
+
+const TechDefaults &
+defaultsFor(CellTech tech)
+{
+    static const TechDefaults pcm =
+        {0.3, 1.5, 10.0, 1000.0, 150.0, 300.0, 1e7, 1e9,
+         SenseMode::Current, true, 1e-15};
+    static const TechDefaults stt =
+        {0.15, 0.9, 2.5, 6.0, 90.0, 20.0, 1e8, 3.2e8,
+         SenseMode::Current, true, 1e-15};
+    static const TechDefaults sot =
+        {0.15, 0.5, 2.5, 6.0, 80.0, 5.0, 1e12, 1e8,
+         SenseMode::Current, true, 1e-15};
+    static const TechDefaults rram =
+        {0.2, 1.5, 10.0, 200.0, 60.0, 100.0, 1e6, 3.2e8,
+         SenseMode::Current, true, 1e-15};
+    static const TechDefaults ctt =
+        {0.9, 2.0, 50.0, 500.0, 15.0, 1e8, 1e4, 1e8,
+         SenseMode::Current, true, 60e-15};
+    static const TechDefaults feram =
+        {1.5, 2.5, 10.0, 100.0, 5.0, 100.0, 1e8, 1e6,
+         SenseMode::Charge, true, 10e-15};
+    static const TechDefaults fefet =
+        {1.2, 3.5, 20.0, 2000.0, 0.5, 500.0, 1e8, 1e8,
+         SenseMode::FetGated, true, 100e-15};
+
+    switch (tech) {
+      case CellTech::PCM:   return pcm;
+      case CellTech::STT:   return stt;
+      case CellTech::SOT:   return sot;
+      case CellTech::RRAM:  return rram;
+      case CellTech::CTT:   return ctt;
+      case CellTech::FeRAM: return feram;
+      case CellTech::FeFET: return fefet;
+      default:
+        panic("no tentpole defaults for ", techName(tech));
+    }
+}
+
+/** Direction a parameter improves in. */
+enum class Better { Lower, Higher };
+
+/**
+ * Resolve one parameter: the tentpole base entry's value when present,
+ * else the best/worst reported value across the corpus, else the
+ * technology default.
+ */
+double
+resolve(const SurveyEntry &base, const std::vector<SurveyEntry> &corpus,
+        std::optional<double> SurveyEntry::*field, Better better,
+        bool optimist, double fallback)
+{
+    if (base.*field)
+        return *(base.*field);
+    bool wantLow = (better == Better::Lower) == optimist;
+    std::optional<double> pick;
+    for (const auto &e : corpus) {
+        if (!(e.*field))
+            continue;
+        double v = *(e.*field);
+        if (!pick || (wantLow ? v < *pick : v > *pick))
+            pick = v;
+    }
+    return pick.value_or(fallback);
+}
+
+/** Apply the per-technology SET/RESET asymmetry to a resolved pulse. */
+void
+applyWriteShape(MemCell &cell, double pulseSec, double currentAmp)
+{
+    if (cell.tech == CellTech::PCM) {
+        // SET (crystallization) is the slow edge; RESET is a short,
+        // high-current melt-quench.
+        cell.setPulse = pulseSec;
+        cell.resetPulse = std::max(0.3 * pulseSec, 1e-9);
+        cell.setCurrent = currentAmp;
+        cell.resetCurrent = 2.0 * currentAmp;
+    } else {
+        cell.setPulse = pulseSec;
+        cell.resetPulse = pulseSec;
+        cell.setCurrent = currentAmp;
+        cell.resetCurrent = currentAmp;
+    }
+}
+
+} // namespace
+
+TentpoleBuilder::TentpoleBuilder(const SurveyDatabase &db) : db_(db)
+{
+}
+
+MemCell
+TentpoleBuilder::build(CellTech tech, bool optimist) const
+{
+    if (tech == CellTech::SRAM)
+        fatal("SRAM has no tentpoles; use CellCatalog::sram16()");
+
+    auto corpus = db_.entriesFor(tech);
+    if (corpus.empty())
+        fatal("survey database has no entries for ", techName(tech));
+
+    // Pick the density tentpole: most (optimistic) or least
+    // (pessimistic) dense publication reporting a cell area.
+    const SurveyEntry *base = nullptr;
+    for (const auto &e : corpus) {
+        auto d = e.densityBitsPerF2();
+        if (!d)
+            continue;
+        if (!base) {
+            base = &e;
+            continue;
+        }
+        double bd = *base->densityBitsPerF2();
+        if (optimist ? (*d > bd) : (*d < bd))
+            base = &e;
+    }
+    if (!base)
+        fatal("no ", techName(tech), " survey entry reports cell area");
+
+    const TechDefaults &dflt = defaultsFor(tech);
+    MemCell cell;
+    cell.tech = tech;
+    cell.flavor =
+        optimist ? CellFlavor::Optimistic : CellFlavor::Pessimistic;
+    cell.name = techName(tech) + "-" + flavorName(cell.flavor);
+    cell.senseMode = dflt.senseMode;
+    cell.nonVolatile = true;
+    cell.bitsPerCell = 1;
+    cell.areaF2 = *base->areaF2;
+    cell.aspectRatio = 1.0;
+
+    double pulseNs = resolve(*base, corpus, &SurveyEntry::writePulseNs,
+                             Better::Lower, optimist, dflt.writePulseNs);
+    double currUa = resolve(*base, corpus, &SurveyEntry::writeCurrentUa,
+                            Better::Lower, optimist, dflt.writeCurrentUa);
+    applyWriteShape(cell, pulseNs * units::ns, currUa * units::uA);
+
+    cell.writeVoltage = resolve(*base, corpus, &SurveyEntry::writeVoltage,
+                                Better::Lower, optimist,
+                                dflt.writeVoltage);
+    cell.readVoltage = resolve(*base, corpus, &SurveyEntry::readVoltage,
+                               Better::Lower, optimist, dflt.readVoltage);
+    // Resistance states: a lower on-resistance reads faster; keep the
+    // on/off ratio consistent by resolving the ratio from entries that
+    // report both states.
+    double ronK = resolve(*base, corpus, &SurveyEntry::ronKohm,
+                          Better::Lower, optimist, dflt.ronKohm);
+    double ratio = dflt.roffKohm / dflt.ronKohm;
+    {
+        std::optional<double> pickRatio;
+        bool baseHasBoth = base->ronKohm && base->roffKohm;
+        if (baseHasBoth) {
+            pickRatio = *base->roffKohm / *base->ronKohm;
+        } else {
+            for (const auto &e : corpus) {
+                if (!e.ronKohm || !e.roffKohm)
+                    continue;
+                double r = *e.roffKohm / *e.ronKohm;
+                // A larger on/off ratio senses more easily.
+                if (!pickRatio ||
+                    (optimist ? r > *pickRatio : r < *pickRatio)) {
+                    pickRatio = r;
+                }
+            }
+        }
+        ratio = pickRatio.value_or(ratio);
+    }
+    cell.resistanceOn = units::kohm * ronK;
+    cell.resistanceOff = units::kohm * ronK * ratio;
+    cell.endurance = resolve(*base, corpus, &SurveyEntry::endurance,
+                             Better::Higher, optimist, dflt.endurance);
+    cell.retention = resolve(*base, corpus, &SurveyEntry::retentionSec,
+                             Better::Higher, optimist, dflt.retentionSec);
+
+    int minNode = std::numeric_limits<int>::max();
+    bool anyMlc = false;
+    for (const auto &e : corpus) {
+        minNode = std::min(minNode, e.nodeNm);
+        anyMlc = anyMlc || e.mlcDemonstrated;
+    }
+    cell.minNodeNm = minNode;
+    cell.mlcCapable = dflt.mlcCapable && anyMlc;
+    cell.cellLeakage = 0.0;
+    cell.readEnergyPerBit = dflt.readEnergyPerBit;
+
+    cell.validate();
+    return cell;
+}
+
+MemCell
+TentpoleBuilder::optimistic(CellTech tech) const
+{
+    return build(tech, true);
+}
+
+MemCell
+TentpoleBuilder::pessimistic(CellTech tech) const
+{
+    return build(tech, false);
+}
+
+MemCell
+TentpoleBuilder::reference(CellTech tech, const std::string &label) const
+{
+    const SurveyEntry *entry = nullptr;
+    for (const auto &e : db_.entries()) {
+        if (e.label == label) {
+            entry = &e;
+            break;
+        }
+    }
+    if (!entry)
+        fatal("no survey entry labeled '", label, "'");
+    if (entry->tech != tech)
+        fatal("survey entry '", label, "' is ", techName(entry->tech),
+              ", not ", techName(tech));
+
+    const TechDefaults &dflt = defaultsFor(tech);
+    MemCell cell;
+    cell.tech = tech;
+    cell.flavor = CellFlavor::Reference;
+    cell.name = techName(tech) + "-Ref";
+    cell.senseMode = dflt.senseMode;
+    cell.nonVolatile = true;
+    cell.areaF2 = entry->areaF2.value_or(40.0);
+    applyWriteShape(
+        cell, entry->writePulseNs.value_or(dflt.writePulseNs) * units::ns,
+        entry->writeCurrentUa.value_or(dflt.writeCurrentUa) * units::uA);
+    cell.writeVoltage = entry->writeVoltage.value_or(dflt.writeVoltage);
+    cell.readVoltage = entry->readVoltage.value_or(dflt.readVoltage);
+    cell.resistanceOn = units::kohm * entry->ronKohm.value_or(dflt.ronKohm);
+    cell.resistanceOff =
+        units::kohm * entry->roffKohm.value_or(dflt.roffKohm);
+    cell.endurance = entry->endurance.value_or(dflt.endurance);
+    cell.retention = entry->retentionSec.value_or(dflt.retentionSec);
+    cell.minNodeNm = entry->nodeNm;
+    cell.mlcCapable = dflt.mlcCapable;
+    cell.readEnergyPerBit = dflt.readEnergyPerBit;
+    cell.validate();
+    return cell;
+}
+
+CellCatalog::CellCatalog() : db_(), builder_(db_)
+{
+}
+
+MemCell
+CellCatalog::sram16()
+{
+    MemCell cell;
+    cell.name = "SRAM";
+    cell.tech = CellTech::SRAM;
+    cell.flavor = CellFlavor::Reference;
+    cell.senseMode = SenseMode::Voltage;
+    cell.bitsPerCell = 1;
+    cell.areaF2 = 146.0;
+    cell.readVoltage = 0.8;
+    cell.writeVoltage = 0.8;
+    cell.resistanceOn = 40e3;    // read-current-limited pull-down
+    cell.resistanceOff = 1e9;
+    cell.setPulse = 0.5e-9;      // wordline pulse incl. write margin
+    cell.resetPulse = 0.5e-9;
+    cell.setCurrent = 5e-6;
+    cell.resetCurrent = 5e-6;
+    cell.endurance = 1e18;       // effectively unlimited
+    cell.retention = 1e12;       // while powered
+    cell.nonVolatile = false;
+    cell.cellLeakage = 2e-9;     // 2 nW/cell at a 16 nm HP node
+    cell.minNodeNm = 7;
+    cell.mlcCapable = false;
+    cell.validate();
+    return cell;
+}
+
+MemCell
+CellCatalog::backGatedFeFET()
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::FeFET);
+    cell.name = "FeFET-BG";
+    cell.flavor = CellFlavor::Custom;
+    // IEDM'20 back-gated FeFET: 10 ns programming pulse and projected
+    // 1e12 endurance, at a slight cost in density and read energy.
+    cell.setPulse = 10e-9;
+    cell.resetPulse = 10e-9;
+    cell.endurance = 1e12;
+    cell.areaF2 = cell.areaF2 * 4.0 / 3.0;  // slight density decrease
+    cell.readVoltage = cell.readVoltage * 1.1;  // slight read-energy up
+    cell.validate();
+    return cell;
+}
+
+MemCell
+CellCatalog::optimistic(CellTech tech) const
+{
+    return builder_.optimistic(tech);
+}
+
+MemCell
+CellCatalog::pessimistic(CellTech tech) const
+{
+    return builder_.pessimistic(tech);
+}
+
+MemCell
+CellCatalog::rramReference() const
+{
+    return builder_.reference(CellTech::RRAM, "ISSCC18-RRAM-n40-256kx44");
+}
+
+std::vector<MemCell>
+CellCatalog::studyCells() const
+{
+    std::vector<MemCell> cells;
+    cells.push_back(sram16());
+    auto envms = studyEnvms();
+    cells.insert(cells.end(), envms.begin(), envms.end());
+    return cells;
+}
+
+std::vector<MemCell>
+CellCatalog::studyEnvms() const
+{
+    std::vector<MemCell> cells;
+    for (CellTech tech : {CellTech::PCM, CellTech::STT, CellTech::RRAM,
+                          CellTech::FeFET, CellTech::CTT}) {
+        cells.push_back(optimistic(tech));
+        cells.push_back(pessimistic(tech));
+    }
+    cells.push_back(rramReference());
+    return cells;
+}
+
+} // namespace nvmexp

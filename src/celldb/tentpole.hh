@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tentpole methodology (paper Sec. III-B).
+ *
+ * For each technology class we compute which surveyed publication has
+ * the best-case and worst-case storage density (bits/F^2); those become
+ * the foundation of the optimistic and pessimistic cell definitions.
+ * Any critical parameter not reported with those publications is filled
+ * with the best (resp. worst) value across all other publications of
+ * that technology; parameters no publication reports fall back to
+ * per-technology defaults derived from device models (the paper's
+ * "SPICE simulations and consulting device experts" path).
+ */
+
+#ifndef NVMEXP_CELLDB_TENTPOLE_HH
+#define NVMEXP_CELLDB_TENTPOLE_HH
+
+#include <vector>
+
+#include "celldb/cell.hh"
+#include "celldb/survey.hh"
+
+namespace nvmexp {
+
+/**
+ * Builds fixed optimistic/pessimistic/reference MemCells from a survey
+ * database.
+ */
+class TentpoleBuilder
+{
+  public:
+    explicit TentpoleBuilder(const SurveyDatabase &db);
+
+    /** Optimistic tentpole cell for a technology. */
+    MemCell optimistic(CellTech tech) const;
+
+    /** Pessimistic tentpole cell for a technology. */
+    MemCell pessimistic(CellTech tech) const;
+
+    /**
+     * Reference cell built from a specific published result (used for
+     * RRAM, from an industry n40 macro, per Sec. III-B1).
+     */
+    MemCell reference(CellTech tech, const std::string &label) const;
+
+  private:
+    MemCell build(CellTech tech, bool optimist) const;
+
+    const SurveyDatabase &db_;
+};
+
+/**
+ * The fixed cell set the paper's case studies run on: a convenience
+ * catalog wrapping TentpoleBuilder plus the hand-built cells (16 nm
+ * SRAM baseline, industry-reference RRAM, back-gated FeFET).
+ */
+class CellCatalog
+{
+  public:
+    CellCatalog();
+
+    /** The 16 nm SRAM comparison cell. */
+    static MemCell sram16();
+
+    /** Back-gated FeFET (Sec. V-A, IEDM'20): 10 ns pulse, 1e12 end. */
+    static MemCell backGatedFeFET();
+
+    /** Optimistic / pessimistic tentpole per technology. */
+    MemCell optimistic(CellTech tech) const;
+    MemCell pessimistic(CellTech tech) const;
+
+    /** Industry-reference RRAM cell. */
+    MemCell rramReference() const;
+
+    /**
+     * The validated study set used throughout Sections IV-V: SRAM plus
+     * Opt/Pess {PCM, STT, RRAM, FeFET, CTT} plus reference RRAM. SOT
+     * and FeRAM are configurable but excluded for lack of array-level
+     * validation data (paper Sec. III-C).
+     */
+    std::vector<MemCell> studyCells() const;
+
+    /** studyCells() without SRAM (eNVMs only). */
+    std::vector<MemCell> studyEnvms() const;
+
+    /** Access to the underlying survey database. */
+    const SurveyDatabase &survey() const { return db_; }
+
+  private:
+    SurveyDatabase db_;
+    TentpoleBuilder builder_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_CELLDB_TENTPOLE_HH

@@ -1,0 +1,233 @@
+#include "core/config.hh"
+
+#include "celldb/tentpole.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+MemCell
+resolveCellReference(const std::string &reference)
+{
+    std::string base = reference;
+    bool mlc = false;
+    if (auto pos = base.find("+MLC2"); pos != std::string::npos) {
+        mlc = true;
+        base = base.substr(0, pos);
+    }
+
+    CellCatalog catalog;
+    MemCell cell;
+    if (base == "SRAM") {
+        cell = CellCatalog::sram16();
+    } else if (base == "FeFET-BG") {
+        cell = CellCatalog::backGatedFeFET();
+    } else if (base == "RRAM-Ref") {
+        cell = catalog.rramReference();
+    } else if (auto pos = base.rfind("-Opt");
+               pos != std::string::npos && pos + 4 == base.size()) {
+        cell = catalog.optimistic(techFromName(base.substr(0, pos)));
+    } else if (auto pos = base.rfind("-Pess");
+               pos != std::string::npos && pos + 5 == base.size()) {
+        cell = catalog.pessimistic(techFromName(base.substr(0, pos)));
+    } else {
+        fatal("unknown cell reference '", reference,
+              "' (expected SRAM, <Tech>-Opt, <Tech>-Pess, RRAM-Ref, "
+              "or FeFET-BG, optionally +MLC2)");
+    }
+    return mlc ? cell.makeMlc() : cell;
+}
+
+namespace {
+
+MemCell
+customCellFromJson(const JsonValue &spec)
+{
+    CellCatalog catalog;
+    MemCell cell;
+    if (spec.has("base")) {
+        cell = resolveCellReference(spec.at("base").asString());
+    } else {
+        cell = catalog.optimistic(
+            techFromName(spec.at("tech").asString()));
+    }
+    cell.flavor = CellFlavor::Custom;
+    cell.name = spec.stringOr("name", cell.name + "-custom");
+    cell.areaF2 = spec.numberOr("area_f2", cell.areaF2);
+    if (spec.has("write_pulse_ns")) {
+        double pulse = spec.at("write_pulse_ns").asNumber() * 1e-9;
+        cell.setPulse = pulse;
+        cell.resetPulse = pulse;
+    }
+    if (spec.has("write_current_ua")) {
+        double current = spec.at("write_current_ua").asNumber() * 1e-6;
+        cell.setCurrent = current;
+        cell.resetCurrent = current;
+    }
+    cell.writeVoltage = spec.numberOr("write_voltage", cell.writeVoltage);
+    cell.readVoltage = spec.numberOr("read_voltage", cell.readVoltage);
+    cell.endurance = spec.numberOr("endurance", cell.endurance);
+    cell.retention = spec.numberOr("retention_sec", cell.retention);
+    cell.validate();
+    return cell;
+}
+
+OptTarget
+targetFromName(const std::string &name)
+{
+    for (OptTarget target : allOptTargets())
+        if (optTargetName(target) == name)
+            return target;
+    fatal("unknown optimization target '", name, "'");
+}
+
+TrafficPattern
+trafficFromJson(const JsonValue &spec, int wordBits)
+{
+    std::string name = spec.stringOr("name", "traffic");
+    if (spec.has("read_bytes_per_sec") ||
+        spec.has("write_bytes_per_sec")) {
+        return TrafficPattern::fromByteRates(
+            name, spec.numberOr("read_bytes_per_sec", 0.0),
+            spec.numberOr("write_bytes_per_sec", 0.0), wordBits,
+            spec.numberOr("exec_time", 1.0));
+    }
+    if (spec.has("reads") || spec.has("writes")) {
+        return TrafficPattern::fromCounts(
+            name, spec.numberOr("reads", 0.0),
+            spec.numberOr("writes", 0.0),
+            spec.numberOr("exec_time", 1.0));
+    }
+    fatal("traffic entry '", name,
+          "' needs byte rates or access counts");
+}
+
+} // namespace
+
+ExperimentConfig
+loadExperiment(const JsonValue &doc)
+{
+    ExperimentConfig config;
+    config.name = doc.stringOr("experiment", "experiment");
+
+    // Cells: names, "study-set", or inline custom definitions.
+    CellCatalog catalog;
+    for (const auto &entry : doc.at("cells").asArray()) {
+        if (entry.isString()) {
+            if (entry.asString() == "study-set") {
+                auto all = catalog.studyCells();
+                config.sweep.cells.insert(config.sweep.cells.end(),
+                                          all.begin(), all.end());
+            } else {
+                config.sweep.cells.push_back(
+                    resolveCellReference(entry.asString()));
+            }
+        } else {
+            config.sweep.cells.push_back(customCellFromJson(entry));
+        }
+    }
+    if (config.sweep.cells.empty())
+        fatal("config '", config.name, "': no cells");
+
+    // Capacities, word width, nodes.
+    config.sweep.capacitiesBytes.clear();
+    for (const auto &mib : doc.at("capacities_mib").asArray())
+        config.sweep.capacitiesBytes.push_back(mib.asNumber() * 1024.0 *
+                                               1024.0);
+    config.sweep.wordBits = (int)doc.numberOr("word_bits", 512.0);
+    config.sweep.nodeNm = (int)doc.numberOr("node_nm", 22.0);
+    config.sweep.sramNodeNm = (int)doc.numberOr("sram_node_nm", 16.0);
+
+    // Optimization targets (default ReadEDP).
+    config.sweep.targets.clear();
+    if (doc.has("targets")) {
+        for (const auto &t : doc.at("targets").asArray())
+            config.sweep.targets.push_back(
+                targetFromName(t.asString()));
+    } else {
+        config.sweep.targets.push_back(OptTarget::ReadEDP);
+    }
+
+    // Traffic: explicit patterns and/or a generic grid.
+    for (const auto &spec : doc.at("traffic").asArray()) {
+        if (spec.isObject() && spec.stringOr("kind", "") ==
+                "generic_grid") {
+            auto grid = genericTrafficGrid(
+                spec.at("read_lo").asNumber(),
+                spec.at("read_hi").asNumber(),
+                spec.at("write_lo").asNumber(),
+                spec.at("write_hi").asNumber(),
+                (int)spec.numberOr("steps", 3.0),
+                config.sweep.wordBits);
+            config.sweep.traffics.insert(config.sweep.traffics.end(),
+                                         grid.begin(), grid.end());
+        } else {
+            config.sweep.traffics.push_back(
+                trafficFromJson(spec, config.sweep.wordBits));
+        }
+    }
+
+    // Constraints.
+    if (doc.has("constraints")) {
+        const JsonValue &c = doc.at("constraints");
+        config.applyConstraints = true;
+        config.constraints.maxLatencyLoad =
+            c.numberOr("max_latency_load", 1.0);
+        config.constraints.maxPowerWatts =
+            c.numberOr("max_power_w", -1.0);
+        config.constraints.maxAreaM2 =
+            c.numberOr("max_area_mm2", -1.0) > 0.0
+                ? c.at("max_area_mm2").asNumber() * 1e-6 : -1.0;
+        if (c.has("min_lifetime_years")) {
+            config.constraints.minLifetimeSec =
+                c.at("min_lifetime_years").asNumber() * 365.0 * 86400.0;
+        }
+        config.constraints.maxReadLatency =
+            c.numberOr("max_read_latency_ns", -1.0) > 0.0
+                ? c.at("max_read_latency_ns").asNumber() * 1e-9 : -1.0;
+        config.constraints.maxWriteLatency =
+            c.numberOr("max_write_latency_ns", -1.0) > 0.0
+                ? c.at("max_write_latency_ns").asNumber() * 1e-9 : -1.0;
+        config.constraints.requireBandwidth =
+            c.boolOr("require_bandwidth", true);
+    }
+
+    config.outputCsv = doc.stringOr("output_csv", "");
+    return config;
+}
+
+ExperimentConfig
+loadExperimentFile(const std::string &path)
+{
+    return loadExperiment(JsonValue::parseFile(path));
+}
+
+Table
+runExperiment(const ExperimentConfig &config)
+{
+    auto results = runSweep(config.sweep);
+    if (config.applyConstraints)
+        results = filterResults(results, config.constraints);
+
+    Table table(config.name,
+                {"Cell", "Capacity[MiB]", "Traffic", "ReadLat[ns]",
+                 "WriteLat[ns]", "Power[mW]", "LatencyLoad",
+                 "Lifetime[yr]", "Density[Mb/mm2]", "Viable"});
+    for (const auto &ev : results) {
+        table.row()
+            .add(ev.array.cell.name)
+            .add(ev.array.capacityBytes / (1024.0 * 1024.0))
+            .add(ev.traffic.name)
+            .add(ev.array.readLatency * 1e9)
+            .add(ev.array.writeLatency * 1e9)
+            .add(ev.totalPower * 1e3)
+            .add(ev.latencyLoad)
+            .add(ev.lifetimeYears())
+            .add(ev.array.densityMbPerMm2())
+            .add(ev.viable() ? "yes" : "no");
+    }
+    if (!config.outputCsv.empty())
+        table.writeCsv(config.outputCsv);
+    return table;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,57 @@
+/**
+ * @file
+ * JSON configuration front-end: the C++ equivalent of the original
+ * release's `python run.py config/<study>.json` interface.
+ *
+ * A config file names the cells, capacities, optimization targets,
+ * traffic patterns, and constraints of a design sweep; loadExperiment
+ * turns it into a SweepConfig + Constraints and runExperiment produces
+ * the combined results table (and optional CSV).
+ */
+
+#ifndef NVMEXP_CORE_CONFIG_HH
+#define NVMEXP_CORE_CONFIG_HH
+
+#include <string>
+
+#include "core/sweep.hh"
+#include "util/json.hh"
+#include "util/table.hh"
+
+namespace nvmexp {
+
+/** A fully resolved experiment specification. */
+struct ExperimentConfig
+{
+    std::string name = "experiment";
+    SweepConfig sweep;
+    Constraints constraints;
+    bool applyConstraints = false;
+    std::string outputCsv;  ///< empty = don't write
+};
+
+/**
+ * Resolve a cell reference string to a catalog cell:
+ *   "SRAM", "<Tech>-Opt", "<Tech>-Pess", "RRAM-Ref", "FeFET-BG",
+ * optionally suffixed with "+MLC2" for the 2-bit variant; or the
+ * special name "study-set" handled by loadExperiment. fatal() on
+ * unknown references.
+ */
+MemCell resolveCellReference(const std::string &reference);
+
+/** Build an ExperimentConfig from a parsed JSON document. */
+ExperimentConfig loadExperiment(const JsonValue &doc);
+
+/** Convenience: parse + load a config file. */
+ExperimentConfig loadExperimentFile(const std::string &path);
+
+/**
+ * Run the experiment and collect the standard dashboard columns
+ * (cell, traffic, power, latency load, lifetime, viability...).
+ * Writes outputCsv when configured.
+ */
+Table runExperiment(const ExperimentConfig &config);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_CORE_CONFIG_HH

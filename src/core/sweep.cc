@@ -1,0 +1,117 @@
+#include "core/sweep.hh"
+
+#include <limits>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+std::vector<ArrayResult>
+characterizeSweep(const SweepConfig &config)
+{
+    if (config.cells.empty())
+        fatal("sweep has no cells configured");
+    std::vector<ArrayResult> arrays;
+    for (const auto &cell : config.cells) {
+        for (double capacity : config.capacitiesBytes) {
+            ArrayConfig ac;
+            ac.capacityBytes = capacity;
+            ac.wordBits = config.wordBits;
+            ac.nodeNm = cell.tech == CellTech::SRAM ? config.sramNodeNm
+                                                    : config.nodeNm;
+            ArrayDesigner designer(cell, ac);
+            auto candidates = designer.enumerate();
+            if (candidates.empty()) {
+                warn("cell '", cell.name, "' has no valid organization",
+                     " at ", capacity / (1024.0 * 1024.0),
+                     " MiB; skipping");
+                continue;
+            }
+            for (OptTarget target : config.targets) {
+                const ArrayResult *best = &candidates.front();
+                for (const auto &r : candidates)
+                    if (r.metric(target) < best->metric(target))
+                        best = &r;
+                arrays.push_back(*best);
+            }
+        }
+    }
+    return arrays;
+}
+
+std::vector<EvalResult>
+runSweep(const SweepConfig &config)
+{
+    if (config.traffics.empty())
+        fatal("sweep has no traffic patterns configured");
+    auto arrays = characterizeSweep(config);
+    std::vector<EvalResult> results;
+    results.reserve(arrays.size() * config.traffics.size());
+    for (const auto &array : arrays)
+        for (const auto &traffic : config.traffics)
+            results.push_back(evaluate(array, traffic));
+    return results;
+}
+
+bool
+satisfies(const EvalResult &result, const Constraints &constraints)
+{
+    if (constraints.maxLatencyLoad > 0.0 &&
+        result.latencyLoad > constraints.maxLatencyLoad) {
+        return false;
+    }
+    if (constraints.maxPowerWatts > 0.0 &&
+        result.totalPower > constraints.maxPowerWatts) {
+        return false;
+    }
+    if (constraints.maxAreaM2 > 0.0 &&
+        result.array.areaM2 > constraints.maxAreaM2) {
+        return false;
+    }
+    if (constraints.minLifetimeSec > 0.0 &&
+        result.lifetimeSec < constraints.minLifetimeSec) {
+        return false;
+    }
+    if (constraints.maxReadLatency > 0.0 &&
+        result.array.readLatency > constraints.maxReadLatency) {
+        return false;
+    }
+    if (constraints.maxWriteLatency > 0.0 &&
+        result.array.writeLatency > constraints.maxWriteLatency) {
+        return false;
+    }
+    if (constraints.requireBandwidth &&
+        (!result.meetsReadBandwidth || !result.meetsWriteBandwidth)) {
+        return false;
+    }
+    return true;
+}
+
+std::vector<EvalResult>
+filterResults(const std::vector<EvalResult> &in,
+              const Constraints &constraints)
+{
+    std::vector<EvalResult> out;
+    for (const auto &result : in)
+        if (satisfies(result, constraints))
+            out.push_back(result);
+    return out;
+}
+
+const EvalResult *
+bestBy(const std::vector<EvalResult> &results,
+       const std::function<double(const EvalResult &)> &key)
+{
+    const EvalResult *best = nullptr;
+    double bestKey = std::numeric_limits<double>::infinity();
+    for (const auto &result : results) {
+        double k = key(result);
+        if (!best || k < bestKey) {
+            best = &result;
+            bestKey = k;
+        }
+    }
+    return best;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Design-space sweep driver: the "auto-generated sweep configurations"
+ * stage of the NVMExplorer flow (Fig. 2 of the paper).
+ *
+ * A SweepConfig crosses cells x capacities x optimization targets x
+ * traffic patterns; runSweep characterizes each array once and
+ * evaluates it against every pattern. Constraint filters and Pareto
+ * helpers support the "filter and refine" interaction the paper's
+ * dashboard provides.
+ */
+
+#ifndef NVMEXP_CORE_SWEEP_HH
+#define NVMEXP_CORE_SWEEP_HH
+
+#include <functional>
+#include <vector>
+
+#include "celldb/cell.hh"
+#include "eval/engine.hh"
+#include "nvsim/array_model.hh"
+
+namespace nvmexp {
+
+/** Full cross-stack sweep specification. */
+struct SweepConfig
+{
+    std::vector<MemCell> cells;
+    std::vector<double> capacitiesBytes = {2.0 * 1024 * 1024};
+    std::vector<OptTarget> targets = {OptTarget::ReadEDP};
+    std::vector<TrafficPattern> traffics;
+    int wordBits = 512;
+    int nodeNm = 22;       ///< eNVM implementation node
+    int sramNodeNm = 16;   ///< SRAM baseline node
+};
+
+/** Run the full cross product; arrays that cannot be built are
+ *  skipped with a warning rather than aborting the sweep. */
+std::vector<EvalResult> runSweep(const SweepConfig &config);
+
+/** Characterize arrays only (no traffic): cells x capacities x
+ *  targets. */
+std::vector<ArrayResult> characterizeSweep(const SweepConfig &config);
+
+/** System-level constraints for filtering (paper Sec. II-C). */
+struct Constraints
+{
+    double maxLatencyLoad = 1.0;    ///< long-pole load ceiling
+    double maxPowerWatts = -1.0;    ///< <0 = unconstrained
+    double maxAreaM2 = -1.0;
+    double minLifetimeSec = -1.0;
+    double maxReadLatency = -1.0;
+    double maxWriteLatency = -1.0;
+    bool requireBandwidth = true;
+};
+
+/** Keep only results satisfying the constraints. */
+std::vector<EvalResult> filterResults(const std::vector<EvalResult> &in,
+                                      const Constraints &constraints);
+
+/** True iff one result satisfies the constraints. */
+bool satisfies(const EvalResult &result, const Constraints &constraints);
+
+/**
+ * 2-D Pareto front (minimize both keys) over any result vector.
+ */
+template <typename T>
+std::vector<T>
+paretoFront(const std::vector<T> &items,
+            const std::function<double(const T &)> &keyA,
+            const std::function<double(const T &)> &keyB)
+{
+    std::vector<T> front;
+    for (const auto &candidate : items) {
+        bool dominated = false;
+        for (const auto &other : items) {
+            if (keyA(other) <= keyA(candidate) &&
+                keyB(other) <= keyB(candidate) &&
+                (keyA(other) < keyA(candidate) ||
+                 keyB(other) < keyB(candidate))) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated)
+            front.push_back(candidate);
+    }
+    return front;
+}
+
+/** Pointer to the result minimizing key, or nullptr if empty. */
+const EvalResult *
+bestBy(const std::vector<EvalResult> &results,
+       const std::function<double(const EvalResult &)> &key);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_CORE_SWEEP_HH

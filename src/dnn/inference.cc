@@ -1,0 +1,275 @@
+#include "dnn/inference.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+SyntheticTask::SyntheticTask(int dims, int classes, int trainSamples,
+                             int testSamples, std::uint64_t seed,
+                             double clusterSpread)
+    : dims_(dims), classes_(classes), spread_(clusterSpread)
+{
+    if (dims < 2 || classes < 2)
+        fatal("SyntheticTask needs >= 2 dims and >= 2 classes");
+    if (trainSamples < classes || testSamples < classes)
+        fatal("SyntheticTask needs at least one sample per class");
+
+    Rng rng(seed);
+    centers_.resize(classes_);
+    for (auto &center : centers_) {
+        center.resize(dims_);
+        for (auto &coordinate : center)
+            coordinate = (float)rng.gaussian();
+    }
+    sample(trainSamples, trainX_, trainY_, rng);
+    sample(testSamples, testX_, testY_, rng);
+}
+
+void
+SyntheticTask::sample(int count, std::vector<std::vector<float>> &xs,
+                      std::vector<int> &ys, Rng &rng)
+{
+    xs.resize(count);
+    ys.resize(count);
+    for (int i = 0; i < count; ++i) {
+        int label = (int)rng.range((std::uint64_t)classes_);
+        ys[i] = label;
+        xs[i].resize(dims_);
+        for (int d = 0; d < dims_; ++d) {
+            xs[i][d] = centers_[label][d] +
+                (float)(spread_ * rng.gaussian());
+        }
+    }
+}
+
+Mlp::Mlp(std::vector<int> dims, std::uint64_t seed) : dims_(std::move(dims))
+{
+    if (dims_.size() < 2)
+        fatal("Mlp needs at least input and output dims");
+    for (int d : dims_)
+        if (d < 1)
+            fatal("Mlp: non-positive layer width");
+
+    Rng rng(seed);
+    for (std::size_t l = 0; l + 1 < dims_.size(); ++l) {
+        int fanIn = dims_[l];
+        int fanOut = dims_[l + 1];
+        double scale = std::sqrt(2.0 / fanIn);  // He initialization
+        std::vector<float> w((std::size_t)fanIn * fanOut);
+        for (auto &value : w)
+            value = (float)(scale * rng.gaussian());
+        weights_.push_back(std::move(w));
+        biases_.emplace_back((std::size_t)fanOut, 0.0f);
+    }
+}
+
+namespace {
+
+/** y = W x + b, W is (out x in) row-major. */
+void
+denseForward(const std::vector<float> &w, const std::vector<float> &b,
+             std::span<const float> x, std::vector<float> &y)
+{
+    std::size_t out = b.size();
+    std::size_t in = x.size();
+    y.resize(out);
+    for (std::size_t o = 0; o < out; ++o) {
+        float acc = b[o];
+        const float *row = &w[o * in];
+        for (std::size_t i = 0; i < in; ++i)
+            acc += row[i] * x[i];
+        y[o] = acc;
+    }
+}
+
+void
+softmaxInPlace(std::vector<float> &v)
+{
+    float mx = *std::max_element(v.begin(), v.end());
+    float sum = 0.0f;
+    for (auto &value : v) {
+        value = std::exp(value - mx);
+        sum += value;
+    }
+    for (auto &value : v)
+        value /= sum;
+}
+
+} // namespace
+
+double
+Mlp::train(const SyntheticTask &task, int epochs, double learningRate)
+{
+    if ((int)task.trainX()[0].size() != dims_.front())
+        fatal("Mlp/train: input dim mismatch");
+    if (task.classes() != dims_.back())
+        fatal("Mlp/train: output dim mismatch");
+
+    const auto &xs = task.trainX();
+    const auto &ys = task.trainY();
+    std::vector<std::size_t> order(xs.size());
+    std::iota(order.begin(), order.end(), 0);
+    Rng shuffleRng(0xBEEF);
+
+    std::size_t nLayers = weights_.size();
+    std::vector<std::vector<float>> acts(nLayers + 1);
+    std::vector<std::vector<float>> deltas(nLayers);
+
+    for (int epoch = 0; epoch < epochs; ++epoch) {
+        // Fisher-Yates shuffle with the project Rng.
+        for (std::size_t i = order.size(); i > 1; --i)
+            std::swap(order[i - 1], order[shuffleRng.range(i)]);
+
+        for (std::size_t sampleIdx : order) {
+            // Forward with ReLU on hidden layers.
+            acts[0].assign(xs[sampleIdx].begin(), xs[sampleIdx].end());
+            for (std::size_t l = 0; l < nLayers; ++l) {
+                denseForward(weights_[l], biases_[l], acts[l],
+                             acts[l + 1]);
+                if (l + 1 < nLayers) {
+                    for (auto &value : acts[l + 1])
+                        value = std::max(value, 0.0f);
+                }
+            }
+            softmaxInPlace(acts[nLayers]);
+
+            // Backward: softmax + cross entropy.
+            deltas[nLayers - 1] = acts[nLayers];
+            deltas[nLayers - 1][(std::size_t)ys[sampleIdx]] -= 1.0f;
+            for (std::size_t l = nLayers - 1; l > 0; --l) {
+                std::size_t in = acts[l].size();
+                std::size_t out = deltas[l].size();
+                deltas[l - 1].assign(in, 0.0f);
+                for (std::size_t o = 0; o < out; ++o) {
+                    const float *row = &weights_[l][o * in];
+                    float d = deltas[l][o];
+                    for (std::size_t i = 0; i < in; ++i)
+                        deltas[l - 1][i] += row[i] * d;
+                }
+                for (std::size_t i = 0; i < in; ++i)
+                    if (acts[l][i] <= 0.0f)
+                        deltas[l - 1][i] = 0.0f;
+            }
+            // SGD update.
+            for (std::size_t l = 0; l < nLayers; ++l) {
+                std::size_t in = acts[l].size();
+                std::size_t out = deltas[l].size();
+                for (std::size_t o = 0; o < out; ++o) {
+                    float d = (float)learningRate * deltas[l][o];
+                    float *row = &weights_[l][o * in];
+                    for (std::size_t i = 0; i < in; ++i)
+                        row[i] -= d * acts[l][i];
+                    biases_[l][o] -= d;
+                }
+            }
+        }
+    }
+    return accuracy(task.trainX(), task.trainY());
+}
+
+int
+Mlp::predict(std::span<const float> x) const
+{
+    std::vector<float> cur(x.begin(), x.end());
+    std::vector<float> next;
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        denseForward(weights_[l], biases_[l], cur, next);
+        if (l + 1 < weights_.size()) {
+            for (auto &value : next)
+                value = std::max(value, 0.0f);
+        }
+        cur.swap(next);
+    }
+    return (int)(std::max_element(cur.begin(), cur.end()) - cur.begin());
+}
+
+double
+Mlp::accuracy(const std::vector<std::vector<float>> &xs,
+              const std::vector<int> &ys) const
+{
+    if (xs.size() != ys.size() || xs.empty())
+        fatal("accuracy: bad labeled set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        if (predict(xs[i]) == ys[i])
+            ++correct;
+    return (double)correct / (double)xs.size();
+}
+
+QuantizedMlp
+Mlp::quantize() const
+{
+    QuantizedMlp q;
+    q.dims_ = dims_;
+    q.biases_ = biases_;
+    for (std::size_t l = 0; l < weights_.size(); ++l) {
+        float mx = 0.0f;
+        for (float value : weights_[l])
+            mx = std::max(mx, std::fabs(value));
+        float scale = mx > 0.0f ? mx / 127.0f : 1.0f;
+        q.scales_.push_back(scale);
+        q.layerOffsets_.push_back(q.image_.size());
+        for (float value : weights_[l]) {
+            int qv = (int)std::lround(value / scale);
+            qv = std::clamp(qv, -127, 127);
+            q.image_.push_back((std::int8_t)qv);
+        }
+    }
+    q.layerOffsets_.push_back(q.image_.size());
+    q.pristine_ = q.image_;
+    return q;
+}
+
+int
+QuantizedMlp::predict(std::span<const float> x) const
+{
+    std::vector<float> cur(x.begin(), x.end());
+    std::vector<float> next;
+    std::size_t nLayers = scales_.size();
+    for (std::size_t l = 0; l < nLayers; ++l) {
+        std::size_t in = (std::size_t)dims_[l];
+        std::size_t out = (std::size_t)dims_[l + 1];
+        next.resize(out);
+        const std::int8_t *w = &image_[layerOffsets_[l]];
+        for (std::size_t o = 0; o < out; ++o) {
+            float acc = biases_[l][o];
+            const std::int8_t *row = &w[o * in];
+            for (std::size_t i = 0; i < in; ++i)
+                acc += scales_[l] * (float)row[i] * cur[i];
+            next[o] = l + 1 < nLayers ? std::max(acc, 0.0f) : acc;
+        }
+        cur.swap(next);
+    }
+    return (int)(std::max_element(cur.begin(), cur.end()) - cur.begin());
+}
+
+double
+QuantizedMlp::accuracy(const std::vector<std::vector<float>> &xs,
+                       const std::vector<int> &ys) const
+{
+    if (xs.size() != ys.size() || xs.empty())
+        fatal("accuracy: bad labeled set");
+    std::size_t correct = 0;
+    for (std::size_t i = 0; i < xs.size(); ++i)
+        if (predict(xs[i]) == ys[i])
+            ++correct;
+    return (double)correct / (double)xs.size();
+}
+
+std::span<std::int8_t>
+QuantizedMlp::weightImage()
+{
+    return {image_.data(), image_.size()};
+}
+
+void
+QuantizedMlp::restore()
+{
+    image_ = pristine_;
+}
+
+} // namespace nvmexp

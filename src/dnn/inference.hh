@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Minimal quantized inference substrate for fault-injection studies.
+ *
+ * The paper measures application accuracy after storing DNN weights in
+ * fault-prone eNVM by injecting faults into PyTorch models. This
+ * module provides the C++ equivalent: a small MLP trained (from
+ * scratch, via SGD) on a synthetic classification task, quantized to
+ * 8-bit weights, whose stored weight image can be corrupted by
+ * src/fault and re-evaluated. Accuracy-vs-BER curves produced this way
+ * have the same monotone shape and cliff behaviour as the paper's
+ * ResNet18 experiments.
+ */
+
+#ifndef NVMEXP_DNN_INFERENCE_HH
+#define NVMEXP_DNN_INFERENCE_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/random.hh"
+
+namespace nvmexp {
+
+/**
+ * Synthetic K-class Gaussian-cluster classification task with a fixed
+ * train/test split; deterministic under a seed.
+ */
+class SyntheticTask
+{
+  public:
+    SyntheticTask(int dims, int classes, int trainSamples,
+                  int testSamples, std::uint64_t seed,
+                  double clusterSpread = 0.55);
+
+    int dims() const { return dims_; }
+    int classes() const { return classes_; }
+
+    const std::vector<std::vector<float>> &trainX() const
+    {
+        return trainX_;
+    }
+    const std::vector<int> &trainY() const { return trainY_; }
+    const std::vector<std::vector<float>> &testX() const { return testX_; }
+    const std::vector<int> &testY() const { return testY_; }
+
+  private:
+    void sample(int count, std::vector<std::vector<float>> &xs,
+                std::vector<int> &ys, Rng &rng);
+
+    int dims_;
+    int classes_;
+    double spread_;
+    std::vector<std::vector<float>> centers_;
+    std::vector<std::vector<float>> trainX_;
+    std::vector<int> trainY_;
+    std::vector<std::vector<float>> testX_;
+    std::vector<int> testY_;
+};
+
+class QuantizedMlp;
+
+/**
+ * Float MLP with ReLU hidden layers and softmax/cross-entropy
+ * training.
+ */
+class Mlp
+{
+  public:
+    /** dims = {in, hidden..., out}. */
+    Mlp(std::vector<int> dims, std::uint64_t seed);
+
+    /** Train with plain SGD; returns final training accuracy. */
+    double train(const SyntheticTask &task, int epochs,
+                 double learningRate);
+
+    /** Classify one sample. */
+    int predict(std::span<const float> x) const;
+
+    /** Accuracy on a labeled set. */
+    double accuracy(const std::vector<std::vector<float>> &xs,
+                    const std::vector<int> &ys) const;
+
+    /** Per-tensor symmetric int8 quantization of all weights. */
+    QuantizedMlp quantize() const;
+
+    const std::vector<int> &dims() const { return dims_; }
+
+  private:
+    friend class QuantizedMlp;
+
+    std::vector<int> dims_;
+    /** weights_[l] is a (dims[l+1] x dims[l]) row-major matrix. */
+    std::vector<std::vector<float>> weights_;
+    std::vector<std::vector<float>> biases_;
+};
+
+/**
+ * Int8-weight MLP; the weight image is exposed as a mutable span so a
+ * FaultInjector can corrupt it in place (biases stay protected, as in
+ * the paper's weight-storage studies).
+ */
+class QuantizedMlp
+{
+  public:
+    int predict(std::span<const float> x) const;
+    double accuracy(const std::vector<std::vector<float>> &xs,
+                    const std::vector<int> &ys) const;
+
+    /** Mutable view of the full stored weight image. */
+    std::span<std::int8_t> weightImage();
+
+    /** Restore the weight image to its post-quantization state. */
+    void restore();
+
+    /** Total stored weight bytes. */
+    std::size_t weightBytes() const { return image_.size(); }
+
+  private:
+    friend class Mlp;
+
+    std::vector<int> dims_;
+    std::vector<std::int8_t> image_;    ///< all layers, concatenated
+    std::vector<std::int8_t> pristine_; ///< clean copy for restore()
+    std::vector<std::size_t> layerOffsets_;
+    std::vector<float> scales_;         ///< per-layer dequant scale
+    std::vector<std::vector<float>> biases_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_DNN_INFERENCE_HH

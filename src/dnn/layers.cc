@@ -1,0 +1,176 @@
+#include "dnn/layers.hh"
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+std::int64_t
+LayerSpec::weightCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return (std::int64_t)inC * outC * kernel * kernel + outC;
+      case LayerKind::FullyConnected:
+        return (std::int64_t)inC * outC + outC;
+      case LayerKind::Embedding:
+        return (std::int64_t)inC * outC;
+      default: panic("bad LayerKind");
+    }
+}
+
+std::int64_t
+LayerSpec::outputCount() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return (std::int64_t)outC * outH * outW;
+      case LayerKind::FullyConnected:
+        return outC;
+      case LayerKind::Embedding:
+        return (std::int64_t)lookupsPerInference * outC;
+      default: panic("bad LayerKind");
+    }
+}
+
+std::int64_t
+LayerSpec::macs() const
+{
+    switch (kind) {
+      case LayerKind::Conv:
+        return (std::int64_t)outC * outH * outW * inC * kernel * kernel;
+      case LayerKind::FullyConnected:
+        return (std::int64_t)inC * outC;
+      case LayerKind::Embedding:
+        return 0;  // table lookups, no arithmetic
+      default: panic("bad LayerKind");
+    }
+}
+
+void
+LayerSpec::validate() const
+{
+    if (inC < 1 || outC < 1)
+        fatal("layer '", name, "': non-positive channel counts");
+    if (kind == LayerKind::Conv && (kernel < 1 || outH < 1 || outW < 1))
+        fatal("layer '", name, "': invalid conv geometry");
+    if (kind == LayerKind::Embedding && lookupsPerInference < 1)
+        fatal("layer '", name, "': embedding needs lookups/inference");
+}
+
+LayerSpec
+LayerSpec::conv(const std::string &name, int inC, int outC, int kernel,
+                int outH, int outW)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::Conv;
+    l.inC = inC;
+    l.outC = outC;
+    l.kernel = kernel;
+    l.outH = outH;
+    l.outW = outW;
+    l.validate();
+    return l;
+}
+
+LayerSpec
+LayerSpec::fc(const std::string &name, int inC, int outC)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::FullyConnected;
+    l.inC = inC;
+    l.outC = outC;
+    l.validate();
+    return l;
+}
+
+LayerSpec
+LayerSpec::embedding(const std::string &name, int vocab, int dims,
+                     int lookups)
+{
+    LayerSpec l;
+    l.name = name;
+    l.kind = LayerKind::Embedding;
+    l.inC = vocab;
+    l.outC = dims;
+    l.lookupsPerInference = lookups;
+    l.validate();
+    return l;
+}
+
+std::int64_t
+NetworkModel::totalWeights() const
+{
+    std::int64_t total = 0;
+    for (const auto &layer : layers)
+        total += layer.weightCount();
+    return total;
+}
+
+double
+NetworkModel::weightBytes(int bitsPerWeight) const
+{
+    return (double)totalWeights() * bitsPerWeight / 8.0;
+}
+
+std::int64_t
+NetworkModel::totalActivations() const
+{
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        int times = timesExecuted.empty() ? 1 : timesExecuted[i];
+        total += layers[i].outputCount() * times;
+    }
+    return total;
+}
+
+double
+NetworkModel::activationBytes(int bitsPerAct) const
+{
+    return (double)totalActivations() * bitsPerAct / 8.0;
+}
+
+std::int64_t
+NetworkModel::weightReadsPerInference() const
+{
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        int times = timesExecuted.empty() ? 1 : timesExecuted[i];
+        if (layers[i].kind == LayerKind::Embedding) {
+            // Sparse lookups: only the selected rows are read.
+            total += (std::int64_t)layers[i].lookupsPerInference *
+                layers[i].outC * times;
+        } else {
+            total += layers[i].weightCount() * times;
+        }
+    }
+    return total;
+}
+
+std::int64_t
+NetworkModel::totalMacs() const
+{
+    std::int64_t total = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        int times = timesExecuted.empty() ? 1 : timesExecuted[i];
+        total += layers[i].macs() * times;
+    }
+    return total;
+}
+
+void
+NetworkModel::validate() const
+{
+    if (layers.empty())
+        fatal("network '", name, "' has no layers");
+    if (!timesExecuted.empty() && timesExecuted.size() != layers.size())
+        fatal("network '", name, "': timesExecuted size mismatch");
+    for (const auto &layer : layers)
+        layer.validate();
+    for (int times : timesExecuted)
+        if (times < 1)
+            fatal("network '", name, "': non-positive execution count");
+}
+
+} // namespace nvmexp

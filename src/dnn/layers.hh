@@ -1,0 +1,97 @@
+/**
+ * @file
+ * DNN layer-shape models.
+ *
+ * The paper extracts on-chip buffer traffic for DNN workloads from the
+ * NVDLA performance model; this module provides the equivalent
+ * substrate: layer shapes with weight/activation/MAC counts that the
+ * traffic extractor (networks.hh) turns into per-frame access counts.
+ */
+
+#ifndef NVMEXP_DNN_LAYERS_HH
+#define NVMEXP_DNN_LAYERS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+
+/** Supported layer families. */
+enum class LayerKind { Conv, FullyConnected, Embedding };
+
+/**
+ * One layer's shape. Convolutions are square-kernel, same-channel
+ * groups=1; FullyConnected is (inC -> outC); Embedding is a lookup
+ * table of inC entries x outC dims read sparsely.
+ */
+struct LayerSpec
+{
+    std::string name;
+    LayerKind kind = LayerKind::Conv;
+    int inC = 1;      ///< input channels / FC inputs / vocab size
+    int outC = 1;     ///< output channels / FC outputs / embed dims
+    int kernel = 1;   ///< conv kernel edge
+    int outH = 1;     ///< output feature-map height
+    int outW = 1;     ///< output feature-map width
+    /** Embedding: average lookups per inference (tokens). */
+    int lookupsPerInference = 0;
+
+    /** Parameter count (weights + per-output bias for conv/FC). */
+    std::int64_t weightCount() const;
+
+    /** Activations produced per inference. */
+    std::int64_t outputCount() const;
+
+    /** Multiply-accumulates per inference. */
+    std::int64_t macs() const;
+
+    /** Sanity checks; fatal() on invalid shapes. */
+    void validate() const;
+
+    /** Shorthand constructors. */
+    static LayerSpec conv(const std::string &name, int inC, int outC,
+                          int kernel, int outH, int outW);
+    static LayerSpec fc(const std::string &name, int inC, int outC);
+    static LayerSpec embedding(const std::string &name, int vocab,
+                               int dims, int lookups);
+};
+
+/**
+ * A whole network: an ordered list of layers plus repetition counts
+ * for weight-shared blocks (ALBERT reuses one transformer block's
+ * weights across all its layers).
+ */
+struct NetworkModel
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+    /**
+     * Per-layer execution multiplicity: layer i runs timesExecuted[i]
+     * times per inference while its weights are stored once.
+     * Empty = all ones.
+     */
+    std::vector<int> timesExecuted;
+
+    /** Unique parameters stored on chip. */
+    std::int64_t totalWeights() const;
+    /** Bytes of weight storage at the given precision. */
+    double weightBytes(int bitsPerWeight = 8) const;
+
+    /** Activations produced per inference (all executions). */
+    std::int64_t totalActivations() const;
+    /** Bytes of activation traffic per inference. */
+    double activationBytes(int bitsPerAct = 8) const;
+
+    /** Weight values *read* per inference (shared weights re-read). */
+    std::int64_t weightReadsPerInference() const;
+
+    /** MACs per inference. */
+    std::int64_t totalMacs() const;
+
+    void validate() const;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_DNN_LAYERS_HH

@@ -1,0 +1,174 @@
+#include "dnn/networks.hh"
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+NetworkModel
+resnet26()
+{
+    // CIFAR-style ResNet-26: stem + 3 stages x 4 basic blocks x 2
+    // convs + classifier = 26 weight layers, ~1.6M parameters.
+    NetworkModel net;
+    net.name = "ResNet26";
+    net.layers.push_back(LayerSpec::conv("stem", 3, 32, 3, 32, 32));
+    auto stage = [&](const std::string &prefix, int inC, int outC,
+                     int hw) {
+        for (int b = 0; b < 4; ++b) {
+            int cin = b == 0 ? inC : outC;
+            net.layers.push_back(LayerSpec::conv(
+                prefix + ".b" + std::to_string(b) + ".conv1", cin, outC,
+                3, hw, hw));
+            net.layers.push_back(LayerSpec::conv(
+                prefix + ".b" + std::to_string(b) + ".conv2", outC, outC,
+                3, hw, hw));
+        }
+    };
+    stage("stage1", 32, 32, 32);
+    stage("stage2", 32, 64, 16);
+    stage("stage3", 64, 128, 8);
+    net.layers.push_back(LayerSpec::fc("fc", 128, 1000));
+    net.validate();
+    return net;
+}
+
+NetworkModel
+resnet18()
+{
+    // ImageNet-style ResNet-18 (~11.7M parameters).
+    NetworkModel net;
+    net.name = "ResNet18";
+    net.layers.push_back(LayerSpec::conv("stem", 3, 64, 7, 112, 112));
+    struct StageSpec { int inC, outC, hw; };
+    const StageSpec stages[] = {
+        {64, 64, 56}, {64, 128, 28}, {128, 256, 14}, {256, 512, 7},
+    };
+    int idx = 0;
+    for (const auto &s : stages) {
+        for (int b = 0; b < 2; ++b) {
+            int cin = b == 0 ? s.inC : s.outC;
+            std::string prefix = "layer" + std::to_string(idx) + ".b" +
+                std::to_string(b);
+            net.layers.push_back(LayerSpec::conv(prefix + ".conv1", cin,
+                                                 s.outC, 3, s.hw, s.hw));
+            net.layers.push_back(LayerSpec::conv(prefix + ".conv2",
+                                                 s.outC, s.outC, 3, s.hw,
+                                                 s.hw));
+            if (b == 0 && s.inC != s.outC) {
+                net.layers.push_back(LayerSpec::conv(
+                    prefix + ".down", s.inC, s.outC, 1, s.hw, s.hw));
+            }
+        }
+        ++idx;
+    }
+    net.layers.push_back(LayerSpec::fc("fc", 512, 1000));
+    net.validate();
+    return net;
+}
+
+NetworkModel
+albertBase()
+{
+    // ALBERT-base: factorized embedding (30k x 128 -> 768) plus ONE
+    // transformer block whose weights are shared across 12 layer
+    // executions; 128-token sequences.
+    constexpr int kSeqLen = 128;
+    constexpr int kHidden = 768;
+    NetworkModel net;
+    net.name = "ALBERT";
+    net.layers.push_back(
+        LayerSpec::embedding("embeddings", 30000, 128, kSeqLen));
+    net.layers.push_back(LayerSpec::fc("embed_proj", 128, kHidden));
+    // Shared block: Q,K,V,O projections + 2 FFN matrices. Modeled as
+    // FC layers applied per token (outputs scaled via timesExecuted).
+    net.layers.push_back(LayerSpec::fc("attn_qkv", kHidden, 3 * kHidden));
+    net.layers.push_back(LayerSpec::fc("attn_out", kHidden, kHidden));
+    net.layers.push_back(LayerSpec::fc("ffn_up", kHidden, 4 * kHidden));
+    net.layers.push_back(LayerSpec::fc("ffn_down", 4 * kHidden, kHidden));
+    net.layers.push_back(LayerSpec::fc("classifier", kHidden, kHidden));
+    // Execution multiplicity: the shared block runs 12 times, and each
+    // FC applies per token.
+    net.timesExecuted = {
+        1,                  // embeddings
+        kSeqLen,            // projection per token
+        12 * kSeqLen,       // attn_qkv
+        12 * kSeqLen,       // attn_out
+        12 * kSeqLen,       // ffn_up
+        12 * kSeqLen,       // ffn_down
+        1,                  // classifier (CLS token)
+    };
+    net.validate();
+    return net;
+}
+
+NetworkModel
+albertEmbeddings()
+{
+    constexpr int kSeqLen = 128;
+    NetworkModel net;
+    net.name = "ALBERT-Emb";
+    net.layers.push_back(
+        LayerSpec::embedding("embeddings", 30000, 128, kSeqLen));
+    net.layers.push_back(LayerSpec::fc("embed_proj", 128, 768));
+    net.timesExecuted = {1, kSeqLen};
+    net.validate();
+    return net;
+}
+
+DnnAccessProfile
+extractAccessProfile(const DnnScenario &scenario)
+{
+    scenario.network.validate();
+    if (scenario.tasks < 1)
+        fatal("DNN scenario needs at least one task");
+    if (scenario.wordBits < 8)
+        fatal("DNN scenario: invalid buffer word size");
+
+    double wordBytes = (double)scenario.wordBits / 8.0;
+    const NetworkModel &net = scenario.network;
+
+    // Weight traffic: every executed layer streams its (possibly
+    // shared) weights from the buffer once per inference. Weight reads
+    // exceed stored weights when blocks are weight-shared (ALBERT).
+    double weightReadBytes = (double)net.weightReadsPerInference() *
+        scenario.weightBits / 8.0;
+    double reads = weightReadBytes / wordBytes;
+    double writes = 0.0;
+    double footprint = net.weightBytes(scenario.weightBits);
+
+    if (scenario.storage == DnnStorage::WeightsAndActivations) {
+        double actBytes = net.activationBytes(scenario.activationBits);
+        // Each activation is produced (written) once and consumed
+        // (read) once by the next layer.
+        writes += actBytes / wordBytes;
+        reads += actBytes / wordBytes;
+        // Peak live activations ~ the largest layer output; a coarse
+        // 10% of total activation traffic bounds double-buffering.
+        footprint += 0.1 * actBytes;
+    }
+
+    DnnAccessProfile profile;
+    profile.readWordsPerFrame = reads * scenario.tasks;
+    profile.writeWordsPerFrame = writes * scenario.tasks;
+    profile.footprintBytes = footprint * scenario.tasks;
+    return profile;
+}
+
+TrafficPattern
+dnnTraffic(const DnnScenario &scenario)
+{
+    DnnAccessProfile profile = extractAccessProfile(scenario);
+    std::string label = scenario.network.name +
+        (scenario.tasks > 1 ? "-multi" : "-single") +
+        (scenario.storage == DnnStorage::WeightsAndActivations
+             ? "-w+a" : "-w");
+    TrafficPattern t;
+    t.name = label;
+    t.execTime = 1.0 / scenario.framesPerSec;
+    t.readsPerSec = profile.readWordsPerFrame * scenario.framesPerSec;
+    t.writesPerSec = profile.writeWordsPerFrame * scenario.framesPerSec;
+    t.validate();
+    return t;
+}
+
+} // namespace nvmexp

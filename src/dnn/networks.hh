@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Network catalog and DNN buffer-traffic extraction (the paper's
+ * NVDLA-performance-model role, Sec. IV-A).
+ *
+ * The catalog provides the workloads of the paper's DNN case studies:
+ * ResNet26 (edge image tasks on NVDLA), ResNet18 (the Fig. 13 fault
+ * study), and ALBERT (NLP). Traffic extraction converts a deployment
+ * scenario (single vs. multi-task, weights-only vs. weights +
+ * activations, frame rate) into a TrafficPattern against the on-chip
+ * buffer.
+ */
+
+#ifndef NVMEXP_DNN_NETWORKS_HH
+#define NVMEXP_DNN_NETWORKS_HH
+
+#include "dnn/layers.hh"
+#include "eval/traffic.hh"
+
+namespace nvmexp {
+
+/** CIFAR-style 26-layer residual network (~1.7M parameters). */
+NetworkModel resnet26();
+
+/** ImageNet-style 18-layer residual network (~11.7M parameters). */
+NetworkModel resnet18();
+
+/** ALBERT-base: factorized embeddings + one shared transformer block
+ *  executed 12 times (~12M parameters, high weight re-reads). */
+NetworkModel albertBase();
+
+/** ALBERT embeddings only (the Table II "Embeddings Only" row). */
+NetworkModel albertEmbeddings();
+
+/** What the on-chip buffer stores. */
+enum class DnnStorage { WeightsOnly, WeightsAndActivations };
+
+/** Deployment scenario for traffic extraction. */
+struct DnnScenario
+{
+    NetworkModel network;
+    int tasks = 1;              ///< concurrent tasks (multi-task = 3)
+    DnnStorage storage = DnnStorage::WeightsOnly;
+    double framesPerSec = 60.0; ///< inference rate
+    int weightBits = 8;
+    int activationBits = 8;
+    int wordBits = 512;         ///< buffer access width
+};
+
+/** Per-frame access counts against the on-chip buffer. */
+struct DnnAccessProfile
+{
+    double readWordsPerFrame = 0.0;
+    double writeWordsPerFrame = 0.0;
+    double footprintBytes = 0.0;  ///< weights (+peak activations)
+};
+
+/** Extract per-frame buffer accesses for a scenario. */
+DnnAccessProfile extractAccessProfile(const DnnScenario &scenario);
+
+/** Extract the sustained TrafficPattern for a scenario. */
+TrafficPattern dnnTraffic(const DnnScenario &scenario);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_DNN_NETWORKS_HH

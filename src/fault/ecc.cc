@@ -1,0 +1,224 @@
+#include "fault/ecc.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstring>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+namespace {
+
+/**
+ * Codeword layout: positions 1..71 in standard Hamming order with
+ * parity bits at the power-of-two positions (1,2,4,8,16,32,64) and
+ * data bits filling the rest; position 0 holds the overall parity.
+ * dataPosition(i) maps data bit i (0..63) to its codeword position.
+ */
+constexpr bool
+isPowerOfTwo(int x)
+{
+    return x > 0 && (x & (x - 1)) == 0;
+}
+
+int
+dataPosition(int dataBit)
+{
+    int pos = 0;
+    int seen = -1;
+    while (seen < dataBit) {
+        ++pos;
+        if (!isPowerOfTwo(pos))
+            ++seen;
+    }
+    return pos;
+}
+
+/** Precomputed position table for the 64 data bits. */
+const std::array<int, 64> &
+positionTable()
+{
+    static const std::array<int, 64> table = [] {
+        std::array<int, 64> t{};
+        for (int i = 0; i < 64; ++i)
+            t[(std::size_t)i] = dataPosition(i);
+        return t;
+    }();
+    return table;
+}
+
+/** Spread a 64-bit data word into the 72-bit codeword bit array. */
+std::array<bool, 72>
+layout(std::uint64_t data)
+{
+    std::array<bool, 72> bits{};
+    const auto &table = positionTable();
+    for (int i = 0; i < 64; ++i)
+        bits[(std::size_t)table[(std::size_t)i]] =
+            (data >> i) & 1ull;
+    return bits;
+}
+
+std::uint64_t
+collect(const std::array<bool, 72> &bits)
+{
+    std::uint64_t data = 0;
+    const auto &table = positionTable();
+    for (int i = 0; i < 64; ++i)
+        if (bits[(std::size_t)table[(std::size_t)i]])
+            data |= 1ull << i;
+    return data;
+}
+
+int
+computeSyndrome(const std::array<bool, 72> &bits)
+{
+    int syndrome = 0;
+    for (int pos = 1; pos < 72; ++pos)
+        if (bits[(std::size_t)pos])
+            syndrome ^= pos;
+    return syndrome;
+}
+
+bool
+overallParity(const std::array<bool, 72> &bits)
+{
+    bool parity = false;
+    for (bool b : bits)
+        parity ^= b;
+    return parity;
+}
+
+/** Pack the 72 bits into (payload, check) for storage. */
+std::pair<std::uint64_t, std::uint8_t>
+pack(const std::array<bool, 72> &bits)
+{
+    std::uint64_t payload = 0;
+    std::uint8_t check = 0;
+    for (int i = 0; i < 64; ++i)
+        if (bits[(std::size_t)i])
+            payload |= 1ull << i;
+    for (int i = 0; i < 8; ++i)
+        if (bits[(std::size_t)(64 + i)])
+            check |= (std::uint8_t)(1 << i);
+    return {payload, check};
+}
+
+std::array<bool, 72>
+unpack(std::uint64_t payload, std::uint8_t check)
+{
+    std::array<bool, 72> bits{};
+    for (int i = 0; i < 64; ++i)
+        bits[(std::size_t)i] = (payload >> i) & 1ull;
+    for (int i = 0; i < 8; ++i)
+        bits[(std::size_t)(64 + i)] = (check >> i) & 1;
+    return bits;
+}
+
+} // namespace
+
+std::pair<std::uint64_t, std::uint8_t>
+SecDedCodec::encodeWord(std::uint64_t data)
+{
+    auto bits = layout(data);
+    // Set the Hamming parity bits so the syndrome is zero.
+    int syndrome = computeSyndrome(bits);
+    for (int p = 1; p < 72; p <<= 1)
+        bits[(std::size_t)p] = (syndrome & p) != 0;
+    // Overall parity covers every stored bit.
+    bits[0] = false;
+    bits[0] = overallParity(bits);
+    return pack(bits);
+}
+
+SecDedCodec::DecodeResult
+SecDedCodec::decodeWord(std::uint64_t payload, std::uint8_t check)
+{
+    auto bits = unpack(payload, check);
+    int syndrome = computeSyndrome(bits);
+    bool parityError = overallParity(bits);
+
+    DecodeResult result;
+    if (syndrome == 0 && !parityError) {
+        result.outcome = Outcome::Clean;
+    } else if (parityError) {
+        // Odd number of errors: assume one and correct it. A zero
+        // syndrome with bad parity means the overall-parity bit
+        // itself flipped.
+        if (syndrome != 0 && syndrome < 72)
+            bits[(std::size_t)syndrome] =
+                !bits[(std::size_t)syndrome];
+        result.outcome = Outcome::Corrected;
+    } else {
+        // Even error count with nonzero syndrome: double error.
+        result.outcome = Outcome::Uncorrectable;
+    }
+    result.data = collect(bits);
+    return result;
+}
+
+SecDedCodec::EncodedImage
+SecDedCodec::encode(std::span<const std::int8_t> data)
+{
+    EncodedImage image;
+    std::size_t words = (data.size() + 7) / 8;
+    image.payload.reserve(words);
+    image.check.reserve(words);
+    for (std::size_t w = 0; w < words; ++w) {
+        std::uint64_t word = 0;
+        std::size_t base = w * 8;
+        std::size_t take = std::min<std::size_t>(8, data.size() - base);
+        std::memcpy(&word, data.data() + base, take);
+        auto [payload, check] = encodeWord(word);
+        image.payload.push_back(payload);
+        image.check.push_back(check);
+    }
+    return image;
+}
+
+SecDedCodec::ImageStats
+SecDedCodec::decode(const EncodedImage &image, std::span<std::int8_t> out)
+{
+    if (image.payload.size() != image.check.size())
+        fatal("ECC image payload/check size mismatch");
+    if (out.size() > image.payload.size() * 8)
+        fatal("ECC decode output larger than the encoded image");
+    ImageStats stats;
+    stats.words = image.payload.size();
+    for (std::size_t w = 0; w < image.payload.size(); ++w) {
+        DecodeResult r = decodeWord(image.payload[w], image.check[w]);
+        if (r.outcome == Outcome::Corrected)
+            ++stats.corrected;
+        else if (r.outcome == Outcome::Uncorrectable)
+            ++stats.uncorrectable;
+        std::size_t base = w * 8;
+        if (base >= out.size())
+            continue;
+        std::size_t put = std::min<std::size_t>(8, out.size() - base);
+        std::memcpy(out.data() + base, &r.data, put);
+    }
+    return stats;
+}
+
+double
+secDedWordFailureRate(double rawBer)
+{
+    if (rawBer < 0.0 || rawBer > 1.0)
+        fatal("raw BER must lie in [0, 1]");
+    double q = 1.0 - rawBer;
+    double none = std::pow(q, 72.0);
+    double one = 72.0 * rawBer * std::pow(q, 71.0);
+    return std::max(0.0, 1.0 - none - one);
+}
+
+double
+secDedEffectiveBer(double rawBer)
+{
+    // A failed word typically carries 2 wrong bits out of its 64
+    // data bits (detected but uncorrected).
+    return secDedWordFailureRate(rawBer) * 2.0 / 64.0;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * SEC-DED error correction for eNVM storage (extension).
+ *
+ * The paper's reliability study (Sec. V-C) builds on MaxNVM-style
+ * error mitigation; this module provides the standard Hamming(72,64)
+ * single-error-correct / double-error-detect code so studies can ask
+ * "does ECC rescue an otherwise too-faulty MLC configuration?" —
+ * both analytically (word failure rates under a raw BER) and
+ * concretely (encode / corrupt / decode of real data).
+ */
+
+#ifndef NVMEXP_FAULT_ECC_HH
+#define NVMEXP_FAULT_ECC_HH
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace nvmexp {
+
+/**
+ * Hamming(72,64) SEC-DED codec over 64-bit data words.
+ */
+class SecDedCodec
+{
+  public:
+    /** Bits per codeword (64 data + 7 Hamming + overall parity). */
+    static constexpr int kDataBits = 64;
+    static constexpr int kCodeBits = 72;
+
+    /** Encode one 64-bit word into a 72-bit codeword. */
+    static std::pair<std::uint64_t, std::uint8_t>
+    encodeWord(std::uint64_t data);
+
+    /** Decode outcome of one codeword. */
+    enum class Outcome
+    {
+        Clean,          ///< no error observed
+        Corrected,      ///< single-bit error fixed
+        Uncorrectable   ///< double-bit error detected
+    };
+
+    struct DecodeResult
+    {
+        std::uint64_t data = 0;
+        Outcome outcome = Outcome::Clean;
+    };
+
+    /** Decode (and correct) one received codeword. */
+    static DecodeResult decodeWord(std::uint64_t payload,
+                                   std::uint8_t check);
+
+    /**
+     * Encode a byte buffer (padded to 8-byte words) into payload and
+     * check-byte arrays sized for storage.
+     */
+    struct EncodedImage
+    {
+        std::vector<std::uint64_t> payload;
+        std::vector<std::uint8_t> check;
+
+        /** Storage overhead ratio: stored bits / data bits. */
+        double overhead() const
+        {
+            return payload.empty() ? 1.0 : 72.0 / 64.0;
+        }
+    };
+
+    static EncodedImage encode(std::span<const std::int8_t> data);
+
+    /** Decode statistics over a whole image. */
+    struct ImageStats
+    {
+        std::size_t words = 0;
+        std::size_t corrected = 0;
+        std::size_t uncorrectable = 0;
+    };
+
+    /**
+     * Decode an image back into `out` (sized like the original data);
+     * uncorrectable words are passed through as-is.
+     */
+    static ImageStats decode(const EncodedImage &image,
+                             std::span<std::int8_t> out);
+};
+
+/**
+ * Analytical SEC-DED effectiveness: probability a 72-bit codeword has
+ * 2+ raw bit errors (and thus cannot be corrected).
+ */
+double secDedWordFailureRate(double rawBer);
+
+/**
+ * Effective post-correction bit error rate seen by the application:
+ * failed words contribute ~2 flipped bits out of 64.
+ */
+double secDedEffectiveBer(double rawBer);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_FAULT_ECC_HH

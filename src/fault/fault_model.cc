@@ -1,0 +1,82 @@
+#include "fault/fault_model.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+namespace {
+
+/**
+ * Baseline sigma/window variation per technology (SLC, at the
+ * technology's reference cell size). Calibrated so SLC raw BER lands
+ * in the published 1e-9..1e-5 band and 2-bit MLC in 1e-4..1e-2.
+ */
+double
+baseSigma(const MemCell &cell)
+{
+    switch (cell.tech) {
+      case CellTech::SRAM:  return 0.0;     // parametric faults ~ 0
+      case CellTech::PCM:   return 0.12;    // resistance drift
+      case CellTech::STT:   return 0.105;   // thermal switching noise
+      case CellTech::SOT:   return 0.08;
+      case CellTech::RRAM:  return 0.055;   // filament variation
+      case CellTech::CTT:   return 0.05;    // trapped-charge spread
+      case CellTech::FeRAM: return 0.08;
+      case CellTech::FeFET: return 0.045;   // at the 16 F^2 reference
+      default: panic("bad CellTech in baseSigma");
+    }
+}
+
+/**
+ * FeFET device-to-device variation grows as the ferroelectric area
+ * shrinks (fewer grains average out): sigma ~ 1/sqrt(area).
+ */
+double
+areaScaledSigma(const MemCell &cell)
+{
+    double sigma = baseSigma(cell);
+    if (cell.tech == CellTech::FeFET) {
+        constexpr double refAreaF2 = 16.0;
+        sigma *= std::sqrt(refAreaF2 / cell.areaF2);
+    }
+    return sigma;
+}
+
+} // namespace
+
+FaultModel::FaultModel(const MemCell &cell)
+    : levels_(1 << cell.bitsPerCell), bitsPerCell_(cell.bitsPerCell)
+{
+    double sigma = areaScaledSigma(cell);
+    // Normalized storage window [0,1] divided into `levels_` levels;
+    // a read error occurs when variation crosses half the spacing.
+    double spacing = 1.0 / (double)(levels_ - 1);
+    double margin = spacing / 2.0;
+    sigmaOverMargin_ = sigma > 0.0 ? sigma / margin : 0.0;
+    if (sigma <= 0.0) {
+        adjacentRate_ = 0.0;
+    } else {
+        // Interior levels can err in two directions, edge levels in
+        // one; the average direction count is (2L-2)/L.
+        double directions = (2.0 * levels_ - 2.0) / (double)levels_;
+        adjacentRate_ = directions * qFunction(margin / sigma);
+    }
+}
+
+double
+FaultModel::bitErrorRate() const
+{
+    // Gray-coded levels: an adjacent-level error flips exactly one of
+    // the cell's bits.
+    return adjacentRate_ / (double)bitsPerCell_;
+}
+
+double
+FaultModel::qFunction(double x)
+{
+    return 0.5 * std::erfc(x / std::sqrt(2.0));
+}
+
+} // namespace nvmexp

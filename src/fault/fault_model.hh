@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Technology-specific fault models (paper Sec. II-B2 and V-C).
+ *
+ * Per-cell bit-error rates derive from a Gaussian level-spacing model:
+ * a cell storing one of 2^bits resistance/threshold levels is misread
+ * when device variation pushes it past the midpoint to an adjacent
+ * level. MLC programming divides the same window among more levels;
+ * FeFET variation additionally grows as cells shrink (device-to-device
+ * variation dominates small ferroelectric grains, per the ISLPED'21
+ * modeling effort the paper builds on).
+ */
+
+#ifndef NVMEXP_FAULT_FAULT_MODEL_HH
+#define NVMEXP_FAULT_FAULT_MODEL_HH
+
+#include "celldb/cell.hh"
+
+namespace nvmexp {
+
+/**
+ * Parametric fault model for one cell configuration.
+ */
+class FaultModel
+{
+  public:
+    /**
+     * Build the model for a cell. The per-technology variation
+     * parameters are calibrated so SLC error rates sit near published
+     * raw-BER figures (1e-9..1e-6) and 2-bit MLC rates near 1e-4..1e-2
+     * depending on technology and cell size.
+     */
+    explicit FaultModel(const MemCell &cell);
+
+    /** Probability a stored level is read as an adjacent level. */
+    double adjacentLevelErrorRate() const { return adjacentRate_; }
+
+    /** Per-bit error rate assuming Gray-coded levels (one bit flips
+     *  per adjacent-level error). */
+    double bitErrorRate() const;
+
+    /** Number of stored levels (2^bitsPerCell). */
+    int levels() const { return levels_; }
+
+    /** Normalized sigma/margin ratio (exposed for studies/tests). */
+    double sigmaOverMargin() const { return sigmaOverMargin_; }
+
+    /** Gaussian tail probability Q(x) = P(N(0,1) > x). */
+    static double qFunction(double x);
+
+  private:
+    int levels_;
+    int bitsPerCell_;
+    double sigmaOverMargin_;
+    double adjacentRate_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_FAULT_FAULT_MODEL_HH

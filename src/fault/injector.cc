@@ -1,0 +1,85 @@
+#include "fault/injector.hh"
+
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+FaultInjector::FaultInjector(const FaultModel &model, std::uint64_t seed)
+    : model_(model), rng_(seed)
+{
+}
+
+template <typename Visit>
+std::size_t
+FaultInjector::sparseTrials(std::size_t n, double p, Visit visit)
+{
+    if (p <= 0.0 || n == 0)
+        return 0;
+    if (p >= 1.0) {
+        for (std::size_t i = 0; i < n; ++i)
+            visit(i);
+        return n;
+    }
+    // Geometric skip sampling: distance to the next success.
+    std::size_t hits = 0;
+    double logq = std::log1p(-p);
+    double idx = 0.0;
+    while (true) {
+        double u = rng_.uniform();
+        while (u <= 0.0)
+            u = rng_.uniform();
+        idx += std::floor(std::log(u) / logq) + 1.0;
+        if (idx > (double)n)
+            break;
+        visit((std::size_t)(idx - 1.0));
+        ++hits;
+    }
+    return hits;
+}
+
+std::size_t
+FaultInjector::inject(std::span<std::int8_t> data)
+{
+    double rate = model_.adjacentLevelErrorRate();
+    if (rate <= 0.0 || data.empty())
+        return 0;
+
+    int bitsPerCell = model_.levels() == 2 ? 1 : 2;
+    if (model_.levels() > 4)
+        fatal("FaultInjector supports SLC and 2-bit MLC storage");
+
+    std::size_t flipped = 0;
+    if (bitsPerCell == 1) {
+        // SLC: each stored bit is one cell.
+        std::size_t nbits = data.size() * 8;
+        flipped = sparseTrials(nbits, rate, [&](std::size_t bit) {
+            data[bit / 8] ^= (std::int8_t)(1 << (bit % 8));
+        });
+    } else {
+        // 2-bit MLC: adjacent bit pairs share a cell; a Gray-coded
+        // adjacent-level error flips exactly one bit of the pair.
+        std::size_t ncells = data.size() * 4;
+        flipped = sparseTrials(ncells, rate, [&](std::size_t cellIdx) {
+            std::size_t byte = cellIdx / 4;
+            int pair = (int)(cellIdx % 4);
+            int whichBit = (int)(rng_() & 1);
+            data[byte] ^= (std::int8_t)(1 << (pair * 2 + whichBit));
+        });
+    }
+    return flipped;
+}
+
+std::size_t
+FaultInjector::injectUniform(std::span<std::int8_t> data, double ber)
+{
+    if (ber < 0.0 || ber > 1.0)
+        fatal("bit error rate must lie in [0, 1]");
+    std::size_t nbits = data.size() * 8;
+    return sparseTrials(nbits, ber, [&](std::size_t bit) {
+        data[bit / 8] ^= (std::int8_t)(1 << (bit % 8));
+    });
+}
+
+} // namespace nvmexp

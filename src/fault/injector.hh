@@ -1,0 +1,55 @@
+/**
+ * @file
+ * Application-level fault injection (paper Sec. II-B2).
+ *
+ * Injects storage faults into bit-packed application data (quantized
+ * DNN weights in the Fig. 13 study) according to a FaultModel. SLC
+ * data flips independent bits; MLC data packs adjacent bit pairs into
+ * one cell and applies the adjacent-level (Gray-coded) error model.
+ */
+
+#ifndef NVMEXP_FAULT_INJECTOR_HH
+#define NVMEXP_FAULT_INJECTOR_HH
+
+#include <cstdint>
+#include <span>
+
+#include "fault/fault_model.hh"
+#include "util/random.hh"
+
+namespace nvmexp {
+
+/**
+ * Stateful fault injector; deterministic under a fixed seed.
+ */
+class FaultInjector
+{
+  public:
+    FaultInjector(const FaultModel &model, std::uint64_t seed);
+
+    /**
+     * Inject faults into 8-bit data words as stored in the modeled
+     * cells (SLC: 8 cells/byte; 2-bit MLC: 4 cells/byte).
+     * @return number of flipped bits
+     */
+    std::size_t inject(std::span<std::int8_t> data);
+
+    /**
+     * Inject a user-specified uniform per-bit error rate (the paper's
+     * "expected error rate" interface).
+     * @return number of flipped bits
+     */
+    std::size_t injectUniform(std::span<std::int8_t> data, double ber);
+
+  private:
+    /** Visit each Bernoulli(p) success index in [0, n) sparsely. */
+    template <typename Visit>
+    std::size_t sparseTrials(std::size_t n, double p, Visit visit);
+
+    FaultModel model_;
+    Rng rng_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_FAULT_INJECTOR_HH

@@ -1,0 +1,129 @@
+#include "graph/graph.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace nvmexp {
+
+Graph
+Graph::fromEdges(Vertex numVertices,
+                 std::vector<std::pair<Vertex, Vertex>> edges,
+                 bool makeUndirected)
+{
+    if (numVertices == 0)
+        fatal("graph needs at least one vertex");
+    if (makeUndirected) {
+        std::size_t original = edges.size();
+        edges.reserve(original * 2);
+        for (std::size_t i = 0; i < original; ++i)
+            edges.emplace_back(edges[i].second, edges[i].first);
+    }
+    std::sort(edges.begin(), edges.end());
+    edges.erase(std::unique(edges.begin(), edges.end()), edges.end());
+    // Drop self loops and out-of-range endpoints.
+    std::erase_if(edges, [numVertices](const auto &e) {
+        return e.first == e.second || e.first >= numVertices ||
+            e.second >= numVertices;
+    });
+
+    Graph g;
+    g.offsets_.assign((std::size_t)numVertices + 1, 0);
+    for (const auto &e : edges)
+        ++g.offsets_[e.first + 1];
+    for (std::size_t v = 1; v <= numVertices; ++v)
+        g.offsets_[v] += g.offsets_[v - 1];
+    g.targets_.resize(edges.size());
+    std::vector<std::size_t> cursor(g.offsets_.begin(),
+                                    g.offsets_.end() - 1);
+    for (const auto &e : edges)
+        g.targets_[cursor[e.first]++] = e.second;
+    return g;
+}
+
+std::size_t
+Graph::degree(Vertex v) const
+{
+    auto [begin, end] = neighborRange(v);
+    return end - begin;
+}
+
+std::pair<std::size_t, std::size_t>
+Graph::neighborRange(Vertex v) const
+{
+    if ((std::size_t)v + 1 >= offsets_.size())
+        fatal("vertex ", v, " out of range");
+    return {offsets_[v], offsets_[v + 1]};
+}
+
+double
+Graph::storageBytes() const
+{
+    return (double)offsets_.size() * sizeof(std::size_t) +
+        (double)targets_.size() * sizeof(Vertex);
+}
+
+Graph
+generateRmat(const RmatParams &params)
+{
+    if (params.a + params.b + params.c >= 1.0)
+        fatal("R-MAT probabilities must sum below 1");
+    if (params.numVertices < 2)
+        fatal("R-MAT needs at least 2 vertices");
+
+    // Round the vertex count up to a power of two for recursion, then
+    // fold back into range.
+    std::size_t scale = 1;
+    while (((std::size_t)1 << scale) < params.numVertices)
+        ++scale;
+
+    Rng rng(params.seed);
+    std::vector<std::pair<Graph::Vertex, Graph::Vertex>> edges;
+    edges.reserve(params.numEdges);
+    for (std::size_t e = 0; e < params.numEdges; ++e) {
+        std::size_t src = 0, dst = 0;
+        for (std::size_t level = 0; level < scale; ++level) {
+            double u = rng.uniform();
+            src <<= 1;
+            dst <<= 1;
+            if (u < params.a) {
+                // top-left quadrant
+            } else if (u < params.a + params.b) {
+                dst |= 1;
+            } else if (u < params.a + params.b + params.c) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        src %= params.numVertices;
+        dst %= params.numVertices;
+        edges.emplace_back((Graph::Vertex)src, (Graph::Vertex)dst);
+    }
+    return Graph::fromEdges((Graph::Vertex)params.numVertices,
+                            std::move(edges));
+}
+
+Graph
+facebookLike(std::uint64_t seed)
+{
+    RmatParams p;
+    p.numVertices = 4096;
+    p.numEdges = 81920;
+    p.seed = seed;
+    return generateRmat(p);
+}
+
+Graph
+wikipediaLike(std::uint64_t seed)
+{
+    RmatParams p;
+    p.numVertices = 1 << 16;
+    p.numEdges = 1 << 20;
+    p.seed = seed;
+    return generateRmat(p);
+}
+
+} // namespace nvmexp

@@ -1,0 +1,139 @@
+#include "graph/kernels.hh"
+
+#include <cmath>
+#include <deque>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+BfsResult
+bfs(const Graph &g, Graph::Vertex source)
+{
+    if ((std::size_t)source >= g.numVertices())
+        fatal("BFS source out of range");
+
+    BfsResult r;
+    r.level.assign(g.numVertices(), -1);
+    std::deque<Graph::Vertex> frontier;
+    r.level[source] = 0;
+    frontier.push_back(source);
+    r.reached = 1;
+    r.stats.writes += 1;  // level[source]
+
+    while (!frontier.empty()) {
+        Graph::Vertex v = frontier.front();
+        frontier.pop_front();
+        r.stats.reads += 1;  // frontier pop
+        auto [begin, end] = g.neighborRange(v);
+        r.stats.reads += 1;  // offsets[v], offsets[v+1] share a word
+        for (std::size_t i = begin; i < end; ++i) {
+            Graph::Vertex n = g.targets()[i];
+            r.stats.reads += 1;  // edge target
+            r.stats.reads += 1;  // level[n] check
+            if (r.level[n] < 0) {
+                r.level[n] = r.level[v] + 1;
+                r.stats.writes += 1;  // level update
+                r.stats.writes += 1;  // frontier push
+                frontier.push_back(n);
+                ++r.reached;
+            }
+        }
+    }
+    return r;
+}
+
+PageRankResult
+pageRank(const Graph &g, int iterations, double damping)
+{
+    if (iterations < 1)
+        fatal("PageRank needs at least one iteration");
+    if (damping <= 0.0 || damping >= 1.0)
+        fatal("PageRank damping must lie in (0, 1)");
+
+    PageRankResult r;
+    std::size_t n = g.numVertices();
+    r.rank.assign(n, 1.0 / (double)n);
+    std::vector<double> next(n, 0.0);
+
+    for (int iter = 0; iter < iterations; ++iter) {
+        // Dangling vertices spread their rank uniformly.
+        double dangling = 0.0;
+        for (std::size_t v = 0; v < n; ++v)
+            if (g.degree((Graph::Vertex)v) == 0)
+                dangling += r.rank[v];
+        double base = (1.0 - damping) / (double)n +
+            damping * dangling / (double)n;
+        std::fill(next.begin(), next.end(), base);
+        r.stats.writes += (double)n;  // initialize next[]
+        for (std::size_t v = 0; v < n; ++v) {
+            auto [begin, end] = g.neighborRange((Graph::Vertex)v);
+            std::size_t deg = end - begin;
+            r.stats.reads += 2;  // rank[v], offsets[v..v+1]
+            if (deg == 0)
+                continue;
+            double share = damping * r.rank[v] / (double)deg;
+            for (std::size_t i = begin; i < end; ++i) {
+                Graph::Vertex t = g.targets()[i];
+                next[t] += share;
+                r.stats.reads += 2;   // edge target, next[t]
+                r.stats.writes += 1;  // next[t] update
+            }
+        }
+        r.rank.swap(next);
+    }
+    return r;
+}
+
+ComponentsResult
+connectedComponents(const Graph &g)
+{
+    ComponentsResult r;
+    std::size_t n = g.numVertices();
+    r.label.resize(n);
+    for (std::size_t v = 0; v < n; ++v)
+        r.label[v] = (Graph::Vertex)v;
+    r.stats.writes += (double)n;
+
+    bool changed = true;
+    while (changed) {
+        changed = false;
+        for (std::size_t v = 0; v < n; ++v) {
+            auto [begin, end] = g.neighborRange((Graph::Vertex)v);
+            r.stats.reads += 2;  // label[v], offsets
+            Graph::Vertex best = r.label[v];
+            for (std::size_t i = begin; i < end; ++i) {
+                Graph::Vertex t = g.targets()[i];
+                r.stats.reads += 2;  // edge target, label[t]
+                best = std::min(best, r.label[t]);
+            }
+            if (best != r.label[v]) {
+                r.label[v] = best;
+                r.stats.writes += 1;
+                changed = true;
+            }
+        }
+    }
+    std::size_t roots = 0;
+    for (std::size_t v = 0; v < n; ++v)
+        if (r.label[v] == (Graph::Vertex)v)
+            ++roots;
+    r.numComponents = roots;
+    return r;
+}
+
+TrafficPattern
+kernelTraffic(const std::string &name, const AccessStats &stats,
+              const GraphAccelModel &accel)
+{
+    if (accel.clockHz <= 0.0 || accel.accessesPerCycle <= 0.0)
+        fatal("graph accelerator model: invalid pipeline parameters");
+    double execTime = stats.total() /
+        (accel.clockHz * accel.accessesPerCycle);
+    if (execTime <= 0.0)
+        fatal("kernel '", name, "' produced no accesses");
+    return TrafficPattern::fromCounts(name, stats.reads, stats.writes,
+                                      execTime);
+}
+
+} // namespace nvmexp

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Instrumented graph kernels (BFS, PageRank, connected components).
+ *
+ * Each kernel counts its accesses to the accelerator scratchpad that
+ * holds vertex state and CSR structure — the quantity the paper's
+ * graph case study (Sec. IV-B) feeds into NVMExplorer. An accelerator
+ * model (Graphicionado-style: one scratchpad access per pipeline
+ * cycle) converts counts into sustained TrafficPatterns.
+ */
+
+#ifndef NVMEXP_GRAPH_KERNELS_HH
+#define NVMEXP_GRAPH_KERNELS_HH
+
+#include <string>
+#include <vector>
+
+#include "eval/traffic.hh"
+#include "graph/graph.hh"
+
+namespace nvmexp {
+
+/** Scratchpad access counts accumulated by a kernel run. */
+struct AccessStats
+{
+    double reads = 0.0;   ///< scratchpad word reads
+    double writes = 0.0;  ///< scratchpad word writes
+
+    double total() const { return reads + writes; }
+};
+
+/** BFS result: levels (-1 = unreached) plus access statistics. */
+struct BfsResult
+{
+    std::vector<int> level;
+    std::size_t reached = 0;
+    AccessStats stats;
+};
+
+/** Breadth-first search from `source`. */
+BfsResult bfs(const Graph &g, Graph::Vertex source);
+
+/** PageRank result after `iterations` synchronous iterations. */
+struct PageRankResult
+{
+    std::vector<double> rank;
+    AccessStats stats;
+};
+
+PageRankResult pageRank(const Graph &g, int iterations,
+                        double damping = 0.85);
+
+/** Connected components via label propagation. */
+struct ComponentsResult
+{
+    std::vector<Graph::Vertex> label;
+    std::size_t numComponents = 0;
+    AccessStats stats;
+};
+
+ComponentsResult connectedComponents(const Graph &g);
+
+/**
+ * Graphicionado-style accelerator model: a pipelined engine issuing
+ * one scratchpad access per cycle.
+ */
+struct GraphAccelModel
+{
+    double clockHz = 1e9;       ///< pipeline clock
+    double accessesPerCycle = 1.0;
+    int scratchWordBits = 64;   ///< 8-byte vertex/edge records
+};
+
+/**
+ * Convert kernel access statistics into the sustained TrafficPattern
+ * the scratchpad array sees while the kernel runs.
+ */
+TrafficPattern kernelTraffic(const std::string &name,
+                             const AccessStats &stats,
+                             const GraphAccelModel &accel);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_GRAPH_KERNELS_HH

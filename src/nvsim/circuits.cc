@@ -1,0 +1,154 @@
+#include "nvsim/circuits.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+namespace {
+
+/** Buffer-chain stages to drive loadCap from a min-size gate (FO4). */
+int
+bufferStages(const TechNode &node, double loadCap)
+{
+    double ratio = std::max(loadCap / node.minGateCap(), 1.0);
+    return std::max(1, (int)std::ceil(std::log(ratio) / std::log(4.0)));
+}
+
+} // namespace
+
+CircuitMetrics
+decoderModel(const TechNode &node, int rows, double wordlineCap,
+             double wordlineVoltage, double rowPitchM)
+{
+    if (rows < 2)
+        fatal("decoderModel: need at least 2 rows");
+    CircuitMetrics m;
+    int addressBits = (int)std::ceil(std::log2((double)rows));
+
+    // Predecode + final NAND stage: ~1.4 FO4 per two address bits,
+    // then a fanout-of-4 buffer chain up to the wordline driver.
+    int logicStages = std::max(1, (addressBits + 1) / 2);
+    int driveStages = bufferStages(node, wordlineCap);
+    m.delay = (1.4 * logicStages + (double)driveStages) * node.fo4Delay;
+
+    // Switched capacitance: the active predecode path plus the final
+    // driver chain (geometric series ~ 1/3 of the load).
+    double decodeCap = 20.0 * node.minGateCap() * addressBits;
+    double chainCap = wordlineCap / 3.0;
+    m.energy = (decodeCap + chainCap) * node.vdd * node.vdd;
+    // The wordline itself is charged to wordlineVoltage and accounted
+    // for by the caller; the driver output stage swings with it.
+    m.energy += 0.1 * wordlineCap * wordlineVoltage * wordlineVoltage;
+
+    // One driver + decode slice per row: the slice is pitch-matched
+    // when the row pitch allows, but never smaller than its ~1500 F^2
+    // of logic (small-pitch cells get folded decoder slices).
+    double f = node.featureM();
+    double sliceArea = std::max(rowPitchM * 25.0 * f, 1500.0 * f * f);
+    m.areaM2 = (double)rows * sliceArea;
+
+    // Leakage: per-row driver stack of ~10F effective width.
+    double widthUm = (double)rows * 10.0 * node.featureNm * 1e-3;
+    m.leakage = node.leakagePower(widthUm, DeviceRole::HighPerformance);
+    return m;
+}
+
+CircuitMetrics
+columnMuxModel(const TechNode &node, int muxDegree, int sensedBits,
+               double bitlineCap)
+{
+    CircuitMetrics m;
+    if (muxDegree <= 1)
+        return m;
+    // Pass-gate mux: one extra RC stage.
+    double passRes = node.driveResistance(4.0 * node.featureNm * 1e-3);
+    m.delay = 0.69 * passRes * (bitlineCap / 4.0) +
+        node.fo4Delay * std::log2((double)muxDegree) * 0.3;
+    double selCap =
+        (double)(sensedBits * muxDegree) * 4.0 * node.minGateCap();
+    m.energy = selCap / (double)muxDegree * node.vdd * node.vdd;
+    double passWidthUm =
+        (double)(sensedBits * muxDegree) * 4.0 * node.featureNm * 1e-3;
+    m.leakage =
+        node.leakagePower(passWidthUm, DeviceRole::LowStandbyPower);
+    m.areaM2 = passWidthUm * 1e-6 * 8.0 * node.featureM();
+    return m;
+}
+
+CircuitMetrics
+senseAmpModel(const TechNode &node, int sensedBits, double colPitchM)
+{
+    CircuitMetrics m;
+    // Latch-type SA resolves in ~6 FO4 once the input margin exists.
+    m.delay = 6.0 * node.fo4Delay;
+    m.energy = (double)sensedBits * node.senseAmpCap * node.vdd * node.vdd;
+    // A latch-type SA occupies ~2000 F^2 regardless of the column
+    // pitch (narrow NVM columns force folded/multiplexed SA layouts).
+    double f = node.featureM();
+    m.areaM2 = (double)sensedBits *
+        std::max(colPitchM * 60.0 * f, 2000.0 * f * f);
+    double widthUm = (double)sensedBits * 8.0 * node.featureNm * 1e-3;
+    m.leakage = node.leakagePower(widthUm, DeviceRole::LowStandbyPower);
+    return m;
+}
+
+CircuitMetrics
+writeDriverModel(const TechNode &node, int writtenBits,
+                 double writeCurrent, double writeVoltage,
+                 double colPitchM)
+{
+    CircuitMetrics m;
+    // Driver sized to source writeCurrent: width = I / Ion-per-um
+    // (A divided by A/um yields um directly).
+    double widthUm =
+        std::max(writeCurrent / node.onCurrentPerUm, 0.1);
+    m.delay = 2.0 * node.fo4Delay +
+        node.fo4Delay * std::log2(1.0 + widthUm);
+    double driverCap = node.gateCapPerUm * widthUm;
+    m.energy = (double)writtenBits * driverCap * writeVoltage *
+        writeVoltage;
+    double f = node.featureM();
+    double perDriver = std::max({colPitchM * 40.0 * f,
+                                 widthUm * 1e-6 * 8.0 * f,
+                                 500.0 * f * f});
+    m.areaM2 = (double)writtenBits * perDriver;
+    m.leakage = node.leakagePower((double)writtenBits * widthUm * 0.2,
+                                  DeviceRole::LowStandbyPower);
+    return m;
+}
+
+double
+chargePumpEfficiency(const TechNode &node, double writeVoltage)
+{
+    return writeVoltage > node.vdd ? 0.4 : 1.0;
+}
+
+double
+repeatedWireDelay(const TechNode &node, double lengthM)
+{
+    if (lengthM <= 0.0)
+        return 0.0;
+    // Optimally repeated wire plus pipeline-latch overhead lands near
+    // ~3*sqrt(0.38 * r * c * FO4) seconds per meter (~120 ps/mm at
+    // 22 nm), consistent with CACTI-class global interconnect.
+    double rPerM = node.wireResPerUm * 1e6;
+    double cPerM = node.wireCapPerUm * 1e6;
+    double perMeter = 3.0 * std::sqrt(0.38 * rPerM * cPerM *
+                                      node.fo4Delay);
+    return perMeter * lengthM;
+}
+
+double
+repeatedWireEnergyPerBit(const TechNode &node, double lengthM)
+{
+    if (lengthM <= 0.0)
+        return 0.0;
+    double cPerM = node.wireCapPerUm * 1e6;
+    // Wire cap plus ~50% repeater overhead, half activity factor.
+    return 0.5 * 1.5 * cPerM * lengthM * node.vdd * node.vdd;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Peripheral circuit models: row decoder, sense amplifier, write
+ * driver, charge pump, and repeated global wires (H-tree).
+ *
+ * All delays use logical-effort-style estimates in units of the node's
+ * FO4 delay plus Elmore terms for distributed RC loads; energies are
+ * CV^2 of the switched capacitance. This mirrors the modeling level of
+ * NVSim/CACTI rather than transistor-accurate simulation.
+ */
+
+#ifndef NVMEXP_NVSIM_CIRCUITS_HH
+#define NVMEXP_NVSIM_CIRCUITS_HH
+
+#include "nvsim/technology.hh"
+
+namespace nvmexp {
+
+/** Delay/energy/area/leakage summary of one peripheral block. */
+struct CircuitMetrics
+{
+    double delay = 0.0;    ///< s
+    double energy = 0.0;   ///< J per activation
+    double areaM2 = 0.0;   ///< m^2
+    double leakage = 0.0;  ///< W
+};
+
+/**
+ * Row decoder + wordline driver chain for `rows` wordlines, each
+ * presenting `wordlineCap` of load, driven to `wordlineVoltage`.
+ */
+CircuitMetrics decoderModel(const TechNode &node, int rows,
+                            double wordlineCap, double wordlineVoltage,
+                            double rowPitchM);
+
+/**
+ * Column multiplexer of the given degree in front of the sense amps.
+ */
+CircuitMetrics columnMuxModel(const TechNode &node, int muxDegree,
+                              int sensedBits, double bitlineCap);
+
+/**
+ * Bank of latch-type sense amplifiers (one per sensed bit).
+ */
+CircuitMetrics senseAmpModel(const TechNode &node, int sensedBits,
+                             double colPitchM);
+
+/**
+ * Write drivers supplying `writeCurrent` per written bit at
+ * `writeVoltage`.
+ */
+CircuitMetrics writeDriverModel(const TechNode &node, int writtenBits,
+                                double writeCurrent, double writeVoltage,
+                                double colPitchM);
+
+/**
+ * Efficiency of delivering programming power at `writeVoltage` from
+ * the `node` supply: 1.0 when no boosting is required, pump efficiency
+ * (~0.4) otherwise. Divide cell programming energy by this factor.
+ */
+double chargePumpEfficiency(const TechNode &node, double writeVoltage);
+
+/**
+ * Repeater-optimized global wire: delay [s] and switching energy per
+ * bit [J] for a run of `lengthM` meters.
+ */
+double repeatedWireDelay(const TechNode &node, double lengthM);
+double repeatedWireEnergyPerBit(const TechNode &node, double lengthM);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_NVSIM_CIRCUITS_HH

@@ -1,0 +1,228 @@
+#include "nvsim/subarray.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nvsim/circuits.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+namespace {
+
+/** Per-cell wordline load: wire segment plus access-gate cap. */
+double
+wordlineCapPerCell(const MemCell &cell, const TechNode &node,
+                   double cellWidthM)
+{
+    double wire = node.wireCapPerUm * cellWidthM * 1e6;
+    // Access transistor gate: ~2F wide for compact cells, wider for
+    // current-hungry cells sized by their write current.
+    // setCurrent [A] / onCurrentPerUm [A/um] is already a width in um.
+    double accessWidthUm = std::max(
+        2.0 * node.featureNm * 1e-3,
+        cell.setCurrent / node.onCurrentPerUm * 0.5);
+    double gate = node.gateCapPerUm * accessWidthUm;
+    return wire + gate;
+}
+
+/** Per-cell bitline load: wire segment plus junction cap. */
+double
+bitlineCapPerCell(const MemCell &cell, const TechNode &node,
+                  double cellHeightM)
+{
+    double wire = node.wireCapPerUm * cellHeightM * 1e6;
+    double accessWidthUm = std::max(
+        2.0 * node.featureNm * 1e-3,
+        cell.setCurrent / node.onCurrentPerUm * 0.5);
+    double junction = node.drainCapPerUm * accessWidthUm;
+    return wire + junction;
+}
+
+} // namespace
+
+SubarrayMetrics
+characterizeSubarray(const MemCell &cell, const TechNode &node,
+                     const SubarrayDesign &design)
+{
+    if (design.rows < 2 || design.cols < 2)
+        fatal("subarray needs at least a 2x2 cell matrix");
+    if (design.sensedBits < 1 || design.cols % design.sensedBits != 0)
+        fatal("sensedBits (", design.sensedBits,
+              ") must divide cols (", design.cols, ")");
+
+    SubarrayMetrics m;
+    double f = node.featureM();
+    double cellWidth = std::sqrt(cell.areaF2 / cell.aspectRatio) * f;
+    double cellHeight = std::sqrt(cell.areaF2 * cell.aspectRatio) * f;
+
+    // ---- Wires ----------------------------------------------------
+    double wlLength = design.cols * cellWidth;
+    double blLength = design.rows * cellHeight;
+    double wlCap = design.cols * wordlineCapPerCell(cell, node, cellWidth);
+    double blCap = design.rows * bitlineCapPerCell(cell, node, cellHeight);
+    double wlRes = node.wireResPerUm * wlLength * 1e6;
+    double blRes = node.wireResPerUm * blLength * 1e6;
+
+    // Wordline read/write drive voltages. FeFET sensing applies the
+    // read bias on the gate (the wordline); resistive cells boost the
+    // wordline with the programming voltage during writes.
+    double vWlRead = cell.senseMode == SenseMode::FetGated
+        ? std::max(cell.readVoltage, node.vdd) : node.vdd;
+    double vWlWrite = cell.nonVolatile
+        ? std::max(cell.writeVoltage, node.vdd) : node.vdd;
+
+    // ---- Peripheral blocks ----------------------------------------
+    CircuitMetrics dec = decoderModel(node, design.rows, wlCap,
+                                      std::max(vWlRead, vWlWrite),
+                                      cellHeight);
+    CircuitMetrics mux = columnMuxModel(node, design.muxDegree(),
+                                        design.sensedBits, blCap);
+    CircuitMetrics sa = senseAmpModel(node, design.sensedBits, cellWidth);
+    CircuitMetrics wd = writeDriverModel(
+        node, design.sensedBits, std::max(cell.setCurrent,
+                                          cell.resetCurrent),
+        cell.writeVoltage, cellWidth);
+
+    // ---- Bitline sensing ------------------------------------------
+    // Time to develop the required sense margin on the bitline.
+    // Differential SRAM sensing needs one margin; single-ended
+    // resistive sensing needs roughly twice that to overcome SA
+    // offset and reference mismatch.
+    double tWordline = 0.38 * wlRes * wlCap + node.fo4Delay;
+    double senseCurrent = 0.0;
+    double vBitline = 0.0;      // precharge level
+    double senseMargin = node.senseVoltage;
+    double senseNodeCap = node.senseAmpCap;
+    switch (cell.senseMode) {
+      case SenseMode::Voltage:
+        // SRAM pull-down discharges the bitline from Vdd; a
+        // differential latch resolves a small margin.
+        senseCurrent = node.vdd / cell.resistanceOn;
+        vBitline = node.vdd;
+        break;
+      case SenseMode::Current:
+      case SenseMode::FetGated:
+      case SenseMode::Charge:
+        // Single-ended resistive/charge sensing: the cell's current
+        // differential must develop a robust margin (~0.25 V) on the
+        // offset-cancelled sense node (~60 fF including reference and
+        // compensation capacitance) before the latch can fire. This is
+        // what makes published eNVM macro reads land in the ns range
+        // even for fast cells.
+        senseCurrent = cell.senseMode == SenseMode::Charge
+            ? cell.readCurrentOn()
+            : cell.readCurrentOn() - cell.readCurrentOff();
+        vBitline = cell.readVoltage;
+        senseMargin = 0.25;
+        senseNodeCap = 60e-15;
+        break;
+    }
+    if (senseCurrent <= 0.0)
+        fatal("cell '", cell.name, "': no sensing margin (Ron ~ Roff)");
+    double tBitline =
+        (0.5 * blCap + senseNodeCap) * senseMargin / senseCurrent +
+        0.38 * blRes * blCap;
+
+    // MLC sensing resolves one bit per step (binary-search reference).
+    int senseSteps = cell.bitsPerCell;
+
+    // ---- Read latency ----------------------------------------------
+    // Control/latch overhead at the subarray boundary.
+    double tControl = 4.0 * node.fo4Delay;
+    m.readLatency = tControl + dec.delay + tWordline +
+        (double)senseSteps * (tBitline + sa.delay) + mux.delay;
+
+    // ---- Write latency ---------------------------------------------
+    // Bitline charge to the programming voltage, then the cell pulse.
+    double tBlWrite = 0.69 * blRes * blCap +
+        blCap * cell.writeVoltage /
+            std::max(cell.setCurrent, cell.resetCurrent);
+    if (!cell.nonVolatile) {
+        // SRAM: full-swing bitline write through a pitch-constrained
+        // driver (~8F wide).
+        double driverCurrent =
+            node.onCurrentPerUm * 8.0 * node.featureNm * 1e-3;
+        tBlWrite = 0.69 * blRes * blCap +
+            blCap * node.vdd / driverCurrent;
+    }
+    m.writeLatency = tControl + dec.delay + tWordline + wd.delay +
+        tBlWrite + cell.worstWritePulse();
+
+    // ---- Read energy -----------------------------------------------
+    double eWordline = wlCap * vWlRead * vWlRead;
+    double eBitline = 0.0;
+    int bitsSensed = design.sensedBits;
+    switch (cell.senseMode) {
+      case SenseMode::Voltage: {
+        // Both bitlines of the differential pair swing by the sense
+        // margin on the sensed columns; the remaining columns on the
+        // activated row half-swing too (no isolation).
+        double perBit = 2.0 * blCap * 2.0 * node.senseVoltage * vBitline;
+        eBitline = perBit * (double)bitsSensed +
+            0.5 * perBit * (double)(design.cols - bitsSensed);
+        break;
+      }
+      case SenseMode::Current:
+      case SenseMode::FetGated: {
+        // Activating the row biases every bitline in the subarray at
+        // the read voltage (the access devices of unselected columns
+        // conduct too); the sensing current (cell + reference) burns
+        // only on the sensed columns. Slow sensing additionally pays
+        // the SA's static bias current for the whole develop window,
+        // which is what makes low-margin cells expensive to read.
+        constexpr double kSaStaticCurrent = 12e-6;
+        double biasPerBit = blCap * vBitline * vBitline;
+        double sensePerBit = 2.0 * cell.readCurrentOn() * vBitline *
+                (tBitline + sa.delay) +
+            kSaStaticCurrent * node.vdd * (tBitline + sa.delay);
+        eBitline = biasPerBit * (double)design.cols +
+            sensePerBit * (double)bitsSensed * (double)senseSteps;
+        break;
+      }
+      case SenseMode::Charge: {
+        double perBit = blCap * vBitline * vBitline;
+        // Destructive read: add the restore (write-back) energy.
+        perBit += cell.writeEnergyPerBit() /
+            chargePumpEfficiency(node, cell.writeVoltage);
+        eBitline = perBit * (double)bitsSensed;
+        break;
+      }
+    }
+    m.readEnergy = dec.energy + eWordline + eBitline +
+        (double)senseSteps * sa.energy + mux.energy +
+        cell.readEnergyPerBit * (double)bitsSensed;
+
+    // ---- Write energy ----------------------------------------------
+    double pump = chargePumpEfficiency(node, cell.writeVoltage);
+    double eWlWrite = wlCap * vWlWrite * vWlWrite;
+    double eBlWrite = (double)bitsSensed * blCap *
+        cell.writeVoltage * cell.writeVoltage;
+    if (!cell.nonVolatile)
+        eBlWrite = (double)bitsSensed * blCap * node.vdd * node.vdd;
+    double eCells =
+        (double)bitsSensed * cell.writeEnergyPerBit() / pump;
+    m.writeEnergy = dec.energy + eWlWrite + eBlWrite + eCells +
+        wd.energy;
+
+    // ---- Leakage ----------------------------------------------------
+    m.leakage = dec.leakage + mux.leakage + sa.leakage + wd.leakage +
+        (double)design.rows * (double)design.cols * cell.cellLeakage;
+
+    // ---- Area --------------------------------------------------------
+    m.cellAreaM2 = (double)design.rows * (double)design.cols *
+        cell.areaF2 * f * f;
+    double matrixH = (double)design.rows * cellHeight;
+    double matrixW = (double)design.cols * cellWidth;
+    // Peripheral blocks plus a fixed per-subarray control overhead
+    // (timing, address latches, redundancy).
+    double controlArea = 6.0e4 * f * f;
+    double periphArea = dec.areaM2 + mux.areaM2 + sa.areaM2 +
+        wd.areaM2 + controlArea;
+    m.areaM2 = matrixH * matrixW + periphArea;
+    m.widthM = matrixW + 60.0 * f;
+    m.heightM = m.areaM2 / m.widthM;
+    return m;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Subarray-level characterization: one grid of cells with its local
+ * decoder, column mux, sense amplifiers, and write drivers.
+ *
+ * This is the innermost level of the NVSim-style hierarchy; the bank /
+ * array organization (array_model.hh) tiles subarrays and adds global
+ * interconnect.
+ */
+
+#ifndef NVMEXP_NVSIM_SUBARRAY_HH
+#define NVMEXP_NVSIM_SUBARRAY_HH
+
+#include "celldb/cell.hh"
+#include "nvsim/technology.hh"
+
+namespace nvmexp {
+
+/** Geometric/electrical design of one subarray. */
+struct SubarrayDesign
+{
+    int rows = 512;        ///< wordlines
+    int cols = 512;        ///< bitlines (cells per row)
+    int sensedBits = 512;  ///< bits sensed per access (cols/muxDegree)
+
+    int muxDegree() const { return cols / sensedBits; }
+};
+
+/** Characterization results for one subarray. */
+struct SubarrayMetrics
+{
+    double readLatency = 0.0;     ///< s
+    double writeLatency = 0.0;    ///< s
+    double readEnergy = 0.0;      ///< J per access (sensedBits wide)
+    double writeEnergy = 0.0;     ///< J per access
+    double leakage = 0.0;         ///< W
+    double areaM2 = 0.0;          ///< m^2 including local periphery
+    double cellAreaM2 = 0.0;      ///< m^2 of the raw cell matrix
+    double heightM = 0.0;         ///< subarray physical height
+    double widthM = 0.0;          ///< subarray physical width
+
+    double areaEfficiency() const
+    {
+        return areaM2 > 0.0 ? cellAreaM2 / areaM2 : 0.0;
+    }
+};
+
+/**
+ * Characterize a subarray of `cell` devices implemented at `node`.
+ *
+ * @param cell fully-specified cell definition (cell.validate()'d)
+ * @param node process node the periphery is built in
+ * @param design subarray geometry
+ * @return metrics; fatal() on inconsistent designs
+ */
+SubarrayMetrics characterizeSubarray(const MemCell &cell,
+                                     const TechNode &node,
+                                     const SubarrayDesign &design);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_NVSIM_SUBARRAY_HH

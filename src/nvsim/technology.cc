@@ -1,0 +1,94 @@
+#include "nvsim/technology.hh"
+
+#include <array>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+double
+TechNode::minGateCap() const
+{
+    // Minimum device width is roughly 2F.
+    double minWidthUm = 2.0 * featureNm * 1e-3;
+    return gateCapPerUm * minWidthUm;
+}
+
+double
+TechNode::driveResistance(double widthUm) const
+{
+    if (widthUm <= 0.0)
+        fatal("driveResistance: non-positive width");
+    // Reff ~ Vdd / (2 * Ion): the usual saturation-averaged estimate.
+    return vdd / (2.0 * onCurrentPerUm * widthUm);
+}
+
+double
+TechNode::leakagePower(double widthUm, DeviceRole role) const
+{
+    double ioff = role == DeviceRole::HighPerformance
+        ? offCurrentPerUm : offCurrentLstpPerUm;
+    return ioff * widthUm * vdd;
+}
+
+namespace {
+
+/**
+ * Node table. fo4Delay tracks ~0.35 ps/nm; wire resistance grows as
+ * geometries shrink; supply voltage saturates below 22 nm.
+ */
+const std::array<TechNode, 12> kNodes = {{
+    {7,   0.75, 2.6e-12, 1.1e-15, 0.9e-15, 1.2e-3, 60e-9, 0.6e-9,
+     12.0, 0.18e-15, 4e-15, 0.04},
+    {10,  0.75, 3.6e-12, 1.1e-15, 0.9e-15, 1.1e-3, 50e-9, 0.5e-9,
+     9.0, 0.19e-15, 4e-15, 0.04},
+    {14,  0.80, 5.0e-12, 1.0e-15, 0.85e-15, 1.0e-3, 40e-9, 0.4e-9,
+     7.0, 0.19e-15, 4.5e-15, 0.05},
+    {16,  0.80, 5.6e-12, 1.0e-15, 0.85e-15, 1.0e-3, 40e-9, 0.4e-9,
+     6.0, 0.20e-15, 4.5e-15, 0.05},
+    {22,  0.90, 7.7e-12, 1.0e-15, 0.80e-15, 0.9e-3, 30e-9, 0.3e-9,
+     4.0, 0.20e-15, 5e-15, 0.05},
+    {28,  1.00, 9.8e-12, 1.0e-15, 0.80e-15, 0.85e-3, 25e-9, 0.25e-9,
+     3.2, 0.20e-15, 5e-15, 0.05},
+    {32,  1.00, 11.2e-12, 1.0e-15, 0.80e-15, 0.8e-3, 20e-9, 0.2e-9,
+     2.8, 0.21e-15, 5.5e-15, 0.05},
+    {40,  1.10, 14.0e-12, 0.95e-15, 0.78e-15, 0.75e-3, 15e-9, 0.15e-9,
+     2.2, 0.21e-15, 6e-15, 0.06},
+    {45,  1.10, 15.8e-12, 0.95e-15, 0.78e-15, 0.7e-3, 12e-9, 0.12e-9,
+     2.0, 0.22e-15, 6e-15, 0.06},
+    {65,  1.20, 22.8e-12, 0.9e-15, 0.75e-15, 0.65e-3, 8e-9, 0.08e-9,
+     1.4, 0.22e-15, 7e-15, 0.07},
+    {90,  1.20, 31.5e-12, 0.9e-15, 0.75e-15, 0.6e-3, 5e-9, 0.05e-9,
+     1.0, 0.23e-15, 8e-15, 0.08},
+    {130, 1.30, 45.5e-12, 0.85e-15, 0.7e-15, 0.55e-3, 3e-9, 0.03e-9,
+     0.7, 0.24e-15, 9e-15, 0.10},
+}};
+
+} // namespace
+
+const TechNode &
+techNodeFor(int featureNm)
+{
+    for (const auto &node : kNodes)
+        if (node.featureNm == featureNm)
+            return node;
+    // Snap to the nearest tabulated node within the covered range.
+    if (featureNm < kNodes.front().featureNm ||
+        featureNm > kNodes.back().featureNm) {
+        fatal("technology node ", featureNm,
+              " nm outside supported range [7, 130]");
+    }
+    const TechNode *best = &kNodes.front();
+    int bestDist = 1 << 30;
+    for (const auto &node : kNodes) {
+        int dist = featureNm > node.featureNm
+            ? featureNm - node.featureNm : node.featureNm - featureNm;
+        if (dist < bestDist) {
+            bestDist = dist;
+            best = &node;
+        }
+    }
+    return *best;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Process-technology parameters for the array model.
+ *
+ * Mirrors NVSim's technology layer: per-node transistor and wire
+ * characteristics that peripheral circuit models (decoders, sense
+ * amplifiers, drivers) and interconnect models (wordlines, bitlines,
+ * H-tree) are built from. Values follow public ITRS/PTM trends; the
+ * framework's outputs are used for *relative* cross-technology
+ * comparisons, per the paper's methodology.
+ */
+
+#ifndef NVMEXP_NVSIM_TECHNOLOGY_HH
+#define NVMEXP_NVSIM_TECHNOLOGY_HH
+
+namespace nvmexp {
+
+/** Transistor flavor for periphery sizing/leakage. */
+enum class DeviceRole { HighPerformance, LowStandbyPower };
+
+/**
+ * One process node's device and wire parameters.
+ */
+struct TechNode
+{
+    int featureNm = 22;        ///< feature size F [nm]
+    double vdd = 0.9;          ///< nominal supply [V]
+    double fo4Delay = 8e-12;   ///< fanout-of-4 inverter delay [s]
+    double gateCapPerUm = 1e-15;     ///< gate cap [F/um width]
+    double drainCapPerUm = 0.8e-15;  ///< junction cap [F/um width]
+    double onCurrentPerUm = 0.9e-3;  ///< NMOS Ion [A/um]
+    double offCurrentPerUm = 30e-9;  ///< HP Ioff [A/um]
+    double offCurrentLstpPerUm = 0.3e-9;  ///< LSTP Ioff [A/um]
+    double wireResPerUm = 3.0;       ///< mid-level metal R [ohm/um]
+    double wireCapPerUm = 0.2e-15;   ///< mid-level metal C [F/um]
+    double senseAmpCap = 5e-15;      ///< latch-type SA input cap [F]
+    double senseVoltage = 0.05;      ///< required sense margin [V]
+
+    double featureM() const { return featureNm * 1e-9; }
+
+    /** Minimum-size inverter input capacitance [F]. */
+    double minGateCap() const;
+
+    /** Drive resistance of a transistor of the given width [ohm]. */
+    double driveResistance(double widthUm) const;
+
+    /** Leakage power of a transistor stack of given width [W]. */
+    double leakagePower(double widthUm, DeviceRole role) const;
+};
+
+/**
+ * Look up the TechNode for a feature size; the table covers
+ * 7/10/14/16/22/28/32/40/45/65/90/130 nm. Unknown nodes are
+ * interpolated from the nearest entries (fatal outside the range).
+ */
+const TechNode &techNodeFor(int featureNm);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_NVSIM_TECHNOLOGY_HH

@@ -1,0 +1,164 @@
+#include "util/ascii_plot.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace nvmexp {
+
+namespace {
+const char kGlyphs[] = "*o+x^sdv%@&";
+}
+
+AsciiPlot::AsciiPlot(std::string title, std::string xLabel,
+                     std::string yLabel, std::size_t width,
+                     std::size_t height)
+    : title_(std::move(title)), xLabel_(std::move(xLabel)),
+      yLabel_(std::move(yLabel)), width_(std::max<std::size_t>(width, 16)),
+      height_(std::max<std::size_t>(height, 6))
+{
+}
+
+void
+AsciiPlot::setXRange(double lo, double hi)
+{
+    if (!(hi > lo))
+        fatal("AsciiPlot x range must have hi > lo");
+    xFixed_ = true;
+    xLo_ = lo;
+    xHi_ = hi;
+}
+
+void
+AsciiPlot::setYRange(double lo, double hi)
+{
+    if (!(hi > lo))
+        fatal("AsciiPlot y range must have hi > lo");
+    yFixed_ = true;
+    yLo_ = lo;
+    yHi_ = hi;
+}
+
+void
+AsciiPlot::addSeries(const std::string &name, char glyph)
+{
+    if (glyph == '\0')
+        glyph = kGlyphs[series_.size() % (sizeof(kGlyphs) - 1)];
+    series_.push_back({name, glyph, {}, {}});
+}
+
+void
+AsciiPlot::addPoint(const std::string &series, double x, double y)
+{
+    for (auto &s : series_) {
+        if (s.name == series) {
+            s.xs.push_back(x);
+            s.ys.push_back(y);
+            return;
+        }
+    }
+    fatal("AsciiPlot: unknown series '", series, "'");
+}
+
+double
+AsciiPlot::mapX(double x) const
+{
+    return xScale_ == AxisScale::Log10 ? std::log10(x) : x;
+}
+
+double
+AsciiPlot::mapY(double y) const
+{
+    return yScale_ == AxisScale::Log10 ? std::log10(y) : y;
+}
+
+void
+AsciiPlot::print(std::ostream &os) const
+{
+    // Establish plotting ranges in mapped space.
+    double xlo = xFixed_ ? mapX(xLo_) : 0.0;
+    double xhi = xFixed_ ? mapX(xHi_) : 1.0;
+    double ylo = yFixed_ ? mapY(yLo_) : 0.0;
+    double yhi = yFixed_ ? mapY(yHi_) : 1.0;
+    bool sawX = xFixed_, sawY = yFixed_;
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            if (xScale_ == AxisScale::Log10 && s.xs[i] <= 0)
+                continue;
+            if (yScale_ == AxisScale::Log10 && s.ys[i] <= 0)
+                continue;
+            double mx = mapX(s.xs[i]);
+            double my = mapY(s.ys[i]);
+            if (!xFixed_) {
+                if (!sawX) {
+                    xlo = xhi = mx;
+                    sawX = true;
+                } else {
+                    xlo = std::min(xlo, mx);
+                    xhi = std::max(xhi, mx);
+                }
+            }
+            if (!yFixed_) {
+                if (!sawY) {
+                    ylo = yhi = my;
+                    sawY = true;
+                } else {
+                    ylo = std::min(ylo, my);
+                    yhi = std::max(yhi, my);
+                }
+            }
+        }
+    }
+    if (xhi <= xlo)
+        xhi = xlo + 1.0;
+    if (yhi <= ylo)
+        yhi = ylo + 1.0;
+
+    std::vector<std::string> grid(height_, std::string(width_, ' '));
+    for (const auto &s : series_) {
+        for (std::size_t i = 0; i < s.xs.size(); ++i) {
+            if (xScale_ == AxisScale::Log10 && s.xs[i] <= 0)
+                continue;
+            if (yScale_ == AxisScale::Log10 && s.ys[i] <= 0)
+                continue;
+            double fx = (mapX(s.xs[i]) - xlo) / (xhi - xlo);
+            double fy = (mapY(s.ys[i]) - ylo) / (yhi - ylo);
+            auto cx = (std::size_t)std::clamp(
+                fx * (double)(width_ - 1), 0.0, (double)(width_ - 1));
+            auto cy = (std::size_t)std::clamp(
+                fy * (double)(height_ - 1), 0.0, (double)(height_ - 1));
+            // Row 0 is the top of the grid.
+            char &cellRef = grid[height_ - 1 - cy][cx];
+            cellRef = (cellRef == ' ' || cellRef == s.glyph) ? s.glyph : '#';
+        }
+    }
+
+    os << "-- " << title_ << " --\n";
+    auto fmtBound = [&](double v, AxisScale scale) {
+        double raw = scale == AxisScale::Log10 ? std::pow(10.0, v) : v;
+        return Table::formatNumber(raw);
+    };
+    for (std::size_t r = 0; r < height_; ++r) {
+        if (r == 0) {
+            os << fmtBound(yhi, yScale_);
+        } else if (r == height_ - 1) {
+            os << fmtBound(ylo, yScale_);
+        }
+        os << '\t' << '|' << grid[r] << '\n';
+    }
+    os << '\t' << '+' << std::string(width_, '-') << '\n';
+    os << '\t' << fmtBound(xlo, xScale_)
+       << std::string(width_ > 24 ? width_ - 24 : 1, ' ')
+       << fmtBound(xhi, xScale_) << '\n';
+    os << '\t' << "x: " << xLabel_
+       << (xScale_ == AxisScale::Log10 ? " [log]" : "") << "   y: "
+       << yLabel_ << (yScale_ == AxisScale::Log10 ? " [log]" : "") << '\n';
+    os << '\t' << "legend:";
+    for (const auto &s : series_)
+        os << "  " << s.glyph << '=' << s.name;
+    os << '\n';
+}
+
+} // namespace nvmexp

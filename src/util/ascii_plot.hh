@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Terminal scatter/line plots standing in for the paper's Tableau
+ * dashboard. Benches print the figure's data series both as a Table and
+ * as an AsciiPlot so shapes (crossovers, tiers, trends) are visible in
+ * plain text output.
+ */
+
+#ifndef NVMEXP_UTIL_ASCII_PLOT_HH
+#define NVMEXP_UTIL_ASCII_PLOT_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+
+/** Axis scaling for an AsciiPlot dimension. */
+enum class AxisScale { Linear, Log10 };
+
+/**
+ * Multi-series 2D scatter plot rendered into a character grid.
+ *
+ * Each series gets a distinct glyph; collisions print '#'. Axis ranges
+ * are auto-fit unless fixed via setXRange/setYRange.
+ */
+class AsciiPlot
+{
+  public:
+    AsciiPlot(std::string title, std::string xLabel, std::string yLabel,
+              std::size_t width = 72, std::size_t height = 24);
+
+    /** Choose linear or log scaling per axis (log ignores x<=0 points). */
+    void setXScale(AxisScale scale) { xScale_ = scale; }
+    void setYScale(AxisScale scale) { yScale_ = scale; }
+
+    /** Fix an axis range instead of auto-fitting. */
+    void setXRange(double lo, double hi);
+    void setYRange(double lo, double hi);
+
+    /** Add a named series; glyph defaults to a rotating symbol set. */
+    void addSeries(const std::string &name, char glyph = '\0');
+
+    /** Append one point to a series created by addSeries. */
+    void addPoint(const std::string &series, double x, double y);
+
+    /** Render grid, axes, and the series legend. */
+    void print(std::ostream &os) const;
+
+  private:
+    struct Series
+    {
+        std::string name;
+        char glyph;
+        std::vector<double> xs;
+        std::vector<double> ys;
+    };
+
+    double mapX(double x) const;
+    double mapY(double y) const;
+
+    std::string title_;
+    std::string xLabel_;
+    std::string yLabel_;
+    std::size_t width_;
+    std::size_t height_;
+    AxisScale xScale_ = AxisScale::Linear;
+    AxisScale yScale_ = AxisScale::Linear;
+    bool xFixed_ = false;
+    bool yFixed_ = false;
+    double xLo_ = 0.0, xHi_ = 1.0, yLo_ = 0.0, yHi_ = 1.0;
+    std::vector<Series> series_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_UTIL_ASCII_PLOT_HH

@@ -1,0 +1,329 @@
+#include "util/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+bool
+JsonValue::asBool() const
+{
+    if (!isBool())
+        fatal("JSON: expected a boolean");
+    return bool_;
+}
+
+double
+JsonValue::asNumber() const
+{
+    if (!isNumber())
+        fatal("JSON: expected a number");
+    return number_;
+}
+
+const std::string &
+JsonValue::asString() const
+{
+    if (!isString())
+        fatal("JSON: expected a string");
+    return string_;
+}
+
+const std::vector<JsonValue> &
+JsonValue::asArray() const
+{
+    if (!isArray())
+        fatal("JSON: expected an array");
+    return array_;
+}
+
+bool
+JsonValue::has(const std::string &key) const
+{
+    return isObject() && object_.count(key) > 0;
+}
+
+const JsonValue &
+JsonValue::at(const std::string &key) const
+{
+    if (!isObject())
+        fatal("JSON: expected an object holding '", key, "'");
+    auto it = object_.find(key);
+    if (it == object_.end())
+        fatal("JSON: missing required member '", key, "'");
+    return it->second;
+}
+
+double
+JsonValue::numberOr(const std::string &key, double dflt) const
+{
+    return has(key) ? at(key).asNumber() : dflt;
+}
+
+bool
+JsonValue::boolOr(const std::string &key, bool dflt) const
+{
+    return has(key) ? at(key).asBool() : dflt;
+}
+
+std::string
+JsonValue::stringOr(const std::string &key, const std::string &dflt) const
+{
+    return has(key) ? at(key).asString() : dflt;
+}
+
+const std::vector<std::string> &
+JsonValue::memberNames() const
+{
+    if (!isObject())
+        fatal("JSON: memberNames on non-object");
+    return memberOrder_;
+}
+
+/** Recursive-descent parser with line/column tracking. */
+class JsonParser
+{
+  public:
+    explicit JsonParser(const std::string &text) : text_(text) {}
+
+    JsonValue
+    parseDocument()
+    {
+        JsonValue value = parseValue();
+        skipWhitespace();
+        if (pos_ < text_.size())
+            fail("trailing content after document");
+        return value;
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const std::string &what)
+    {
+        std::size_t line = 1, col = 1;
+        for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
+            if (text_[i] == '\n') {
+                ++line;
+                col = 1;
+            } else {
+                ++col;
+            }
+        }
+        fatal("JSON parse error at line ", line, " column ", col, ": ",
+              what);
+    }
+
+    void
+    skipWhitespace()
+    {
+        while (pos_ < text_.size()) {
+            char c = text_[pos_];
+            if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+                ++pos_;
+            } else if (c == '/' && pos_ + 1 < text_.size() &&
+                       text_[pos_ + 1] == '/') {
+                while (pos_ < text_.size() && text_[pos_] != '\n')
+                    ++pos_;
+            } else {
+                break;
+            }
+        }
+    }
+
+    char
+    peek()
+    {
+        skipWhitespace();
+        if (pos_ >= text_.size())
+            fail("unexpected end of input");
+        return text_[pos_];
+    }
+
+    void
+    expect(char c)
+    {
+        if (peek() != c)
+            fail(std::string("expected '") + c + "'");
+        ++pos_;
+    }
+
+    bool
+    consumeIf(char c)
+    {
+        if (pos_ < text_.size() && peek() == c) {
+            ++pos_;
+            return true;
+        }
+        return false;
+    }
+
+    JsonValue
+    parseValue()
+    {
+        char c = peek();
+        switch (c) {
+          case '{': return parseObject();
+          case '[': return parseArray();
+          case '"': return parseString();
+          case 't':
+          case 'f': return parseBool();
+          case 'n': return parseNull();
+          default:  return parseNumber();
+        }
+    }
+
+    JsonValue
+    parseObject()
+    {
+        expect('{');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Object;
+        if (consumeIf('}'))
+            return v;
+        while (true) {
+            if (peek() != '"')
+                fail("expected a member name");
+            JsonValue key = parseString();
+            expect(':');
+            JsonValue member = parseValue();
+            if (v.object_.count(key.string_))
+                fail("duplicate member '" + key.string_ + "'");
+            v.memberOrder_.push_back(key.string_);
+            v.object_.emplace(key.string_, std::move(member));
+            if (consumeIf('}'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseArray()
+    {
+        expect('[');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Array;
+        if (consumeIf(']'))
+            return v;
+        while (true) {
+            v.array_.push_back(parseValue());
+            if (consumeIf(']'))
+                return v;
+            expect(',');
+        }
+    }
+
+    JsonValue
+    parseString()
+    {
+        expect('"');
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::String;
+        while (true) {
+            if (pos_ >= text_.size())
+                fail("unterminated string");
+            char c = text_[pos_++];
+            if (c == '"')
+                break;
+            if (c == '\\') {
+                if (pos_ >= text_.size())
+                    fail("dangling escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"':  v.string_ += '"'; break;
+                  case '\\': v.string_ += '\\'; break;
+                  case '/':  v.string_ += '/'; break;
+                  case 'n':  v.string_ += '\n'; break;
+                  case 't':  v.string_ += '\t'; break;
+                  case 'r':  v.string_ += '\r'; break;
+                  case 'b':  v.string_ += '\b'; break;
+                  case 'f':  v.string_ += '\f'; break;
+                  default:   fail("unsupported escape sequence");
+                }
+            } else {
+                v.string_ += c;
+            }
+        }
+        return v;
+    }
+
+    JsonValue
+    parseBool()
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Bool;
+        if (text_.compare(pos_, 4, "true") == 0) {
+            v.bool_ = true;
+            pos_ += 4;
+        } else if (text_.compare(pos_, 5, "false") == 0) {
+            v.bool_ = false;
+            pos_ += 5;
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
+    JsonValue
+    parseNull()
+    {
+        if (text_.compare(pos_, 4, "null") != 0)
+            fail("bad literal");
+        pos_ += 4;
+        return JsonValue();
+    }
+
+    JsonValue
+    parseNumber()
+    {
+        std::size_t start = pos_;
+        if (pos_ < text_.size() &&
+            (text_[pos_] == '-' || text_[pos_] == '+'))
+            ++pos_;
+        bool sawDigit = false;
+        while (pos_ < text_.size() &&
+               (std::isdigit((unsigned char)text_[pos_]) ||
+                text_[pos_] == '.' || text_[pos_] == 'e' ||
+                text_[pos_] == 'E' || text_[pos_] == '-' ||
+                text_[pos_] == '+')) {
+            sawDigit = sawDigit ||
+                std::isdigit((unsigned char)text_[pos_]);
+            ++pos_;
+        }
+        if (!sawDigit) {
+            pos_ = start;
+            fail("expected a value");
+        }
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        v.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(),
+                                nullptr);
+        return v;
+    }
+
+    const std::string &text_;
+    std::size_t pos_ = 0;
+};
+
+JsonValue
+JsonValue::parse(const std::string &text)
+{
+    JsonParser parser(text);
+    return parser.parseDocument();
+}
+
+JsonValue
+JsonValue::parseFile(const std::string &path)
+{
+    std::ifstream in(path);
+    if (!in)
+        fatal("cannot open config file '", path, "'");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return parse(buffer.str());
+}
+
+} // namespace nvmexp

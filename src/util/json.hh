@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Minimal JSON parser for the configuration front-end.
+ *
+ * Supports the full JSON value grammar (objects, arrays, strings with
+ * the common escapes, numbers, booleans, null) plus `//` line
+ * comments, which configuration files are allowed to use. Errors are
+ * reported with line/column context via fatal().
+ */
+
+#ifndef NVMEXP_UTIL_JSON_HH
+#define NVMEXP_UTIL_JSON_HH
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+
+/** A parsed JSON value (immutable after parse). */
+class JsonValue
+{
+  public:
+    enum class Kind { Null, Bool, Number, String, Array, Object };
+
+    JsonValue() = default;
+
+    Kind kind() const { return kind_; }
+    bool isNull() const { return kind_ == Kind::Null; }
+    bool isBool() const { return kind_ == Kind::Bool; }
+    bool isNumber() const { return kind_ == Kind::Number; }
+    bool isString() const { return kind_ == Kind::String; }
+    bool isArray() const { return kind_ == Kind::Array; }
+    bool isObject() const { return kind_ == Kind::Object; }
+
+    /** Typed accessors; fatal() on kind mismatch. */
+    bool asBool() const;
+    double asNumber() const;
+    const std::string &asString() const;
+    const std::vector<JsonValue> &asArray() const;
+
+    /** Object access. */
+    bool has(const std::string &key) const;
+    /** Required member; fatal() when missing. */
+    const JsonValue &at(const std::string &key) const;
+    /** Optional member with defaults. */
+    double numberOr(const std::string &key, double dflt) const;
+    bool boolOr(const std::string &key, bool dflt) const;
+    std::string stringOr(const std::string &key,
+                         const std::string &dflt) const;
+    const std::vector<std::string> &memberNames() const;
+
+    /** Parse a JSON document; fatal() with position on bad input. */
+    static JsonValue parse(const std::string &text);
+
+    /** Parse the contents of a file. */
+    static JsonValue parseFile(const std::string &path);
+
+  private:
+    friend class JsonParser;
+
+    Kind kind_ = Kind::Null;
+    bool bool_ = false;
+    double number_ = 0.0;
+    std::string string_;
+    std::vector<JsonValue> array_;
+    std::map<std::string, JsonValue> object_;
+    std::vector<std::string> memberOrder_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_UTIL_JSON_HH

@@ -1,0 +1,45 @@
+#include "util/logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace nvmexp {
+
+namespace {
+bool quietFlag = false;
+}
+
+void
+setQuiet(bool quiet)
+{
+    quietFlag = quiet;
+}
+
+bool
+isQuiet()
+{
+    return quietFlag;
+}
+
+void
+logMessage(LogLevel level, const std::string &msg)
+{
+    switch (level) {
+      case LogLevel::Inform:
+        if (!quietFlag)
+            std::fprintf(stderr, "info: %s\n", msg.c_str());
+        break;
+      case LogLevel::Warn:
+        if (!quietFlag)
+            std::fprintf(stderr, "warn: %s\n", msg.c_str());
+        break;
+      case LogLevel::Fatal:
+        std::fprintf(stderr, "fatal: %s\n", msg.c_str());
+        std::exit(1);
+      case LogLevel::Panic:
+        std::fprintf(stderr, "panic: %s\n", msg.c_str());
+        std::abort();
+    }
+}
+
+} // namespace nvmexp

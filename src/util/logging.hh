@@ -1,0 +1,98 @@
+/**
+ * @file
+ * Status-message helpers in the spirit of gem5's logging.hh.
+ *
+ * fatal()  -- the run cannot continue due to a user error (bad
+ *             configuration, invalid arguments); exits with code 1.
+ * panic()  -- something happened that should never happen regardless of
+ *             user input (an internal bug); aborts.
+ * warn()   -- functionality works but deserves user attention.
+ * inform() -- normal operating status.
+ */
+
+#ifndef NVMEXP_UTIL_LOGGING_HH
+#define NVMEXP_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace nvmexp {
+
+/** Severity of a log message. */
+enum class LogLevel { Inform, Warn, Fatal, Panic };
+
+/**
+ * Emit a message at the given level; Fatal exits(1), Panic aborts.
+ * Exposed so tests can exercise the formatting path via Inform/Warn.
+ */
+void logMessage(LogLevel level, const std::string &msg);
+
+/** Globally silence Inform/Warn output (benches use this). */
+void setQuiet(bool quiet);
+
+/** @return true when Inform/Warn output is suppressed. */
+bool isQuiet();
+
+namespace detail {
+
+inline void
+formatInto(std::ostringstream &)
+{
+}
+
+template <typename T, typename... Args>
+void
+formatInto(std::ostringstream &os, const T &first, const Args &...rest)
+{
+    os << first;
+    formatInto(os, rest...);
+}
+
+template <typename... Args>
+std::string
+formatAll(const Args &...args)
+{
+    std::ostringstream os;
+    formatInto(os, args...);
+    return os.str();
+}
+
+} // namespace detail
+
+/** Print an informational message. */
+template <typename... Args>
+void
+inform(const Args &...args)
+{
+    logMessage(LogLevel::Inform, detail::formatAll(args...));
+}
+
+/** Print a warning. */
+template <typename... Args>
+void
+warn(const Args &...args)
+{
+    logMessage(LogLevel::Warn, detail::formatAll(args...));
+}
+
+/** User error: print and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(const Args &...args)
+{
+    logMessage(LogLevel::Fatal, detail::formatAll(args...));
+    __builtin_unreachable();
+}
+
+/** Internal bug: print and abort(). */
+template <typename... Args>
+[[noreturn]] void
+panic(const Args &...args)
+{
+    logMessage(LogLevel::Panic, detail::formatAll(args...));
+    __builtin_unreachable();
+}
+
+} // namespace nvmexp
+
+#endif // NVMEXP_UTIL_LOGGING_HH

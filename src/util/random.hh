@@ -1,0 +1,118 @@
+/**
+ * @file
+ * Deterministic fast PRNG (xoshiro256**) used across the framework.
+ *
+ * A project-local generator keeps fault-injection trials, synthetic
+ * address streams, and graph generation reproducible across platforms
+ * and standard-library versions (std::mt19937 streams are portable but
+ * distributions are not).
+ */
+
+#ifndef NVMEXP_UTIL_RANDOM_HH
+#define NVMEXP_UTIL_RANDOM_HH
+
+#include <cmath>
+#include <cstdint>
+
+namespace nvmexp {
+
+/**
+ * xoshiro256** generator with splitmix64 seeding.
+ *
+ * Satisfies UniformRandomBitGenerator, but prefer the member helpers
+ * (uniform / range / gaussian / bernoulli) which are platform-stable.
+ */
+class Rng
+{
+  public:
+    using result_type = std::uint64_t;
+
+    /** Seed via splitmix64 so that small consecutive seeds diverge. */
+    explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ull)
+    {
+        std::uint64_t x = seed;
+        for (auto &word : state_) {
+            x += 0x9E3779B97F4A7C15ull;
+            std::uint64_t z = x;
+            z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+            z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+            word = z ^ (z >> 31);
+        }
+    }
+
+    static constexpr result_type min() { return 0; }
+    static constexpr result_type max() { return ~0ull; }
+
+    /** Next raw 64-bit word. */
+    std::uint64_t
+    operator()()
+    {
+        const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+        const std::uint64_t t = state_[1] << 17;
+        state_[2] ^= state_[0];
+        state_[3] ^= state_[1];
+        state_[1] ^= state_[2];
+        state_[0] ^= state_[3];
+        state_[2] ^= t;
+        state_[3] = rotl(state_[3], 45);
+        return result;
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return (operator()() >> 11) * 0x1.0p-53;
+    }
+
+    /** Uniform integer in [0, bound). @pre bound > 0 */
+    std::uint64_t
+    range(std::uint64_t bound)
+    {
+        // Lemire's multiply-shift rejection-free variant is fine here;
+        // bias is < 2^-64 * bound which is negligible for our uses.
+        __uint128_t m = (__uint128_t)operator()() * (__uint128_t)bound;
+        return (std::uint64_t)(m >> 64);
+    }
+
+    /** Standard normal deviate via Box-Muller (one value per call). */
+    double
+    gaussian()
+    {
+        if (haveSpare_) {
+            haveSpare_ = false;
+            return spare_;
+        }
+        double u1 = 0.0;
+        while (u1 <= 1e-300)
+            u1 = uniform();
+        double u2 = uniform();
+        double r = std::sqrt(-2.0 * std::log(u1));
+        double theta = 6.283185307179586 * u2;
+        spare_ = r * std::sin(theta);
+        haveSpare_ = true;
+        return r * std::cos(theta);
+    }
+
+    /** Bernoulli trial with probability p. */
+    bool
+    bernoulli(double p)
+    {
+        return uniform() < p;
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t state_[4];
+    bool haveSpare_ = false;
+    double spare_ = 0.0;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_UTIL_RANDOM_HH

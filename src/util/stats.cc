@@ -1,0 +1,144 @@
+#include "util/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+void
+RunningStats::add(double x)
+{
+    if (n_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++n_;
+    double delta = x - mean_;
+    mean_ += delta / (double)n_;
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.n_ == 0)
+        return;
+    if (n_ == 0) {
+        *this = other;
+        return;
+    }
+    double delta = other.mean_ - mean_;
+    std::size_t total = n_ + other.n_;
+    m2_ += other.m2_ +
+        delta * delta * (double)n_ * (double)other.n_ / (double)total;
+    mean_ += delta * (double)other.n_ / (double)total;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+    n_ = total;
+}
+
+double
+RunningStats::variance() const
+{
+    return n_ ? m2_ / (double)n_ : 0.0;
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t buckets)
+    : lo_(lo), hi_(hi), counts_(buckets, 0)
+{
+    if (!(hi > lo) || buckets == 0)
+        fatal("Histogram requires hi > lo and at least one bucket");
+}
+
+void
+Histogram::add(double x)
+{
+    double f = (x - lo_) / (hi_ - lo_);
+    auto idx = (std::ptrdiff_t)(f * (double)counts_.size());
+    idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                     (std::ptrdiff_t)counts_.size() - 1);
+    ++counts_[(std::size_t)idx];
+    ++total_;
+}
+
+double
+Histogram::bucketLow(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * (double)i / (double)counts_.size();
+}
+
+double
+Histogram::bucketHigh(std::size_t i) const
+{
+    return lo_ + (hi_ - lo_) * (double)(i + 1) / (double)counts_.size();
+}
+
+double
+Histogram::quantile(double q) const
+{
+    if (total_ == 0)
+        return lo_;
+    q = std::clamp(q, 0.0, 1.0);
+    double target = q * (double)total_;
+    double seen = 0.0;
+    for (std::size_t i = 0; i < counts_.size(); ++i) {
+        double next = seen + (double)counts_[i];
+        if (next >= target && counts_[i] > 0) {
+            double within = (target - seen) / (double)counts_[i];
+            return bucketLow(i) + within * (bucketHigh(i) - bucketLow(i));
+        }
+        seen = next;
+    }
+    return hi_;
+}
+
+double
+geomean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        fatal("geomean of empty vector");
+    double acc = 0.0;
+    for (double x : xs) {
+        if (x <= 0.0)
+            fatal("geomean requires positive inputs, got ", x);
+        acc += std::log(x);
+    }
+    return std::exp(acc / (double)xs.size());
+}
+
+double
+pearson(const std::vector<double> &xs, const std::vector<double> &ys)
+{
+    if (xs.size() != ys.size() || xs.empty())
+        fatal("pearson requires two equal-length non-empty series");
+    double mx = 0.0, my = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        mx += xs[i];
+        my += ys[i];
+    }
+    mx /= (double)xs.size();
+    my /= (double)ys.size();
+    double sxy = 0.0, sxx = 0.0, syy = 0.0;
+    for (std::size_t i = 0; i < xs.size(); ++i) {
+        double dx = xs[i] - mx;
+        double dy = ys[i] - my;
+        sxy += dx * dy;
+        sxx += dx * dx;
+        syy += dy * dy;
+    }
+    if (sxx == 0.0 || syy == 0.0)
+        return 0.0;
+    return sxy / std::sqrt(sxx * syy);
+}
+
+} // namespace nvmexp

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Lightweight statistics accumulators used by simulators and benches.
+ */
+
+#ifndef NVMEXP_UTIL_STATS_HH
+#define NVMEXP_UTIL_STATS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+
+/**
+ * Streaming accumulator for min/max/mean/variance (Welford's method).
+ */
+class RunningStats
+{
+  public:
+    /** Add one sample. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    std::size_t count() const { return n_; }
+    double mean() const { return n_ ? mean_ : 0.0; }
+    double min() const { return n_ ? min_ : 0.0; }
+    double max() const { return n_ ? max_ : 0.0; }
+
+    /** Population variance. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t n_ = 0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+};
+
+/**
+ * Fixed-width histogram over [lo, hi); out-of-range samples clamp into
+ * the first/last bucket so totals stay consistent.
+ */
+class Histogram
+{
+  public:
+    Histogram(double lo, double hi, std::size_t buckets);
+
+    void add(double x);
+
+    std::size_t buckets() const { return counts_.size(); }
+    std::size_t bucketCount(std::size_t i) const { return counts_.at(i); }
+    std::size_t total() const { return total_; }
+    double bucketLow(std::size_t i) const;
+    double bucketHigh(std::size_t i) const;
+
+    /** Approximate quantile (linear within the containing bucket). */
+    double quantile(double q) const;
+
+  private:
+    double lo_;
+    double hi_;
+    std::vector<std::size_t> counts_;
+    std::size_t total_ = 0;
+};
+
+/** Geometric mean of a vector; zero/negative entries are fatal. */
+double geomean(const std::vector<double> &xs);
+
+/** Pearson correlation of two equally sized series. */
+double pearson(const std::vector<double> &xs, const std::vector<double> &ys);
+
+} // namespace nvmexp
+
+#endif // NVMEXP_UTIL_STATS_HH

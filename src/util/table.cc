@@ -1,0 +1,181 @@
+#include "util/table.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+
+Table::Table(std::string title, std::vector<std::string> headers)
+    : title_(std::move(title)), headers_(std::move(headers))
+{
+    if (headers_.empty())
+        fatal("Table '", title_, "' needs at least one column");
+}
+
+Table &
+Table::row()
+{
+    if (!rows_.empty() && rows_.back().size() != headers_.size()) {
+        fatal("Table '", title_, "': previous row has ",
+              rows_.back().size(), " cells, expected ", headers_.size());
+    }
+    rows_.emplace_back();
+    return *this;
+}
+
+Table &
+Table::add(const std::string &value)
+{
+    if (rows_.empty())
+        fatal("Table '", title_, "': add() before row()");
+    rows_.back().push_back(value);
+    return *this;
+}
+
+Table &
+Table::add(const char *value)
+{
+    return add(std::string(value));
+}
+
+Table &
+Table::add(double value)
+{
+    return add(formatNumber(value));
+}
+
+Table &
+Table::add(long long value)
+{
+    return add(std::to_string(value));
+}
+
+Table &
+Table::addEng(double value, const std::string &unit)
+{
+    return add(formatEng(value) + unit);
+}
+
+const std::string &
+Table::cell(std::size_t r, std::size_t c) const
+{
+    return rows_.at(r).at(c);
+}
+
+std::string
+Table::formatNumber(double value)
+{
+    char buf[64];
+    if (value == 0.0) {
+        return "0";
+    } else if (std::isnan(value)) {
+        return "nan";
+    } else if (std::isinf(value)) {
+        return value > 0 ? "inf" : "-inf";
+    }
+    double mag = std::fabs(value);
+    if (mag >= 1e5 || mag < 1e-3)
+        std::snprintf(buf, sizeof(buf), "%.3e", value);
+    else
+        std::snprintf(buf, sizeof(buf), "%.5g", value);
+    return buf;
+}
+
+std::string
+Table::formatEng(double value)
+{
+    static const struct { double scale; const char *suffix; } bands[] = {
+        { 1e12, "T" }, { 1e9, "G" }, { 1e6, "M" }, { 1e3, "k" },
+        { 1.0, "" }, { 1e-3, "m" }, { 1e-6, "u" }, { 1e-9, "n" },
+        { 1e-12, "p" }, { 1e-15, "f" }, { 1e-18, "a" },
+    };
+    if (value == 0.0)
+        return "0";
+    double mag = std::fabs(value);
+    for (const auto &band : bands) {
+        if (mag >= band.scale) {
+            char buf[64];
+            std::snprintf(buf, sizeof(buf), "%.3g%s", value / band.scale,
+                          band.suffix);
+            return buf;
+        }
+    }
+    return formatNumber(value);
+}
+
+void
+Table::print(std::ostream &os) const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_)
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    os << "== " << title_ << " ==\n";
+    auto emitRow = [&](const std::vector<std::string> &cells) {
+        for (std::size_t c = 0; c < cells.size(); ++c) {
+            os << cells[c];
+            if (c + 1 < cells.size())
+                os << std::string(widths[c] - cells[c].size() + 2, ' ');
+        }
+        os << '\n';
+    };
+    emitRow(headers_);
+    std::size_t lineLen = 0;
+    for (std::size_t c = 0; c < widths.size(); ++c)
+        lineLen += widths[c] + (c + 1 < widths.size() ? 2 : 0);
+    os << std::string(lineLen, '-') << '\n';
+    for (const auto &row : rows_)
+        emitRow(row);
+}
+
+namespace {
+
+std::string
+csvEscape(const std::string &cell)
+{
+    if (cell.find_first_of(",\"\n") == std::string::npos)
+        return cell;
+    std::string out = "\"";
+    for (char ch : cell) {
+        if (ch == '"')
+            out += '"';
+        out += ch;
+    }
+    out += '"';
+    return out;
+}
+
+} // namespace
+
+void
+Table::printCsv(std::ostream &os) const
+{
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        os << csvEscape(headers_[c]);
+        os << (c + 1 < headers_.size() ? "," : "\n");
+    }
+    for (const auto &row : rows_) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << csvEscape(row[c]);
+            os << (c + 1 < row.size() ? "," : "\n");
+        }
+    }
+}
+
+void
+Table::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot open '", path, "' for writing");
+    printCsv(out);
+}
+
+} // namespace nvmexp

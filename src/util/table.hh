@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Tabular result container with aligned-text and CSV emitters.
+ *
+ * Every bench binary regenerating a paper table/figure collects its rows
+ * into a Table and prints it; the same object can be dumped as CSV for
+ * external plotting (the paper's Tableau dashboard role).
+ */
+
+#ifndef NVMEXP_UTIL_TABLE_HH
+#define NVMEXP_UTIL_TABLE_HH
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+
+/** A simple column-schema table of string/numeric cells. */
+class Table
+{
+  public:
+    /** Create a table with the given title and column headers. */
+    Table(std::string title, std::vector<std::string> headers);
+
+    /** Begin a new row; subsequent add() calls fill it left to right. */
+    Table &row();
+
+    /** Append a string cell to the current row. */
+    Table &add(const std::string &value);
+    Table &add(const char *value);
+
+    /** Append a numeric cell (formatted to 4 significant digits). */
+    Table &add(double value);
+
+    /** Append an integer cell. */
+    Table &add(long long value);
+    Table &add(int value) { return add((long long)value); }
+    Table &add(std::size_t value) { return add((long long)value); }
+
+    /** Append a numeric cell in engineering notation with a unit. */
+    Table &addEng(double value, const std::string &unit);
+
+    std::size_t numRows() const { return rows_.size(); }
+    std::size_t numCols() const { return headers_.size(); }
+    const std::string &title() const { return title_; }
+    const std::vector<std::string> &headers() const { return headers_; }
+
+    /** Cell accessor (row-major). */
+    const std::string &cell(std::size_t r, std::size_t c) const;
+
+    /** Render with aligned columns and a title banner. */
+    void print(std::ostream &os) const;
+
+    /** Render as RFC-4180-ish CSV (quotes cells containing commas). */
+    void printCsv(std::ostream &os) const;
+
+    /** Write CSV to a file path; fatal() on failure. */
+    void writeCsv(const std::string &path) const;
+
+    /** Format a double with 4 significant digits (shared helper). */
+    static std::string formatNumber(double value);
+
+    /** Engineering-notation formatter, e.g. 1.32e-10 s -> "132p". */
+    static std::string formatEng(double value);
+
+  private:
+    std::string title_;
+    std::vector<std::string> headers_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_UTIL_TABLE_HH

@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Unit constants and helpers for physical quantities.
+ *
+ * All NVMExplorer-CPP internal quantities are kept in SI base units:
+ * seconds, joules, watts, meters, bytes (capacity), bits-per-second
+ * only where explicitly named. The constants below make configuration
+ * code read like the paper ("write pulse of 100 ns" -> 100 * ns).
+ */
+
+#ifndef NVMEXP_UTIL_UNITS_HH
+#define NVMEXP_UTIL_UNITS_HH
+
+namespace nvmexp {
+namespace units {
+
+// Time [s]
+constexpr double sec = 1.0;
+constexpr double ms = 1e-3;
+constexpr double us = 1e-6;
+constexpr double ns = 1e-9;
+constexpr double ps = 1e-12;
+
+// Energy [J]
+constexpr double joule = 1.0;
+constexpr double mJ = 1e-3;
+constexpr double uJ = 1e-6;
+constexpr double nJ = 1e-9;
+constexpr double pJ = 1e-12;
+constexpr double fJ = 1e-15;
+
+// Power [W]
+constexpr double watt = 1.0;
+constexpr double mW = 1e-3;
+constexpr double uW = 1e-6;
+constexpr double nW = 1e-9;
+
+// Length [m]
+constexpr double meter = 1.0;
+constexpr double mm = 1e-3;
+constexpr double um = 1e-6;
+constexpr double nm = 1e-9;
+
+// Area [m^2]
+constexpr double mm2 = 1e-6;
+constexpr double um2 = 1e-12;
+
+// Capacity [bytes] / [bits]
+constexpr double byte = 1.0;
+constexpr double KiB = 1024.0;
+constexpr double MiB = 1024.0 * 1024.0;
+constexpr double GiB = 1024.0 * 1024.0 * 1024.0;
+constexpr double MB = MiB;  // the paper uses MB loosely for MiB
+
+// Bandwidth [bytes/s]
+constexpr double Bps = 1.0;
+constexpr double KBps = 1e3;
+constexpr double MBps = 1e6;
+constexpr double GBps = 1e9;
+
+// Electrical
+constexpr double volt = 1.0;
+constexpr double amp = 1.0;
+constexpr double uA = 1e-6;
+constexpr double farad = 1.0;
+constexpr double fF = 1e-15;
+constexpr double aF = 1e-18;
+constexpr double ohm = 1.0;
+constexpr double kohm = 1e3;
+
+} // namespace units
+} // namespace nvmexp
+
+#endif // NVMEXP_UTIL_UNITS_HH

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(Cache, HitAfterFill)
+{
+    Cache c("t", 1024, 2, 64);  // 8 sets x 2 ways
+    EXPECT_FALSE(c.access(0x1000, MemOp::Read).hit);
+    EXPECT_TRUE(c.access(0x1000, MemOp::Read).hit);
+    EXPECT_TRUE(c.access(0x1020, MemOp::Read).hit);  // same line
+    EXPECT_EQ(c.stats().hits, 2u);
+    EXPECT_EQ(c.stats().misses, 1u);
+}
+
+TEST(Cache, LruEvictsOldest)
+{
+    Cache c("t", 2 * 64, 2, 64);  // one set, two ways
+    c.access(0 * 64, MemOp::Read);
+    c.access(1 * 64, MemOp::Read);
+    c.access(0 * 64, MemOp::Read);        // touch 0 -> 1 becomes LRU
+    auto r = c.access(2 * 64, MemOp::Read);
+    EXPECT_EQ(r.evictedLine, 1ull * 64);
+    EXPECT_TRUE(c.contains(0 * 64));
+    EXPECT_FALSE(c.contains(1 * 64));
+    EXPECT_TRUE(c.contains(2 * 64));
+}
+
+TEST(Cache, DirtyEvictionReportsWriteback)
+{
+    Cache c("t", 2 * 64, 2, 64);
+    c.access(0 * 64, MemOp::Write);
+    c.access(1 * 64, MemOp::Read);
+    auto r = c.access(2 * 64, MemOp::Read);  // evicts dirty line 0
+    EXPECT_TRUE(r.evictedDirty);
+    EXPECT_EQ(r.evictedLine, 0ull);
+    EXPECT_EQ(c.stats().writebacks, 1u);
+}
+
+TEST(Cache, ReadThenWriteMarksDirty)
+{
+    Cache c("t", 2 * 64, 2, 64);
+    c.access(0, MemOp::Read);
+    c.access(0, MemOp::Write);
+    c.access(64, MemOp::Read);
+    auto r = c.access(128, MemOp::Read);
+    EXPECT_TRUE(r.evictedDirty);  // line 0 was dirtied by the write
+}
+
+TEST(Cache, InvalidateRemovesLine)
+{
+    Cache c("t", 1024, 2, 64);
+    c.access(0x40, MemOp::Write);
+    EXPECT_TRUE(c.contains(0x40));
+    EXPECT_TRUE(c.invalidate(0x40));
+    EXPECT_FALSE(c.contains(0x40));
+    EXPECT_FALSE(c.invalidate(0x40));  // already gone
+}
+
+TEST(Cache, SetIndexingSeparatesConflicts)
+{
+    Cache c("t", 4096, 1, 64);  // 64 direct-mapped sets
+    // Two addresses in different sets should not evict each other.
+    c.access(0 * 64, MemOp::Read);
+    c.access(1 * 64, MemOp::Read);
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_TRUE(c.contains(64));
+    // Same set (stride = numSets * line) conflicts.
+    c.access(64ull * 64, MemOp::Read);
+    EXPECT_FALSE(c.contains(0));
+}
+
+TEST(CacheDeath, ValidatesGeometry)
+{
+    EXPECT_EXIT(Cache("bad", 1024, 0, 64),
+                ::testing::ExitedWithCode(1), "way");
+    EXPECT_EXIT(Cache("bad", 1024, 2, 48),
+                ::testing::ExitedWithCode(1), "power of two");
+    EXPECT_EXIT(Cache("bad", 96, 2, 64), ::testing::ExitedWithCode(1),
+                "mismatch");
+}
+
+TEST(Cache, StatsMissRate)
+{
+    Cache c("t", 1024, 2, 64);
+    c.access(0, MemOp::Read);
+    c.access(0, MemOp::Read);
+    c.access(4096, MemOp::Read);
+    EXPECT_NEAR(c.stats().missRate(), 2.0 / 3.0, 1e-12);
+}
+
+} // namespace
+} // namespace nvmexp

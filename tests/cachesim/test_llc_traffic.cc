@@ -1,0 +1,109 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/cache.hh"
+
+namespace nvmexp {
+namespace {
+
+Hierarchy::Config
+tinyConfig()
+{
+    Hierarchy::Config c;
+    c.l1Bytes = 1024;
+    c.l2Bytes = 4096;
+    c.llcBytes = 16384;
+    c.l1Ways = 2;
+    c.l2Ways = 4;
+    c.llcWays = 4;
+    return c;
+}
+
+TEST(Hierarchy, L1HitNeverReachesLlc)
+{
+    Hierarchy h(tinyConfig());
+    h.access(0x100, MemOp::Read);  // compulsory chain to LLC
+    auto before = h.summarize("t");
+    h.access(0x100, MemOp::Read);  // L1 hit
+    h.access(0x104, MemOp::Read);  // same line, L1 hit
+    auto after = h.summarize("t");
+    EXPECT_EQ(after.llcReads, before.llcReads);
+    EXPECT_EQ(after.dramReads, before.dramReads);
+}
+
+TEST(Hierarchy, CompulsoryMissFillsAllLevels)
+{
+    Hierarchy h(tinyConfig());
+    h.access(0x2000, MemOp::Read);
+    auto t = h.summarize("t");
+    EXPECT_EQ(t.llcReads, 1u);
+    EXPECT_EQ(t.dramReads, 1u);
+    EXPECT_EQ(t.llcWrites, 1u);  // the fill itself
+    EXPECT_TRUE(h.llc().contains(0x2000));
+    EXPECT_TRUE(h.l1().contains(0x2000));
+}
+
+TEST(Hierarchy, L2HitStopsAtL2)
+{
+    Hierarchy h(tinyConfig());
+    h.access(0x0, MemOp::Read);
+    // Evict from tiny L1 (2 ways x 8 sets) while staying in L2.
+    h.access(0x400, MemOp::Read);
+    h.access(0x800, MemOp::Read);
+    auto before = h.summarize("t");
+    h.access(0x0, MemOp::Read);  // L1 miss, L2 hit
+    auto after = h.summarize("t");
+    EXPECT_EQ(after.llcReads, before.llcReads);
+}
+
+TEST(Hierarchy, ExecTimeGrowsWithMisses)
+{
+    Hierarchy hitsOnly(tinyConfig());
+    hitsOnly.retireInstructions(1000);
+    double baseline = hitsOnly.summarize("t").execTime;
+
+    Hierarchy missy(tinyConfig());
+    missy.retireInstructions(1000);
+    for (int i = 0; i < 64; ++i)
+        missy.access((std::uint64_t)i * 64 * 1024, MemOp::Read);
+    EXPECT_GT(missy.summarize("t").execTime, baseline);
+}
+
+TEST(Hierarchy, DirtyLlcEvictionCountsDramWrite)
+{
+    auto config = tinyConfig();
+    Hierarchy h(config);
+    // Write-touch far more lines than the LLC holds.
+    std::size_t lines = config.llcBytes / 64 * 4;
+    for (std::size_t i = 0; i < lines; ++i)
+        h.access((std::uint64_t)i * 64, MemOp::Write);
+    auto t = h.summarize("t");
+    EXPECT_GT(t.dramWrites, 0u);
+}
+
+TEST(Hierarchy, InclusiveBackInvalidation)
+{
+    auto config = tinyConfig();
+    Hierarchy h(config);
+    h.access(0x0, MemOp::Read);
+    ASSERT_TRUE(h.l1().contains(0x0));
+    // Thrash the LLC set containing 0x0 until it gets evicted.
+    std::uint64_t setStride =
+        (std::uint64_t)(config.llcBytes / config.llcWays);
+    for (int i = 1; i <= config.llcWays + 1; ++i)
+        h.access((std::uint64_t)i * setStride, MemOp::Read);
+    EXPECT_FALSE(h.llc().contains(0x0));
+    EXPECT_FALSE(h.l1().contains(0x0));
+    EXPECT_FALSE(h.l2().contains(0x0));
+}
+
+TEST(Hierarchy, SummarizeCarriesBenchmarkName)
+{
+    Hierarchy h(tinyConfig());
+    h.retireInstructions(10);
+    auto t = h.summarize("myname");
+    EXPECT_EQ(t.benchmark, "myname");
+    EXPECT_EQ(t.instructions, 10u);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "cachesim/streams.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(Suite, HasTenNamedProfiles)
+{
+    const auto &suite = specLikeSuite();
+    EXPECT_EQ(suite.size(), 10u);
+    for (const auto &profile : suite) {
+        EXPECT_FALSE(profile.name.empty());
+        EXPECT_GT(profile.workingSetBytes, 0.0);
+        EXPECT_GT(profile.memOpsPerInstr, 0.0);
+        EXPECT_GE(profile.readFraction, 0.0);
+        EXPECT_LE(profile.readFraction, 1.0);
+    }
+}
+
+TEST(Suite, LookupByName)
+{
+    EXPECT_EQ(profileByName("mcf").name, "mcf");
+    EXPECT_EXIT(profileByName("nosuch"), ::testing::ExitedWithCode(1),
+                "unknown benchmark");
+}
+
+TEST(RunBenchmark, ProducesTrafficAndTime)
+{
+    Hierarchy::Config config;
+    LlcTraffic t = runBenchmark(profileByName("gcc"), 500'000, 100'000,
+                                config);
+    EXPECT_EQ(t.benchmark, "gcc");
+    EXPECT_EQ(t.instructions, 500'000u);
+    EXPECT_GT(t.execTime, 0.0);
+    EXPECT_GT(t.llcReads, 0u);
+}
+
+TEST(RunBenchmark, DeterministicUnderProfileSeed)
+{
+    Hierarchy::Config config;
+    LlcTraffic a = runBenchmark(profileByName("xz"), 300'000, 50'000,
+                                config);
+    LlcTraffic b = runBenchmark(profileByName("xz"), 300'000, 50'000,
+                                config);
+    EXPECT_EQ(a.llcReads, b.llcReads);
+    EXPECT_EQ(a.llcWrites, b.llcWrites);
+    EXPECT_DOUBLE_EQ(a.execTime, b.execTime);
+}
+
+TEST(RunBenchmark, CacheResidentProducesLessLlcTrafficThanThrashing)
+{
+    Hierarchy::Config config;
+    LlcTraffic friendly = runBenchmark(profileByName("perlbench"),
+                                       1'000'000, 200'000, config);
+    LlcTraffic thrash = runBenchmark(profileByName("mcf"), 1'000'000,
+                                     200'000, config);
+    EXPECT_LT(friendly.llcReads * 5, thrash.llcReads);
+}
+
+TEST(RunBenchmark, StreamingWritesProduceWritebacks)
+{
+    Hierarchy::Config config;
+    LlcTraffic lbm = runBenchmark(profileByName("lbm"), 1'000'000,
+                                  200'000, config);
+    EXPECT_GT(lbm.dramWrites, 0u);
+    EXPECT_GT(lbm.llcWrites, lbm.llcReads / 2);
+}
+
+TEST(RunBenchmark, WarmupIsExcludedFromCounts)
+{
+    Hierarchy::Config config;
+    LlcTraffic cold = runBenchmark(profileByName("gcc"), 500'000, 0,
+                                   config);
+    LlcTraffic warm = runBenchmark(profileByName("gcc"), 500'000,
+                                   500'000, config);
+    EXPECT_EQ(warm.instructions, 500'000u);
+    // Warm measurement misses the compulsory-fill burst.
+    EXPECT_LT(warm.llcReads, cold.llcReads);
+}
+
+TEST(RunBenchmarkDeath, RejectsZeroInstructions)
+{
+    Hierarchy::Config config;
+    EXPECT_EXIT(runBenchmark(profileByName("gcc"), 0, 0, config),
+                ::testing::ExitedWithCode(1), "instruction budget");
+}
+
+TEST(LlcTrafficPattern, ConvertsCounts)
+{
+    LlcTraffic t;
+    t.benchmark = "x";
+    t.llcReads = 1000;
+    t.llcWrites = 100;
+    t.execTime = 0.01;
+    TrafficPattern p = llcTrafficPattern(t);
+    EXPECT_DOUBLE_EQ(p.readsPerSec, 1e5);
+    EXPECT_DOUBLE_EQ(p.writesPerSec, 1e4);
+    EXPECT_EQ(p.name, "x");
+
+    t.execTime = 0.0;
+    EXPECT_EXIT(llcTrafficPattern(t), ::testing::ExitedWithCode(1),
+                "execution time");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "celldb/cell.hh"
+#include "celldb/tentpole.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(CellNames, TechNameRoundTrip)
+{
+    for (int t = 0; t < (int)CellTech::NumTech; ++t) {
+        auto tech = (CellTech)t;
+        EXPECT_EQ(techFromName(techName(tech)), tech);
+    }
+}
+
+TEST(CellNamesDeath, UnknownTechIsFatal)
+{
+    EXPECT_EXIT(techFromName("FLUX"), ::testing::ExitedWithCode(1),
+                "unknown cell technology");
+}
+
+TEST(MemCell, WriteEnergyAveragesSetAndReset)
+{
+    MemCell c = CellCatalog::sram16();
+    c.writeVoltage = 1.0;
+    c.setCurrent = 100e-6;
+    c.resetCurrent = 100e-6;
+    c.setPulse = 10e-9;
+    c.resetPulse = 10e-9;
+    // E = V*I*t = 1.0 * 1e-4 * 1e-8 = 1e-12 J
+    EXPECT_NEAR(c.writeEnergyPerBit(), 1e-12, 1e-18);
+}
+
+TEST(MemCell, WorstWritePulseIsMaxOfSetAndReset)
+{
+    MemCell c = CellCatalog::sram16();
+    c.setPulse = 5e-9;
+    c.resetPulse = 20e-9;
+    EXPECT_DOUBLE_EQ(c.worstWritePulse(), 20e-9);
+}
+
+TEST(MemCell, ReadCurrentsFollowOhmsLaw)
+{
+    MemCell c = CellCatalog::sram16();
+    c.readVoltage = 0.2;
+    c.resistanceOn = 10e3;
+    c.resistanceOff = 100e3;
+    EXPECT_NEAR(c.readCurrentOn(), 20e-6, 1e-12);
+    EXPECT_NEAR(c.readCurrentOff(), 2e-6, 1e-12);
+}
+
+TEST(MemCell, DensityScalesWithBitsPerCell)
+{
+    CellCatalog catalog;
+    MemCell slc = catalog.optimistic(CellTech::RRAM);
+    MemCell mlc = slc.makeMlc();
+    EXPECT_DOUBLE_EQ(mlc.densityBitsPerF2(),
+                     2.0 * slc.densityBitsPerF2());
+}
+
+TEST(MemCell, MakeMlcAppliesProgramAndVerifyCosts)
+{
+    CellCatalog catalog;
+    MemCell slc = catalog.optimistic(CellTech::RRAM);
+    MemCell mlc = slc.makeMlc(2, 4);
+    EXPECT_EQ(mlc.bitsPerCell, 2);
+    EXPECT_DOUBLE_EQ(mlc.setPulse, 4.0 * slc.setPulse);
+    EXPECT_DOUBLE_EQ(mlc.resetPulse, 4.0 * slc.resetPulse);
+    EXPECT_LT(mlc.endurance, slc.endurance);
+    EXPECT_NE(mlc.name.find("MLC"), std::string::npos);
+}
+
+TEST(MemCellDeath, MlcOnIncapableCellIsFatal)
+{
+    MemCell sram = CellCatalog::sram16();
+    EXPECT_EXIT(sram.makeMlc(), ::testing::ExitedWithCode(1),
+                "multi-level");
+}
+
+TEST(MemCellDeath, MlcBitRangeChecked)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::RRAM);
+    EXPECT_EXIT(cell.makeMlc(1), ::testing::ExitedWithCode(1),
+                "bits per cell");
+    EXPECT_EXIT(cell.makeMlc(5), ::testing::ExitedWithCode(1),
+                "bits per cell");
+}
+
+TEST(MemCellDeath, ValidateCatchesBadParameters)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+
+    MemCell bad = cell;
+    bad.areaF2 = 0.0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1), "area");
+
+    bad = cell;
+    bad.resistanceOff = bad.resistanceOn / 2.0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1), "Ron");
+
+    bad = cell;
+    bad.setPulse = -1.0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1), "pulse");
+
+    bad = cell;
+    bad.endurance = 0.0;
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "endurance");
+
+    bad = cell;
+    bad.nonVolatile = false;  // STT claiming to be volatile
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "volatile");
+}
+
+} // namespace
+} // namespace nvmexp

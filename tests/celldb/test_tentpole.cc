@@ -1,0 +1,175 @@
+#include <gtest/gtest.h>
+
+#include "celldb/tentpole.hh"
+
+namespace nvmexp {
+namespace {
+
+class TentpolePerTechTest : public ::testing::TestWithParam<CellTech>
+{
+  protected:
+    CellCatalog catalog_;
+};
+
+TEST_P(TentpolePerTechTest, OptimisticIsDenserThanPessimistic)
+{
+    MemCell opt = catalog_.optimistic(GetParam());
+    MemCell pess = catalog_.pessimistic(GetParam());
+    EXPECT_LT(opt.areaF2, pess.areaF2);
+    EXPECT_GT(opt.densityBitsPerF2(), pess.densityBitsPerF2());
+}
+
+TEST_P(TentpolePerTechTest, OptimisticFillInsAreAtLeastAsGood)
+{
+    MemCell opt = catalog_.optimistic(GetParam());
+    MemCell pess = catalog_.pessimistic(GetParam());
+    // Tentpole fill-ins only guarantee ordering for parameters the
+    // base publications did not fix; endurance is monotone for the
+    // built-in corpus. (Retention is NOT: the density tentpole's own
+    // reported retention sticks even when unflattering -- the amalgam
+    // quirk Sec. III-B acknowledges.)
+    EXPECT_GE(opt.endurance, pess.endurance);
+}
+
+TEST_P(TentpolePerTechTest, CellsAreFullySpecifiedAndNonVolatile)
+{
+    for (MemCell cell : {catalog_.optimistic(GetParam()),
+                         catalog_.pessimistic(GetParam())}) {
+        cell.validate();  // would fatal() on an unspecified cell
+        EXPECT_TRUE(cell.nonVolatile);
+        EXPECT_EQ(cell.bitsPerCell, 1);
+        EXPECT_GT(cell.worstWritePulse(), 0.0);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllEnvms, TentpolePerTechTest,
+    ::testing::Values(CellTech::PCM, CellTech::STT, CellTech::SOT,
+                      CellTech::RRAM, CellTech::CTT, CellTech::FeRAM,
+                      CellTech::FeFET),
+    [](const ::testing::TestParamInfo<CellTech> &info) {
+        return techName(info.param);
+    });
+
+TEST(Tentpole, OptimisticSttMatchesPaperAmalgam)
+{
+    CellCatalog catalog;
+    MemCell opt = catalog.optimistic(CellTech::STT);
+    // Density base: the 14 F^2 compact-cell publication...
+    EXPECT_DOUBLE_EQ(opt.areaF2, 14.0);
+    // ...with the fastest pulse and best endurance filled in from the
+    // rest of the corpus.
+    EXPECT_DOUBLE_EQ(opt.setPulse, 2e-9);
+    EXPECT_DOUBLE_EQ(opt.endurance, 1e15);
+}
+
+TEST(Tentpole, PessimisticSttTakesWorstFillIns)
+{
+    CellCatalog catalog;
+    MemCell pess = catalog.pessimistic(CellTech::STT);
+    EXPECT_DOUBLE_EQ(pess.areaF2, 75.0);
+    EXPECT_DOUBLE_EQ(pess.setPulse, 200e-9);   // reported by the base
+    EXPECT_DOUBLE_EQ(pess.endurance, 1e5);     // reported by the base
+}
+
+TEST(Tentpole, PcmWriteAsymmetry)
+{
+    CellCatalog catalog;
+    MemCell pcm = catalog.optimistic(CellTech::PCM);
+    EXPECT_LT(pcm.resetPulse, pcm.setPulse);
+    EXPECT_GT(pcm.resetCurrent, pcm.setCurrent);
+}
+
+TEST(Tentpole, FeFetIsDensestOptimisticCell)
+{
+    CellCatalog catalog;
+    MemCell fefet = catalog.optimistic(CellTech::FeFET);
+    for (CellTech tech : {CellTech::PCM, CellTech::STT, CellTech::RRAM,
+                          CellTech::CTT}) {
+        EXPECT_LE(fefet.areaF2, catalog.optimistic(tech).areaF2)
+            << techName(tech);
+    }
+}
+
+TEST(Tentpole, ReferenceCellComesFromNamedEntry)
+{
+    CellCatalog catalog;
+    MemCell ref = catalog.rramReference();
+    EXPECT_EQ(ref.tech, CellTech::RRAM);
+    EXPECT_EQ(ref.flavor, CellFlavor::Reference);
+    EXPECT_DOUBLE_EQ(ref.areaF2, 30.0);
+    EXPECT_DOUBLE_EQ(ref.setPulse, 100e-9);
+    // Reference sits between the tentpoles on density.
+    EXPECT_GT(ref.areaF2, catalog.optimistic(CellTech::RRAM).areaF2);
+    EXPECT_LT(ref.areaF2, catalog.pessimistic(CellTech::RRAM).areaF2);
+}
+
+TEST(TentpoleDeath, UnknownReferenceLabelIsFatal)
+{
+    SurveyDatabase db;
+    TentpoleBuilder builder(db);
+    EXPECT_EXIT(builder.reference(CellTech::RRAM, "no-such-label"),
+                ::testing::ExitedWithCode(1), "no survey entry");
+}
+
+TEST(TentpoleDeath, ReferenceTechMismatchIsFatal)
+{
+    SurveyDatabase db;
+    TentpoleBuilder builder(db);
+    EXPECT_EXIT(builder.reference(CellTech::PCM,
+                                  "ISSCC18-RRAM-n40-256kx44"),
+                ::testing::ExitedWithCode(1), "not PCM");
+}
+
+TEST(TentpoleDeath, SramHasNoTentpoles)
+{
+    SurveyDatabase db;
+    TentpoleBuilder builder(db);
+    EXPECT_EXIT(builder.optimistic(CellTech::SRAM),
+                ::testing::ExitedWithCode(1), "SRAM");
+}
+
+TEST(Catalog, Sram16Baseline)
+{
+    MemCell sram = CellCatalog::sram16();
+    EXPECT_EQ(sram.tech, CellTech::SRAM);
+    EXPECT_FALSE(sram.nonVolatile);
+    EXPECT_DOUBLE_EQ(sram.areaF2, 146.0);
+    EXPECT_GT(sram.cellLeakage, 0.0);
+    EXPECT_FALSE(sram.mlcCapable);
+    sram.validate();
+}
+
+TEST(Catalog, BackGatedFeFetImprovesWriteAndEndurance)
+{
+    CellCatalog catalog;
+    MemCell base = catalog.optimistic(CellTech::FeFET);
+    MemCell bg = CellCatalog::backGatedFeFET();
+    EXPECT_LT(bg.worstWritePulse(), base.worstWritePulse());
+    EXPECT_GT(bg.endurance, base.endurance);
+    // ...at slight density and read-energy cost.
+    EXPECT_GT(bg.areaF2, base.areaF2);
+    EXPECT_GT(bg.readVoltage, base.readVoltage);
+}
+
+TEST(Catalog, StudySetComposition)
+{
+    CellCatalog catalog;
+    auto cells = catalog.studyCells();
+    // SRAM + 5 techs x (opt, pess) + reference RRAM.
+    EXPECT_EQ(cells.size(), 12u);
+    EXPECT_EQ(cells.front().tech, CellTech::SRAM);
+    int sotCount = 0, feramCount = 0;
+    for (const auto &cell : cells) {
+        if (cell.tech == CellTech::SOT)
+            ++sotCount;
+        if (cell.tech == CellTech::FeRAM)
+            ++feramCount;
+    }
+    // SOT and FeRAM are excluded for lack of validation data.
+    EXPECT_EQ(sotCount, 0);
+    EXPECT_EQ(feramCount, 0);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "core/config.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace {
+
+class ConfigTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_F(ConfigTest, ResolvesNamedCells)
+{
+    EXPECT_EQ(resolveCellReference("SRAM").tech, CellTech::SRAM);
+    MemCell sttOpt = resolveCellReference("STT-Opt");
+    EXPECT_EQ(sttOpt.tech, CellTech::STT);
+    EXPECT_EQ(sttOpt.flavor, CellFlavor::Optimistic);
+    EXPECT_EQ(resolveCellReference("CTT-Opt").tech, CellTech::CTT);
+    EXPECT_EQ(resolveCellReference("PCM-Pess").flavor,
+              CellFlavor::Pessimistic);
+    EXPECT_EQ(resolveCellReference("RRAM-Ref").flavor,
+              CellFlavor::Reference);
+    EXPECT_EQ(resolveCellReference("FeFET-BG").name, "FeFET-BG");
+}
+
+TEST_F(ConfigTest, ResolvesMlcSuffix)
+{
+    MemCell mlc = resolveCellReference("RRAM-Opt+MLC2");
+    EXPECT_EQ(mlc.bitsPerCell, 2);
+    EXPECT_NE(mlc.name.find("MLC"), std::string::npos);
+}
+
+TEST_F(ConfigTest, UnknownReferencesAreFatal)
+{
+    EXPECT_EXIT(resolveCellReference("Quantum-Opt"),
+                ::testing::ExitedWithCode(1), "unknown cell");
+    EXPECT_EXIT(resolveCellReference("bogus"),
+                ::testing::ExitedWithCode(1), "unknown cell");
+}
+
+namespace {
+
+const char *kBasicConfig = R"({
+    "experiment": "unit-test-sweep",
+    "cells": ["SRAM", "RRAM-Opt"],
+    "capacities_mib": [2, 8],
+    "targets": ["ReadEDP", "Area"],
+    "word_bits": 512,
+    "traffic": [
+        {"name": "a", "read_bytes_per_sec": 1e9,
+         "write_bytes_per_sec": 1e7},
+        {"name": "b", "reads": 1e6, "writes": 1e5, "exec_time": 0.5}
+    ],
+    "constraints": {"max_latency_load": 1.0,
+                    "min_lifetime_years": 1},
+    "output_csv": ""
+})";
+
+} // namespace
+
+TEST_F(ConfigTest, LoadsFullSchema)
+{
+    ExperimentConfig config =
+        loadExperiment(JsonValue::parse(kBasicConfig));
+    EXPECT_EQ(config.name, "unit-test-sweep");
+    EXPECT_EQ(config.sweep.cells.size(), 2u);
+    EXPECT_EQ(config.sweep.capacitiesBytes.size(), 2u);
+    EXPECT_DOUBLE_EQ(config.sweep.capacitiesBytes[1],
+                     8.0 * 1024 * 1024);
+    EXPECT_EQ(config.sweep.targets.size(), 2u);
+    EXPECT_EQ(config.sweep.traffics.size(), 2u);
+    EXPECT_DOUBLE_EQ(config.sweep.traffics[1].readsPerSec, 2e6);
+    EXPECT_TRUE(config.applyConstraints);
+    EXPECT_NEAR(config.constraints.minLifetimeSec, 365.0 * 86400.0,
+                1.0);
+}
+
+TEST_F(ConfigTest, StudySetExpands)
+{
+    auto doc = JsonValue::parse(R"({
+        "cells": ["study-set"],
+        "capacities_mib": [2],
+        "traffic": [{"name": "t", "reads": 1e5, "writes": 0}]
+    })");
+    ExperimentConfig config = loadExperiment(doc);
+    EXPECT_EQ(config.sweep.cells.size(), 12u);
+    // Defaults applied.
+    EXPECT_EQ(config.sweep.targets.size(), 1u);
+    EXPECT_EQ(config.sweep.wordBits, 512);
+    EXPECT_FALSE(config.applyConstraints);
+}
+
+TEST_F(ConfigTest, GenericGridTrafficExpands)
+{
+    auto doc = JsonValue::parse(R"({
+        "cells": ["STT-Opt"],
+        "capacities_mib": [2],
+        "word_bits": 64,
+        "traffic": [{"kind": "generic_grid",
+                     "read_lo": 1e9, "read_hi": 1e10,
+                     "write_lo": 1e6, "write_hi": 1e8,
+                     "steps": 3}]
+    })");
+    ExperimentConfig config = loadExperiment(doc);
+    EXPECT_EQ(config.sweep.traffics.size(), 9u);
+}
+
+TEST_F(ConfigTest, CustomCellsOverrideBaseParameters)
+{
+    auto doc = JsonValue::parse(R"({
+        "cells": [{"name": "hero", "base": "STT-Opt",
+                   "write_pulse_ns": 1.0, "endurance": 1e16}],
+        "capacities_mib": [2],
+        "traffic": [{"name": "t", "reads": 1e5, "writes": 1e4}]
+    })");
+    ExperimentConfig config = loadExperiment(doc);
+    ASSERT_EQ(config.sweep.cells.size(), 1u);
+    EXPECT_EQ(config.sweep.cells[0].name, "hero");
+    EXPECT_DOUBLE_EQ(config.sweep.cells[0].setPulse, 1e-9);
+    EXPECT_DOUBLE_EQ(config.sweep.cells[0].endurance, 1e16);
+}
+
+TEST_F(ConfigTest, RunExperimentProducesDashboardRows)
+{
+    ExperimentConfig config =
+        loadExperiment(JsonValue::parse(kBasicConfig));
+    config.applyConstraints = false;
+    Table table = runExperiment(config);
+    // 2 cells x 2 capacities x 2 targets x 2 traffics.
+    EXPECT_EQ(table.numRows(), 16u);
+    EXPECT_EQ(table.headers().front(), "Cell");
+}
+
+TEST_F(ConfigTest, ConstraintsFilterRows)
+{
+    ExperimentConfig config =
+        loadExperiment(JsonValue::parse(kBasicConfig));
+    Table filtered = runExperiment(config);
+    config.applyConstraints = false;
+    Table all = runExperiment(config);
+    EXPECT_LT(filtered.numRows(), all.numRows());
+}
+
+TEST_F(ConfigTest, ShippedConfigFilesLoad)
+{
+    for (const char *path : {"config/main_dnn_study.json",
+                             "config/graph_scratchpad_study.json",
+                             "config/llc_replacement_study.json"}) {
+        std::string full = std::string(NVMEXP_SOURCE_DIR) + "/" + path;
+        ExperimentConfig config = loadExperimentFile(full);
+        EXPECT_FALSE(config.sweep.cells.empty()) << path;
+        EXPECT_FALSE(config.sweep.traffics.empty()) << path;
+    }
+}
+
+TEST_F(ConfigTest, BadConfigsAreFatal)
+{
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(R"({
+        "cells": [],
+        "capacities_mib": [2],
+        "traffic": [{"name": "t", "reads": 1}]
+    })")), ::testing::ExitedWithCode(1), "no cells");
+
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(R"({
+        "cells": ["SRAM"],
+        "capacities_mib": [2],
+        "traffic": [{"name": "t"}]
+    })")), ::testing::ExitedWithCode(1), "byte rates or access");
+
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(R"({
+        "cells": ["SRAM"],
+        "capacities_mib": [2],
+        "targets": ["FastestEver"],
+        "traffic": [{"name": "t", "reads": 1}]
+    })")), ::testing::ExitedWithCode(1), "unknown optimization");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "celldb/tentpole.hh"
+#include "core/sweep.hh"
+
+namespace nvmexp {
+namespace {
+
+EvalResult
+makeResult()
+{
+    CellCatalog catalog;
+    ArrayConfig config;
+    config.capacityBytes = 2.0 * 1024 * 1024;
+    ArrayDesigner designer(catalog.optimistic(CellTech::STT), config);
+    ArrayResult array = designer.optimize(OptTarget::ReadEDP);
+    auto traffic = TrafficPattern::fromByteRates("t", 2e9, 2e7, 512);
+    return evaluate(array, traffic);
+}
+
+TEST(Filters, UnconstrainedPasses)
+{
+    EvalResult r = makeResult();
+    Constraints c;
+    EXPECT_TRUE(satisfies(r, c));
+}
+
+TEST(Filters, PowerBudget)
+{
+    EvalResult r = makeResult();
+    Constraints c;
+    c.maxPowerWatts = r.totalPower / 2.0;
+    EXPECT_FALSE(satisfies(r, c));
+    c.maxPowerWatts = r.totalPower * 2.0;
+    EXPECT_TRUE(satisfies(r, c));
+}
+
+TEST(Filters, AreaBudget)
+{
+    EvalResult r = makeResult();
+    Constraints c;
+    c.maxAreaM2 = r.array.areaM2 * 0.5;
+    EXPECT_FALSE(satisfies(r, c));
+}
+
+TEST(Filters, LifetimeFloor)
+{
+    EvalResult r = makeResult();
+    Constraints c;
+    c.minLifetimeSec = r.lifetimeSec * 2.0;
+    EXPECT_FALSE(satisfies(r, c));
+    c.minLifetimeSec = r.lifetimeSec / 2.0;
+    EXPECT_TRUE(satisfies(r, c));
+}
+
+TEST(Filters, LatencyCeilings)
+{
+    EvalResult r = makeResult();
+    Constraints c;
+    c.maxReadLatency = r.array.readLatency / 2.0;
+    EXPECT_FALSE(satisfies(r, c));
+    c = Constraints{};
+    c.maxWriteLatency = r.array.writeLatency / 2.0;
+    EXPECT_FALSE(satisfies(r, c));
+}
+
+TEST(Filters, LatencyLoadCeiling)
+{
+    EvalResult r = makeResult();
+    Constraints c;
+    c.maxLatencyLoad = r.latencyLoad / 2.0;
+    EXPECT_FALSE(satisfies(r, c));
+}
+
+TEST(Filters, BandwidthRequirementToggle)
+{
+    CellCatalog catalog;
+    ArrayConfig config;
+    config.capacityBytes = 2.0 * 1024 * 1024;
+    ArrayDesigner designer(catalog.pessimistic(CellTech::FeFET),
+                           config);
+    ArrayResult slow = designer.optimize(OptTarget::ReadEDP);
+    auto heavy = TrafficPattern::fromByteRates(
+        "w", 1e9, slow.writeBandwidth * 4.0, 512);
+    EvalResult r = evaluate(slow, heavy);
+    ASSERT_FALSE(r.meetsWriteBandwidth);
+    Constraints c;
+    c.maxLatencyLoad = -1.0;  // disable the load ceiling
+    EXPECT_FALSE(satisfies(r, c));
+    c.requireBandwidth = false;
+    EXPECT_TRUE(satisfies(r, c));
+}
+
+TEST(Filters, FilterResultsKeepsOrder)
+{
+    EvalResult r = makeResult();
+    std::vector<EvalResult> all = {r, r, r};
+    Constraints none;
+    EXPECT_EQ(filterResults(all, none).size(), 3u);
+    Constraints impossible;
+    impossible.maxPowerWatts = 1e-12;
+    EXPECT_TRUE(filterResults(all, impossible).empty());
+}
+
+} // namespace
+} // namespace nvmexp

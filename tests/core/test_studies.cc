@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "core/studies.hh"
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace nvmexp {
+namespace {
+
+class StudiesTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_F(StudiesTest, ValidationCoversPublishedArray)
+{
+    auto rows = studies::tentpoleValidation();
+    ASSERT_EQ(rows.size(), 2u);
+    for (const auto &row : rows) {
+        EXPECT_TRUE(row.covered) << row.metric;
+        EXPECT_LE(row.optimistic, row.reference);
+        EXPECT_LE(row.reference, row.pessimistic);
+    }
+}
+
+TEST_F(StudiesTest, ArrayLandscapeCoversCellsAndTargets)
+{
+    auto arrays = studies::arrayLandscape();
+    EXPECT_EQ(arrays.size(), 12u * allOptTargets().size());
+}
+
+TEST_F(StudiesTest, DnnBufferDensityOrdering)
+{
+    auto arrays = studies::dnnBufferArrays();
+    double sram = 0.0, stt = 0.0, fefet = 0.0, best = 0.0;
+    for (const auto &array : arrays) {
+        double d = array.densityMbPerMm2();
+        if (array.cell.name == "SRAM")
+            sram = d;
+        if (array.cell.name == "STT-Opt")
+            stt = d;
+        if (array.cell.name == "FeFET-Opt")
+            fefet = d;
+        best = std::max(best, d);
+    }
+    // Fig 5: optimistic FeFET is the densest option; optimistic STT
+    // offers ~6x density over SRAM.
+    EXPECT_DOUBLE_EQ(fefet, best);
+    EXPECT_GT(stt / sram, 4.0);
+    EXPECT_LT(stt / sram, 9.0);
+}
+
+TEST_F(StudiesTest, ContinuousPowerScenariosComplete)
+{
+    auto rows = studies::dnnContinuousPower();
+    EXPECT_EQ(rows.size(), 4u * 12u);
+    int excluded = 0;
+    for (const auto &row : rows)
+        if (!row.meetsFps)
+            ++excluded;
+    // Some pessimistic cells cannot sustain 60 FPS with activations.
+    EXPECT_GT(excluded, 0);
+}
+
+TEST_F(StudiesTest, IntermittentRowsCoverTasksAndRates)
+{
+    auto rows = studies::dnnIntermittentEnergy({1e3, 1e6});
+    // 5 tasks x 12 cells x 2 rates.
+    EXPECT_EQ(rows.size(), 5u * 12u * 2u);
+    for (const auto &row : rows) {
+        EXPECT_GT(row.energyPerEvent, 0.0);
+        EXPECT_GT(row.energyPerDay, 0.0);
+    }
+}
+
+TEST_F(StudiesTest, UseCaseSummaryShapeMatchesTable2)
+{
+    auto rows = studies::dnnUseCaseSummary();
+    // 4 continuous scenarios x 2 priorities + 5 intermittent tasks x 2.
+    EXPECT_EQ(rows.size(), 8u + 10u);
+    for (const auto &row : rows) {
+        EXPECT_NE(row.optChoice, "");
+        EXPECT_NE(row.altChoice, "");
+        // Winners come from the right pools.
+        if (row.optChoice != "none")
+            EXPECT_NE(row.optChoice.find("-Opt"), std::string::npos)
+                << row.optChoice;
+        if (row.altChoice != "none") {
+            bool alt = row.altChoice.find("-Pess") != std::string::npos ||
+                row.altChoice.find("-Ref") != std::string::npos;
+            EXPECT_TRUE(alt) << row.altChoice;
+        }
+    }
+}
+
+TEST_F(StudiesTest, AreaEfficiencyLatencyAnticorrelation)
+{
+    auto arrays = studies::areaEfficiencyStudy();
+    ASSERT_GT(arrays.size(), 50u);
+    // Pool the per-cell correlation over STT (a representative tech).
+    std::vector<double> aeff, lat;
+    for (const auto &array : arrays) {
+        if (array.cell.name != "STT-Opt")
+            continue;
+        aeff.push_back(array.areaEfficiency);
+        lat.push_back(array.readLatency);
+    }
+    ASSERT_GT(aeff.size(), 5u);
+    EXPECT_GT(pearson(aeff, lat), 0.2)
+        << "lower area efficiency should mean lower latency";
+}
+
+TEST_F(StudiesTest, WriteBufferHelpsWriteLimitedCells)
+{
+    auto rows = studies::writeBufferStudy();
+    double fefetPlain = -1.0, fefetMasked = -1.0;
+    for (const auto &row : rows) {
+        if (row.cell != "FeFET-Opt" || row.workload != "Facebook-BFS")
+            continue;
+        if (row.latencyMask == 0.0 && row.trafficReduction == 0.0)
+            fefetPlain = row.latencyLoad;
+        if (row.latencyMask == 1.0 && row.trafficReduction == 0.5)
+            fefetMasked = row.latencyLoad;
+    }
+    ASSERT_GE(fefetPlain, 0.0);
+    ASSERT_GE(fefetMasked, 0.0);
+    EXPECT_LT(fefetMasked, fefetPlain / 4.0);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "celldb/tentpole.hh"
+#include "core/sweep.hh"
+
+namespace nvmexp {
+namespace {
+
+SweepConfig
+smallSweep()
+{
+    CellCatalog catalog;
+    SweepConfig sweep;
+    sweep.cells = {catalog.optimistic(CellTech::STT),
+                   catalog.optimistic(CellTech::RRAM)};
+    sweep.capacitiesBytes = {2.0 * 1024 * 1024, 8.0 * 1024 * 1024};
+    sweep.targets = {OptTarget::ReadEDP, OptTarget::Area};
+    sweep.traffics = {
+        TrafficPattern::fromByteRates("light", 1e9, 1e6, 512),
+        TrafficPattern::fromByteRates("heavy", 10e9, 1e8, 512),
+    };
+    return sweep;
+}
+
+TEST(Sweep, CharacterizeCrossesCellsCapacitiesTargets)
+{
+    auto arrays = characterizeSweep(smallSweep());
+    EXPECT_EQ(arrays.size(), 2u * 2u * 2u);
+}
+
+TEST(Sweep, RunCrossesTraffics)
+{
+    auto results = runSweep(smallSweep());
+    EXPECT_EQ(results.size(), 8u * 2u);
+    for (const auto &r : results) {
+        EXPECT_GT(r.totalPower, 0.0);
+        EXPECT_FALSE(r.traffic.name.empty());
+    }
+}
+
+TEST(SweepDeath, EmptyConfigsAreFatal)
+{
+    SweepConfig noCells;
+    noCells.traffics = {TrafficPattern::fromCounts("t", 1, 1, 1)};
+    EXPECT_EXIT(runSweep(noCells), ::testing::ExitedWithCode(1),
+                "no cells");
+    SweepConfig noTraffic = smallSweep();
+    noTraffic.traffics.clear();
+    EXPECT_EXIT(runSweep(noTraffic), ::testing::ExitedWithCode(1),
+                "no traffic");
+}
+
+TEST(Pareto, KeepsOnlyNonDominatedPoints)
+{
+    struct P
+    {
+        double a, b;
+    };
+    std::vector<P> points = {
+        {1, 4}, {2, 2}, {4, 1}, {3, 3}, {5, 5},
+    };
+    auto front = paretoFront<P>(
+        points, [](const P &p) { return p.a; },
+        [](const P &p) { return p.b; });
+    ASSERT_EQ(front.size(), 3u);
+    for (const auto &p : front)
+        EXPECT_TRUE((p.a == 1 && p.b == 4) || (p.a == 2 && p.b == 2) ||
+                    (p.a == 4 && p.b == 1));
+}
+
+TEST(Pareto, SinglePointIsItsOwnFront)
+{
+    std::vector<double> xs = {3.0};
+    auto front = paretoFront<double>(
+        xs, [](const double &x) { return x; },
+        [](const double &x) { return -x; });
+    EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(BestBy, FindsMinimum)
+{
+    auto results = runSweep(smallSweep());
+    const EvalResult *best = bestBy(
+        results, [](const EvalResult &r) { return r.totalPower; });
+    ASSERT_NE(best, nullptr);
+    for (const auto &r : results)
+        EXPECT_LE(best->totalPower, r.totalPower);
+    std::vector<EvalResult> empty;
+    EXPECT_EQ(bestBy(empty,
+                     [](const EvalResult &r) { return r.totalPower; }),
+              nullptr);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "celldb/tentpole.hh"
+#include "dnn/inference.hh"
+#include "fault/injector.hh"
+
+namespace nvmexp {
+namespace {
+
+class InferenceTest : public ::testing::Test
+{
+  protected:
+    static SyntheticTask &
+    task()
+    {
+        static SyntheticTask t(16, 6, 1500, 800, 0xABCD, 0.8);
+        return t;
+    }
+
+    static Mlp &
+    trainedMlp()
+    {
+        static Mlp mlp = [] {
+            Mlp m({16, 48, 6}, 0x1234);
+            m.train(task(), 10, 0.02);
+            return m;
+        }();
+        return mlp;
+    }
+};
+
+TEST_F(InferenceTest, TaskIsDeterministicUnderSeed)
+{
+    SyntheticTask a(8, 3, 100, 50, 42);
+    SyntheticTask b(8, 3, 100, 50, 42);
+    EXPECT_EQ(a.trainX(), b.trainX());
+    EXPECT_EQ(a.trainY(), b.trainY());
+    EXPECT_EQ(a.testX(), b.testX());
+}
+
+TEST_F(InferenceTest, TaskShapesAreConsistent)
+{
+    EXPECT_EQ(task().trainX().size(), 1500u);
+    EXPECT_EQ(task().testX().size(), 800u);
+    EXPECT_EQ((int)task().trainX()[0].size(), 16);
+    for (int y : task().testY()) {
+        EXPECT_GE(y, 0);
+        EXPECT_LT(y, 6);
+    }
+}
+
+TEST_F(InferenceTest, TrainingReachesHighAccuracy)
+{
+    double trainAcc =
+        trainedMlp().accuracy(task().trainX(), task().trainY());
+    double testAcc =
+        trainedMlp().accuracy(task().testX(), task().testY());
+    EXPECT_GT(trainAcc, 0.9);
+    EXPECT_GT(testAcc, 0.85);
+}
+
+TEST_F(InferenceTest, UntrainedIsNearChance)
+{
+    Mlp fresh({16, 48, 6}, 0x777);
+    double acc = fresh.accuracy(task().testX(), task().testY());
+    EXPECT_LT(acc, 0.5);
+}
+
+TEST_F(InferenceTest, QuantizationPreservesAccuracy)
+{
+    QuantizedMlp q = trainedMlp().quantize();
+    double floatAcc =
+        trainedMlp().accuracy(task().testX(), task().testY());
+    double quantAcc = q.accuracy(task().testX(), task().testY());
+    EXPECT_NEAR(quantAcc, floatAcc, 0.03);
+    EXPECT_EQ(q.weightBytes(), (std::size_t)(16 * 48 + 48 * 6));
+}
+
+TEST_F(InferenceTest, MassiveCorruptionDestroysAccuracy)
+{
+    QuantizedMlp q = trainedMlp().quantize();
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 9);
+    injector.injectUniform(q.weightImage(), 0.4);
+    double corrupted = q.accuracy(task().testX(), task().testY());
+    EXPECT_LT(corrupted, 0.6);
+}
+
+TEST_F(InferenceTest, RestoreRecoversCleanWeights)
+{
+    QuantizedMlp q = trainedMlp().quantize();
+    double clean = q.accuracy(task().testX(), task().testY());
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 10);
+    injector.injectUniform(q.weightImage(), 0.4);
+    q.restore();
+    EXPECT_DOUBLE_EQ(q.accuracy(task().testX(), task().testY()), clean);
+}
+
+TEST_F(InferenceTest, AccuracyMonotoneInBer)
+{
+    QuantizedMlp q = trainedMlp().quantize();
+    FaultModel model(CellCatalog::sram16());
+    double prev = 1.1;
+    int nonIncreasing = 0;
+    int steps = 0;
+    for (double ber : {1e-4, 1e-3, 1e-2, 1e-1}) {
+        double acc = 0.0;
+        for (int trial = 0; trial < 3; ++trial) {
+            q.restore();
+            FaultInjector injector(model,
+                                   100 + (std::uint64_t)(ber * 1e6) +
+                                       (std::uint64_t)trial);
+            injector.injectUniform(q.weightImage(), ber);
+            acc += q.accuracy(task().testX(), task().testY());
+        }
+        acc /= 3.0;
+        if (acc <= prev + 0.02)
+            ++nonIncreasing;
+        prev = acc;
+        ++steps;
+    }
+    // Allow small statistical wiggle but require the overall trend.
+    EXPECT_GE(nonIncreasing, steps - 1);
+}
+
+TEST(MlpDeath, RejectsBadShapes)
+{
+    EXPECT_EXIT(Mlp({16}, 1), ::testing::ExitedWithCode(1),
+                "input and output");
+    EXPECT_EXIT(Mlp({16, 0, 4}, 1), ::testing::ExitedWithCode(1),
+                "width");
+}
+
+TEST(SyntheticTaskDeath, RejectsBadShape)
+{
+    EXPECT_EXIT(SyntheticTask(1, 3, 100, 50, 1),
+                ::testing::ExitedWithCode(1), "dims");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "dnn/layers.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(LayerSpec, ConvCounts)
+{
+    auto l = LayerSpec::conv("c", 64, 128, 3, 28, 28);
+    EXPECT_EQ(l.weightCount(), 64ll * 128 * 9 + 128);
+    EXPECT_EQ(l.outputCount(), 128ll * 28 * 28);
+    EXPECT_EQ(l.macs(), 128ll * 28 * 28 * 64 * 9);
+}
+
+TEST(LayerSpec, FcCounts)
+{
+    auto l = LayerSpec::fc("f", 512, 1000);
+    EXPECT_EQ(l.weightCount(), 512ll * 1000 + 1000);
+    EXPECT_EQ(l.outputCount(), 1000);
+    EXPECT_EQ(l.macs(), 512ll * 1000);
+}
+
+TEST(LayerSpec, EmbeddingCounts)
+{
+    auto l = LayerSpec::embedding("e", 30000, 128, 64);
+    EXPECT_EQ(l.weightCount(), 30000ll * 128);
+    EXPECT_EQ(l.outputCount(), 64ll * 128);
+    EXPECT_EQ(l.macs(), 0);
+}
+
+TEST(LayerSpecDeath, ValidatesShapes)
+{
+    EXPECT_EXIT(LayerSpec::conv("bad", 0, 8, 3, 8, 8),
+                ::testing::ExitedWithCode(1), "channel");
+    EXPECT_EXIT(LayerSpec::embedding("bad", 100, 8, 0),
+                ::testing::ExitedWithCode(1), "lookups");
+}
+
+TEST(NetworkModel, TotalsSumLayers)
+{
+    NetworkModel net;
+    net.name = "tiny";
+    net.layers.push_back(LayerSpec::conv("c", 3, 8, 3, 16, 16));
+    net.layers.push_back(LayerSpec::fc("f", 8, 4));
+    net.validate();
+    EXPECT_EQ(net.totalWeights(),
+              net.layers[0].weightCount() + net.layers[1].weightCount());
+    EXPECT_EQ(net.totalActivations(),
+              net.layers[0].outputCount() + net.layers[1].outputCount());
+    EXPECT_DOUBLE_EQ(net.weightBytes(8), (double)net.totalWeights());
+    EXPECT_DOUBLE_EQ(net.weightBytes(16),
+                     2.0 * (double)net.totalWeights());
+}
+
+TEST(NetworkModel, SharedWeightsRereadPerExecution)
+{
+    NetworkModel net;
+    net.name = "shared";
+    net.layers.push_back(LayerSpec::fc("block", 64, 64));
+    net.timesExecuted = {12};
+    net.validate();
+    EXPECT_EQ(net.weightReadsPerInference(),
+              12 * net.layers[0].weightCount());
+    EXPECT_EQ(net.totalWeights(), net.layers[0].weightCount());
+    EXPECT_EQ(net.totalMacs(), 12ll * 64 * 64);
+}
+
+TEST(NetworkModel, EmbeddingReadsOnlyLookedUpRows)
+{
+    NetworkModel net;
+    net.name = "emb";
+    net.layers.push_back(LayerSpec::embedding("e", 10000, 128, 32));
+    net.validate();
+    EXPECT_EQ(net.weightReadsPerInference(), 32ll * 128);
+    EXPECT_LT(net.weightReadsPerInference(), net.totalWeights());
+}
+
+TEST(NetworkModelDeath, ValidatesStructure)
+{
+    NetworkModel empty;
+    empty.name = "empty";
+    EXPECT_EXIT(empty.validate(), ::testing::ExitedWithCode(1),
+                "no layers");
+
+    NetworkModel bad;
+    bad.name = "bad";
+    bad.layers.push_back(LayerSpec::fc("f", 4, 4));
+    bad.timesExecuted = {1, 2};
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "size mismatch");
+
+    bad.timesExecuted = {0};
+    EXPECT_EXIT(bad.validate(), ::testing::ExitedWithCode(1),
+                "non-positive");
+}
+
+} // namespace
+} // namespace nvmexp

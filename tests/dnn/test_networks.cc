@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "dnn/networks.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(Catalog, ResNet26FitsTheNvdlaBuffer)
+{
+    NetworkModel net = resnet26();
+    net.validate();
+    // ~1.6M int8 parameters: fits the 2 MB buffer of the case study.
+    EXPECT_GT(net.totalWeights(), 1.2e6);
+    EXPECT_LT(net.weightBytes(8), 2.0 * 1024 * 1024);
+    // 26 weight layers.
+    EXPECT_EQ(net.layers.size(), 26u);
+}
+
+TEST(Catalog, ResNet18MatchesPublishedSize)
+{
+    NetworkModel net = resnet18();
+    net.validate();
+    EXPECT_NEAR((double)net.totalWeights(), 11.7e6, 0.8e6);
+    // Fits a 16 MB array but not 8 MB at int8 (Fig. 13 capacity gate).
+    EXPECT_GT(net.weightBytes(8), 8.0 * 1024 * 1024);
+    EXPECT_LT(net.weightBytes(8), 16.0 * 1024 * 1024);
+}
+
+TEST(Catalog, AlbertSharesWeightsAcrossLayers)
+{
+    NetworkModel net = albertBase();
+    net.validate();
+    // ~12M unique parameters...
+    EXPECT_NEAR((double)net.totalWeights(), 12e6, 3e6);
+    // ...but each inference re-reads the shared block 12 times.
+    EXPECT_GT(net.weightReadsPerInference(), 5 * net.totalWeights());
+    // NLP needs more compute per inference than ResNet26.
+    EXPECT_GT(net.totalMacs(), 10 * resnet26().totalMacs());
+}
+
+TEST(Catalog, AlbertEmbeddingsSubset)
+{
+    NetworkModel emb = albertEmbeddings();
+    emb.validate();
+    EXPECT_LT(emb.totalWeights(), albertBase().totalWeights());
+    EXPECT_GT(emb.totalWeights(), 3e6);
+}
+
+TEST(Traffic, WeightsOnlyHasNoWrites)
+{
+    DnnScenario scenario;
+    scenario.network = resnet26();
+    scenario.storage = DnnStorage::WeightsOnly;
+    auto profile = extractAccessProfile(scenario);
+    EXPECT_GT(profile.readWordsPerFrame, 0.0);
+    EXPECT_EQ(profile.writeWordsPerFrame, 0.0);
+}
+
+TEST(Traffic, ActivationsAddReadsAndWrites)
+{
+    DnnScenario weights;
+    weights.network = resnet26();
+    weights.storage = DnnStorage::WeightsOnly;
+    DnnScenario acts = weights;
+    acts.storage = DnnStorage::WeightsAndActivations;
+    auto pw = extractAccessProfile(weights);
+    auto pa = extractAccessProfile(acts);
+    EXPECT_GT(pa.writeWordsPerFrame, 0.0);
+    EXPECT_GT(pa.readWordsPerFrame, pw.readWordsPerFrame);
+    EXPECT_GT(pa.footprintBytes, pw.footprintBytes);
+}
+
+TEST(Traffic, MultiTaskScalesLinearly)
+{
+    DnnScenario single;
+    single.network = resnet26();
+    DnnScenario multi = single;
+    multi.tasks = 3;
+    auto ps = extractAccessProfile(single);
+    auto pm = extractAccessProfile(multi);
+    EXPECT_NEAR(pm.readWordsPerFrame, 3.0 * ps.readWordsPerFrame,
+                ps.readWordsPerFrame * 1e-9);
+}
+
+TEST(Traffic, RatesScaleWithFrameRate)
+{
+    DnnScenario scenario;
+    scenario.network = resnet26();
+    scenario.framesPerSec = 60.0;
+    TrafficPattern at60 = dnnTraffic(scenario);
+    scenario.framesPerSec = 30.0;
+    TrafficPattern at30 = dnnTraffic(scenario);
+    EXPECT_NEAR(at60.readsPerSec, 2.0 * at30.readsPerSec,
+                at30.readsPerSec * 1e-9);
+    EXPECT_DOUBLE_EQ(at60.execTime, 1.0 / 60.0);
+}
+
+TEST(Traffic, NamesEncodeScenario)
+{
+    DnnScenario scenario;
+    scenario.network = resnet26();
+    scenario.tasks = 3;
+    scenario.storage = DnnStorage::WeightsAndActivations;
+    TrafficPattern t = dnnTraffic(scenario);
+    EXPECT_NE(t.name.find("multi"), std::string::npos);
+    EXPECT_NE(t.name.find("w+a"), std::string::npos);
+}
+
+TEST(TrafficDeath, RejectsBadScenario)
+{
+    DnnScenario scenario;
+    scenario.network = resnet26();
+    scenario.tasks = 0;
+    EXPECT_EXIT(extractAccessProfile(scenario),
+                ::testing::ExitedWithCode(1), "task");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "celldb/tentpole.hh"
+#include "eval/engine.hh"
+
+namespace nvmexp {
+namespace {
+
+ArrayResult
+build(const MemCell &cell, double mib = 2.0)
+{
+    ArrayConfig config;
+    config.capacityBytes = mib * 1024 * 1024;
+    config.nodeNm = cell.tech == CellTech::SRAM ? 16 : 22;
+    ArrayDesigner designer(cell, config);
+    return designer.optimize(OptTarget::ReadEDP);
+}
+
+IntermittentConfig
+baseConfig()
+{
+    IntermittentConfig c;
+    c.eventsPerDay = 1000.0;
+    c.readsPerEvent = 30000.0;
+    c.writesPerEvent = 0.0;
+    c.computeTimePerEvent = 1e-4;
+    c.restoreBytesOnWake = 1.6e6;
+    return c;
+}
+
+TEST(Intermittent, NonVolatilePaysSleepLeakage)
+{
+    CellCatalog catalog;
+    ArrayResult array = build(catalog.optimistic(CellTech::STT));
+    auto config = baseConfig();
+    IntermittentResult r = evaluateIntermittent(array, config);
+    double expectedStandby =
+        config.sleepLeakFraction * array.leakage * 86400.0;
+    EXPECT_NEAR(r.standbyEnergyPerDay, expectedStandby,
+                expectedStandby * 1e-12);
+    EXPECT_DOUBLE_EQ(r.wakeLatency, 0.0);
+    EXPECT_FALSE(r.keptPowered);
+}
+
+TEST(Intermittent, EnergyPerEventIncludesAccessAndOnTimeLeak)
+{
+    CellCatalog catalog;
+    ArrayResult array = build(catalog.optimistic(CellTech::STT));
+    auto config = baseConfig();
+    IntermittentResult r = evaluateIntermittent(array, config);
+    double access = config.readsPerEvent * array.readEnergy;
+    double leak = array.leakage * config.computeTimePerEvent;
+    EXPECT_NEAR(r.energyPerEvent, access + leak,
+                (access + leak) * 1e-9);
+}
+
+TEST(Intermittent, VolatilePicksCheaperOfPoweredAndRestore)
+{
+    ArrayResult sram = build(CellCatalog::sram16());
+    auto config = baseConfig();
+
+    // Rare wake-ups: restoring is cheaper than staying powered.
+    config.eventsPerDay = 10.0;
+    IntermittentResult rare = evaluateIntermittent(sram, config);
+    EXPECT_FALSE(rare.keptPowered);
+    EXPECT_GT(rare.wakeLatency, 0.0);
+
+    // Constant wake-ups: staying powered wins.
+    config.eventsPerDay = 1e8;
+    IntermittentResult busy = evaluateIntermittent(sram, config);
+    EXPECT_TRUE(busy.keptPowered);
+    EXPECT_DOUBLE_EQ(busy.wakeLatency, 0.0);
+    EXPECT_NEAR(busy.standbyEnergyPerDay, sram.leakage * 86400.0,
+                sram.leakage * 86400.0 * 1e-12);
+}
+
+TEST(Intermittent, EnergyPerDayComposition)
+{
+    CellCatalog catalog;
+    ArrayResult array = build(catalog.optimistic(CellTech::FeFET));
+    auto config = baseConfig();
+    IntermittentResult r = evaluateIntermittent(array, config);
+    EXPECT_NEAR(r.energyPerDay,
+                r.energyPerEvent * config.eventsPerDay +
+                    r.standbyEnergyPerDay,
+                r.energyPerDay * 1e-12);
+}
+
+TEST(Intermittent, CrossoverBetweenFeFetAndStt)
+{
+    // Paper Fig. 7: FeFET wins at low wake-up rates (lower standby
+    // leakage via its smaller array), STT wins at high rates (lower
+    // energy per access).
+    CellCatalog catalog;
+    ArrayResult fefet = build(catalog.optimistic(CellTech::FeFET));
+    ArrayResult stt = build(catalog.optimistic(CellTech::STT));
+    auto config = baseConfig();
+
+    config.eventsPerDay = 100.0;
+    double fefetLow = evaluateIntermittent(fefet, config).energyPerDay;
+    double sttLow = evaluateIntermittent(stt, config).energyPerDay;
+    EXPECT_LT(fefetLow, sttLow);
+
+    config.eventsPerDay = 1e7;
+    double fefetHigh = evaluateIntermittent(fefet, config).energyPerDay;
+    double sttHigh = evaluateIntermittent(stt, config).energyPerDay;
+    EXPECT_LT(sttHigh, fefetHigh);
+}
+
+TEST(Intermittent, LifetimeAccountsRestoreWrites)
+{
+    ArrayResult sram = build(CellCatalog::sram16());
+    auto config = baseConfig();
+    config.eventsPerDay = 10.0;  // restore mode
+    IntermittentResult r = evaluateIntermittent(sram, config);
+    EXPECT_TRUE(std::isfinite(r.lifetimeSec));
+    EXPECT_GT(r.lifetimeSec, 0.0);
+}
+
+TEST(Intermittent, RetentionMustCoverTheOffInterval)
+{
+    CellCatalog catalog;
+    // Pessimistic RRAM retains for only ~1e3 s (the siox corpus
+    // entry): fine at one event per minute, failing at one per day.
+    ArrayResult weak = build(catalog.pessimistic(CellTech::RRAM));
+    auto config = baseConfig();
+    config.eventsPerDay = 86400.0 / 60.0;
+    EXPECT_TRUE(evaluateIntermittent(weak, config).retentionOk);
+    config.eventsPerDay = 1.0;
+    EXPECT_FALSE(evaluateIntermittent(weak, config).retentionOk);
+
+    // Optimistic STT (10-year retention) is fine either way.
+    ArrayResult strong = build(catalog.optimistic(CellTech::STT));
+    EXPECT_TRUE(evaluateIntermittent(strong, config).retentionOk);
+}
+
+TEST(IntermittentDeath, RejectsBadConfigs)
+{
+    CellCatalog catalog;
+    ArrayResult array = build(catalog.optimistic(CellTech::STT));
+    IntermittentConfig config;
+    config.eventsPerDay = 0.0;
+    EXPECT_EXIT(evaluateIntermittent(array, config),
+                ::testing::ExitedWithCode(1), "wake-up rate");
+    config = baseConfig();
+    config.readsPerEvent = -1.0;
+    EXPECT_EXIT(evaluateIntermittent(array, config),
+                ::testing::ExitedWithCode(1), "negative");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,70 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "celldb/tentpole.hh"
+#include "eval/engine.hh"
+
+namespace nvmexp {
+namespace {
+
+ArrayResult
+arrayFor(CellTech tech, double mib = 8.0)
+{
+    CellCatalog catalog;
+    ArrayConfig config;
+    config.capacityBytes = mib * 1024 * 1024;
+    ArrayDesigner designer(catalog.optimistic(tech), config);
+    return designer.optimize(OptTarget::ReadEDP);
+}
+
+TEST(Lifetime, MatchesWearLevelingFormula)
+{
+    ArrayResult array = arrayFor(CellTech::RRAM);
+    double writesPerSec = 1e6;
+    auto t = TrafficPattern::fromCounts("t", 0.0, writesPerSec, 1.0);
+    EvalResult r = evaluate(array, t);
+    double words = array.capacityBytes * 8.0 / array.wordBits;
+    double expected = array.cell.endurance * words / writesPerSec;
+    EXPECT_NEAR(r.lifetimeSec, expected, expected * 1e-12);
+}
+
+TEST(Lifetime, InfiniteWithoutWrites)
+{
+    ArrayResult array = arrayFor(CellTech::RRAM);
+    auto t = TrafficPattern::fromCounts("t", 1e6, 0.0, 1.0);
+    EXPECT_TRUE(std::isinf(evaluate(array, t).lifetimeSec));
+}
+
+TEST(Lifetime, InverselyProportionalToWriteRate)
+{
+    ArrayResult array = arrayFor(CellTech::PCM);
+    auto t1 = TrafficPattern::fromCounts("a", 0.0, 1e5, 1.0);
+    auto t2 = TrafficPattern::fromCounts("b", 0.0, 1e7, 1.0);
+    double l1 = evaluate(array, t1).lifetimeSec;
+    double l2 = evaluate(array, t2).lifetimeSec;
+    EXPECT_NEAR(l1 / l2, 100.0, 1e-6);
+}
+
+TEST(Lifetime, OrderingFollowsEndurance)
+{
+    // Paper Fig. 8/9: STT has the best projected lifetime, RRAM the
+    // worst among the optimistic eNVMs.
+    auto t = TrafficPattern::fromCounts("t", 0.0, 1e6, 1.0);
+    double stt = evaluate(arrayFor(CellTech::STT), t).lifetimeSec;
+    double pcm = evaluate(arrayFor(CellTech::PCM), t).lifetimeSec;
+    double rram = evaluate(arrayFor(CellTech::RRAM), t).lifetimeSec;
+    EXPECT_GT(stt, pcm);
+    EXPECT_GT(pcm, rram);
+}
+
+TEST(Lifetime, LargerArraysLastLongerAtFixedRate)
+{
+    auto t = TrafficPattern::fromCounts("t", 0.0, 1e6, 1.0);
+    double small = evaluate(arrayFor(CellTech::RRAM, 2.0), t).lifetimeSec;
+    double large = evaluate(arrayFor(CellTech::RRAM, 16.0), t).lifetimeSec;
+    EXPECT_NEAR(large / small, 8.0, 1e-6);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "celldb/tentpole.hh"
+#include "eval/engine.hh"
+
+namespace nvmexp {
+namespace {
+
+ArrayResult
+sttArray(double mib = 2.0)
+{
+    CellCatalog catalog;
+    ArrayConfig config;
+    config.capacityBytes = mib * 1024 * 1024;
+    ArrayDesigner designer(catalog.optimistic(CellTech::STT), config);
+    return designer.optimize(OptTarget::ReadEDP);
+}
+
+TEST(Evaluate, PowerDecomposesExactly)
+{
+    ArrayResult array = sttArray();
+    auto t = TrafficPattern::fromCounts("t", 1e7, 1e6, 1.0);
+    EvalResult r = evaluate(array, t);
+    double expectedDyn =
+        1e7 * array.readEnergy + 1e6 * array.writeEnergy;
+    EXPECT_NEAR(r.dynamicPower, expectedDyn, expectedDyn * 1e-12);
+    EXPECT_DOUBLE_EQ(r.leakagePower, array.leakage);
+    EXPECT_NEAR(r.totalPower, expectedDyn + array.leakage, 1e-15);
+}
+
+TEST(Evaluate, IdleTrafficCostsOnlyLeakage)
+{
+    ArrayResult array = sttArray();
+    TrafficPattern idle;
+    idle.name = "idle";
+    EvalResult r = evaluate(array, idle);
+    EXPECT_DOUBLE_EQ(r.dynamicPower, 0.0);
+    EXPECT_DOUBLE_EQ(r.totalPower, array.leakage);
+    EXPECT_DOUBLE_EQ(r.latencyLoad, 0.0);
+    EXPECT_EQ(r.slowdown, 1.0);
+    EXPECT_TRUE(r.viable());
+}
+
+TEST(Evaluate, LongPoleModelUsesBankParallelism)
+{
+    ArrayResult array = sttArray();
+    auto t = TrafficPattern::fromCounts("t", 2e8, 0.0, 1.0);
+    EvalResult r = evaluate(array, t);
+    double expected =
+        2e8 * array.readLatency / array.org.banks;
+    EXPECT_NEAR(r.latencyLoad, expected, expected * 1e-12);
+}
+
+TEST(Evaluate, SlowdownKicksInAboveUnity)
+{
+    ArrayResult array = sttArray();
+    // Enough reads to exceed the service capability.
+    double reads = 2.0 * array.org.banks / array.readLatency;
+    auto t = TrafficPattern::fromCounts("t", reads, 0.0, 1.0);
+    EvalResult r = evaluate(array, t);
+    EXPECT_GT(r.latencyLoad, 1.0);
+    EXPECT_DOUBLE_EQ(r.slowdown, r.latencyLoad);
+    EXPECT_FALSE(r.viable());
+}
+
+TEST(Evaluate, BandwidthFlagsTripIndependently)
+{
+    ArrayResult array = sttArray();
+    auto heavyWrites = TrafficPattern::fromByteRates(
+        "w", 1.0, array.writeBandwidth * 2.0, array.wordBits);
+    EvalResult r = evaluate(array, heavyWrites);
+    EXPECT_TRUE(r.meetsReadBandwidth);
+    EXPECT_FALSE(r.meetsWriteBandwidth);
+    EXPECT_FALSE(r.viable());
+}
+
+TEST(Evaluate, TotalAccessLatencyUsesExecWindow)
+{
+    ArrayResult array = sttArray();
+    auto t = TrafficPattern::fromCounts("t", 1000.0, 100.0, 0.01);
+    EvalResult r = evaluate(array, t);
+    double expected = 1000.0 * array.readLatency +
+        100.0 * array.writeLatency;
+    EXPECT_NEAR(r.totalAccessLatency, expected, expected * 1e-12);
+}
+
+TEST(Evaluate, SramVsEnvmPowerShape)
+{
+    // The headline Fig. 6 mechanism: SRAM leakage dwarfs eNVM total
+    // power under weight-read traffic.
+    CellCatalog catalog;
+    ArrayConfig config;
+    config.capacityBytes = 2.0 * 1024 * 1024;
+    config.nodeNm = 16;
+    ArrayDesigner sramDesigner(CellCatalog::sram16(), config);
+    ArrayResult sram = sramDesigner.optimize(OptTarget::ReadEDP);
+    ArrayResult stt = sttArray();
+    auto t = TrafficPattern::fromCounts("weights", 1.6e6, 0.0, 1.0);
+    EXPECT_GT(evaluate(sram, t).totalPower,
+              4.0 * evaluate(stt, t).totalPower);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,164 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "celldb/tentpole.hh"
+#include "fault/ecc.hh"
+#include "fault/fault_model.hh"
+#include "util/random.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(SecDed, RoundTripIsClean)
+{
+    Rng rng(1);
+    for (int i = 0; i < 200; ++i) {
+        std::uint64_t word = rng();
+        auto [payload, check] = SecDedCodec::encodeWord(word);
+        auto result = SecDedCodec::decodeWord(payload, check);
+        EXPECT_EQ(result.data, word);
+        EXPECT_EQ(result.outcome, SecDedCodec::Outcome::Clean);
+    }
+}
+
+TEST(SecDed, CorrectsEverySingleBitError)
+{
+    std::uint64_t word = 0xDEADBEEFCAFEF00Dull;
+    auto [payload, check] = SecDedCodec::encodeWord(word);
+    for (int bit = 0; bit < 72; ++bit) {
+        std::uint64_t p = payload;
+        std::uint8_t c = check;
+        if (bit < 64)
+            p ^= 1ull << bit;
+        else
+            c ^= (std::uint8_t)(1 << (bit - 64));
+        auto result = SecDedCodec::decodeWord(p, c);
+        EXPECT_EQ(result.data, word) << "bit " << bit;
+        EXPECT_EQ(result.outcome, SecDedCodec::Outcome::Corrected)
+            << "bit " << bit;
+    }
+}
+
+TEST(SecDed, DetectsDoubleBitErrors)
+{
+    std::uint64_t word = 0x0123456789ABCDEFull;
+    auto [payload, check] = SecDedCodec::encodeWord(word);
+    Rng rng(2);
+    int detected = 0;
+    constexpr int kTrials = 300;
+    for (int t = 0; t < kTrials; ++t) {
+        int a = (int)rng.range(72);
+        int b = (int)rng.range(72);
+        if (a == b)
+            continue;
+        std::uint64_t p = payload;
+        std::uint8_t c = check;
+        for (int bit : {a, b}) {
+            if (bit < 64)
+                p ^= 1ull << bit;
+            else
+                c ^= (std::uint8_t)(1 << (bit - 64));
+        }
+        auto result = SecDedCodec::decodeWord(p, c);
+        EXPECT_EQ(result.outcome,
+                  SecDedCodec::Outcome::Uncorrectable);
+        ++detected;
+    }
+    EXPECT_GT(detected, kTrials / 2);
+}
+
+TEST(SecDed, ImageEncodeDecodeRoundTrip)
+{
+    std::vector<std::int8_t> data(1000);
+    Rng rng(3);
+    for (auto &b : data)
+        b = (std::int8_t)rng();
+    auto image = SecDedCodec::encode({data.data(), data.size()});
+    EXPECT_EQ(image.payload.size(), 125u);
+    EXPECT_NEAR(image.overhead(), 72.0 / 64.0, 1e-12);
+
+    std::vector<std::int8_t> out(data.size());
+    auto stats = SecDedCodec::decode(image, {out.data(), out.size()});
+    EXPECT_EQ(stats.words, 125u);
+    EXPECT_EQ(stats.corrected, 0u);
+    EXPECT_EQ(stats.uncorrectable, 0u);
+    EXPECT_EQ(out, data);
+}
+
+TEST(SecDed, ImageSurvivesScatteredSingleErrors)
+{
+    std::vector<std::int8_t> data(4096, 0x5A);
+    auto image = SecDedCodec::encode({data.data(), data.size()});
+    // Flip exactly one bit in every 8th codeword.
+    for (std::size_t w = 0; w < image.payload.size(); w += 8)
+        image.payload[w] ^= 1ull << (w % 64);
+    std::vector<std::int8_t> out(data.size());
+    auto stats = SecDedCodec::decode(image, {out.data(), out.size()});
+    EXPECT_EQ(stats.uncorrectable, 0u);
+    EXPECT_EQ(stats.corrected, image.payload.size() / 8 +
+                                   (image.payload.size() % 8 ? 1 : 0));
+    EXPECT_EQ(out, data);
+}
+
+TEST(SecDed, AnalyticalFailureRateMatchesMonteCarlo)
+{
+    double ber = 5e-3;
+    double predicted = secDedWordFailureRate(ber);
+    Rng rng(4);
+    int failures = 0;
+    constexpr int kWords = 20000;
+    for (int w = 0; w < kWords; ++w) {
+        int errors = 0;
+        for (int bit = 0; bit < 72; ++bit)
+            if (rng.bernoulli(ber))
+                ++errors;
+        if (errors >= 2)
+            ++failures;
+    }
+    double measured = (double)failures / kWords;
+    EXPECT_NEAR(measured, predicted,
+                5.0 * std::sqrt(predicted / kWords) + 5e-3);
+}
+
+TEST(SecDed, EffectiveBerCollapsesRawBer)
+{
+    // The Fig. 13 rescue scenario: raw MLC-FeFET-class BER ~2e-2 is
+    // too high even with SEC-DED, but ~1e-3-class raw BER drops by
+    // orders of magnitude.
+    EXPECT_LT(secDedEffectiveBer(1e-3) / 1e-3, 0.1);
+    EXPECT_LT(secDedEffectiveBer(1e-4) / 1e-4, 0.01);
+    // Monotone in the raw rate.
+    EXPECT_LT(secDedEffectiveBer(1e-4), secDedEffectiveBer(1e-3));
+}
+
+TEST(SecDed, RescuesModerateMlcConfigurations)
+{
+    // MLC RRAM raw BER (~9e-4) post-ECC lands far below the ~2e-3
+    // application tolerance; small-cell MLC FeFET (~2.4e-2) stays
+    // above it even with ECC.
+    CellCatalog catalog;
+    double rram =
+        FaultModel(catalog.optimistic(CellTech::RRAM).makeMlc())
+            .bitErrorRate();
+    double fefet =
+        FaultModel(catalog.optimistic(CellTech::FeFET).makeMlc())
+            .bitErrorRate();
+    EXPECT_LT(secDedEffectiveBer(rram), 1e-4);
+    EXPECT_GT(secDedEffectiveBer(fefet), 2e-3);
+}
+
+TEST(SecDedDeath, ValidatesInputs)
+{
+    EXPECT_EXIT(secDedWordFailureRate(-0.1),
+                ::testing::ExitedWithCode(1), "raw BER");
+    SecDedCodec::EncodedImage image;
+    image.payload.resize(2);
+    image.check.resize(1);
+    std::vector<std::int8_t> out(8);
+    EXPECT_EXIT(SecDedCodec::decode(image, {out.data(), out.size()}),
+                ::testing::ExitedWithCode(1), "mismatch");
+}
+
+} // namespace
+} // namespace nvmexp

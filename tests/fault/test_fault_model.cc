@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "celldb/tentpole.hh"
+#include "fault/fault_model.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(FaultModel, QFunctionKnownValues)
+{
+    EXPECT_NEAR(FaultModel::qFunction(0.0), 0.5, 1e-12);
+    EXPECT_NEAR(FaultModel::qFunction(1.0), 0.158655, 1e-5);
+    EXPECT_NEAR(FaultModel::qFunction(3.0), 1.349898e-3, 1e-8);
+    EXPECT_LT(FaultModel::qFunction(8.0), 1e-14);
+}
+
+TEST(FaultModel, SramIsFaultFree)
+{
+    FaultModel model(CellCatalog::sram16());
+    EXPECT_EQ(model.adjacentLevelErrorRate(), 0.0);
+    EXPECT_EQ(model.bitErrorRate(), 0.0);
+}
+
+class FaultModelPerTechTest : public ::testing::TestWithParam<CellTech>
+{
+  protected:
+    CellCatalog catalog_;
+};
+
+TEST_P(FaultModelPerTechTest, SlcBerIsSmall)
+{
+    FaultModel model(catalog_.optimistic(GetParam()));
+    EXPECT_EQ(model.levels(), 2);
+    EXPECT_LT(model.bitErrorRate(), 1e-4);
+}
+
+TEST_P(FaultModelPerTechTest, MlcBerExceedsSlcBer)
+{
+    MemCell slc = catalog_.optimistic(GetParam());
+    if (!slc.mlcCapable)
+        GTEST_SKIP() << "not MLC capable";
+    FaultModel slcModel(slc);
+    FaultModel mlcModel(slc.makeMlc());
+    EXPECT_EQ(mlcModel.levels(), 4);
+    EXPECT_GT(mlcModel.bitErrorRate(), slcModel.bitErrorRate());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Envms, FaultModelPerTechTest,
+    ::testing::Values(CellTech::PCM, CellTech::STT, CellTech::RRAM,
+                      CellTech::CTT, CellTech::FeFET),
+    [](const ::testing::TestParamInfo<CellTech> &info) {
+        return techName(info.param);
+    });
+
+TEST(FaultModel, FeFetVariationGrowsAsCellShrinks)
+{
+    CellCatalog catalog;
+    MemCell small = catalog.optimistic(CellTech::FeFET);   // 4 F^2
+    MemCell large = catalog.pessimistic(CellTech::FeFET);  // 103 F^2
+    FaultModel smallMlc(small.makeMlc());
+    FaultModel largeMlc(large.makeMlc());
+    EXPECT_GT(smallMlc.sigmaOverMargin(), largeMlc.sigmaOverMargin());
+    EXPECT_GT(smallMlc.bitErrorRate(), 100.0 * largeMlc.bitErrorRate());
+}
+
+TEST(FaultModel, SmallFeFetMlcCrossesAccuracyThreshold)
+{
+    // The Fig. 13 mechanism: MLC RRAM stays below the ~2e-3 BER the
+    // DNN tolerates; small-cell MLC FeFET lands far above it.
+    CellCatalog catalog;
+    FaultModel rramMlc(catalog.optimistic(CellTech::RRAM).makeMlc());
+    FaultModel fefetMlc(catalog.optimistic(CellTech::FeFET).makeMlc());
+    EXPECT_LT(rramMlc.bitErrorRate(), 2e-3);
+    EXPECT_GT(fefetMlc.bitErrorRate(), 1e-2);
+}
+
+TEST(FaultModel, GrayCodingDividesAdjacentRate)
+{
+    CellCatalog catalog;
+    MemCell mlc = catalog.optimistic(CellTech::RRAM).makeMlc();
+    FaultModel model(mlc);
+    EXPECT_NEAR(model.bitErrorRate(),
+                model.adjacentLevelErrorRate() / 2.0, 1e-18);
+}
+
+} // namespace
+} // namespace nvmexp

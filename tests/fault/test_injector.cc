@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "celldb/tentpole.hh"
+#include "fault/injector.hh"
+
+namespace nvmexp {
+namespace {
+
+std::vector<std::int8_t>
+zeros(std::size_t n)
+{
+    return std::vector<std::int8_t>(n, 0);
+}
+
+std::size_t
+popcountDiff(const std::vector<std::int8_t> &a,
+             const std::vector<std::int8_t> &b)
+{
+    std::size_t bits = 0;
+    for (std::size_t i = 0; i < a.size(); ++i)
+        bits += (std::size_t)__builtin_popcount(
+            (unsigned)(std::uint8_t)(a[i] ^ b[i]));
+    return bits;
+}
+
+TEST(Injector, FaultFreeModelFlipsNothing)
+{
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 1);
+    auto data = zeros(4096);
+    EXPECT_EQ(injector.inject({data.data(), data.size()}), 0u);
+    for (auto b : data)
+        EXPECT_EQ(b, 0);
+}
+
+TEST(Injector, UniformBerFlipCountNearExpectation)
+{
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 2);
+    auto data = zeros(1 << 18);
+    double ber = 1e-3;
+    std::size_t flips =
+        injector.injectUniform({data.data(), data.size()}, ber);
+    double expected = ber * (double)data.size() * 8.0;
+    double sigma = std::sqrt(expected);
+    EXPECT_NEAR((double)flips, expected, 6.0 * sigma);
+    // Reported flips match the actual corrupted bits.
+    EXPECT_EQ(popcountDiff(data, zeros(data.size())), flips);
+}
+
+class InjectorBerTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(InjectorBerTest, FlipRateTracksRequestedBer)
+{
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 3);
+    auto data = zeros(1 << 17);
+    double ber = GetParam();
+    std::size_t flips =
+        injector.injectUniform({data.data(), data.size()}, ber);
+    double nbits = (double)data.size() * 8.0;
+    double expected = ber * nbits;
+    EXPECT_NEAR((double)flips, expected,
+                6.0 * std::sqrt(expected + 1.0) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Rates, InjectorBerTest,
+                         ::testing::Values(1e-5, 1e-4, 1e-3, 1e-2,
+                                           0.1));
+
+TEST(Injector, DeterministicUnderSeed)
+{
+    CellCatalog catalog;
+    FaultModel model(catalog.optimistic(CellTech::RRAM).makeMlc());
+    auto a = zeros(8192);
+    auto b = zeros(8192);
+    FaultInjector ia(model, 77), ib(model, 77);
+    ia.inject({a.data(), a.size()});
+    ib.inject({b.data(), b.size()});
+    EXPECT_EQ(a, b);
+}
+
+TEST(Injector, MlcErrorsFlipOneBitPerCell)
+{
+    CellCatalog catalog;
+    // Force a very high adjacent-level rate via a tiny MLC FeFET.
+    MemCell cell = catalog.optimistic(CellTech::FeFET).makeMlc();
+    FaultModel model(cell);
+    ASSERT_GT(model.adjacentLevelErrorRate(), 1e-3);
+    FaultInjector injector(model, 5);
+    auto data = zeros(1 << 16);
+    std::size_t flips = injector.inject({data.data(), data.size()});
+    EXPECT_GT(flips, 0u);
+    EXPECT_EQ(popcountDiff(data, zeros(data.size())), flips);
+    // Cell errors = flips (one bit per erroneous cell); rate should
+    // track the model within statistical noise.
+    double ncells = (double)data.size() * 4.0;
+    double expected = model.adjacentLevelErrorRate() * ncells;
+    EXPECT_NEAR((double)flips, expected,
+                6.0 * std::sqrt(expected) + 2.0);
+}
+
+TEST(Injector, FullBerFlipsEverything)
+{
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 6);
+    auto data = zeros(64);
+    std::size_t flips =
+        injector.injectUniform({data.data(), data.size()}, 1.0);
+    EXPECT_EQ(flips, data.size() * 8);
+    for (auto b : data)
+        EXPECT_EQ((std::uint8_t)b, 0xFF);
+}
+
+TEST(InjectorDeath, RejectsBadBer)
+{
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 7);
+    auto data = zeros(16);
+    EXPECT_EXIT(
+        injector.injectUniform({data.data(), data.size()}, -0.1),
+        ::testing::ExitedWithCode(1), "error rate");
+    EXPECT_EXIT(
+        injector.injectUniform({data.data(), data.size()}, 1.1),
+        ::testing::ExitedWithCode(1), "error rate");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "graph/graph.hh"
+
+namespace nvmexp {
+namespace {
+
+Graph
+triangle()
+{
+    return Graph::fromEdges(3, {{0, 1}, {1, 2}, {2, 0}});
+}
+
+TEST(Graph, UndirectedEdgesAreMirrored)
+{
+    Graph g = triangle();
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 6u);  // each edge in both directions
+    for (Graph::Vertex v = 0; v < 3; ++v)
+        EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(Graph, DirectedKeepsOrientation)
+{
+    Graph g = Graph::fromEdges(3, {{0, 1}, {0, 2}}, false);
+    EXPECT_EQ(g.numEdges(), 2u);
+    EXPECT_EQ(g.degree(0), 2u);
+    EXPECT_EQ(g.degree(1), 0u);
+}
+
+TEST(Graph, DuplicatesAndSelfLoopsDropped)
+{
+    Graph g = Graph::fromEdges(
+        3, {{0, 1}, {0, 1}, {1, 1}, {2, 2}}, false);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+TEST(Graph, OffsetsAreMonotone)
+{
+    Graph g = facebookLike();
+    const auto &offsets = g.offsets();
+    for (std::size_t i = 1; i < offsets.size(); ++i)
+        EXPECT_LE(offsets[i - 1], offsets[i]);
+    EXPECT_EQ(offsets.back(), g.numEdges());
+}
+
+TEST(Graph, NeighborRangeCoversTargets)
+{
+    Graph g = triangle();
+    auto [begin, end] = g.neighborRange(0);
+    EXPECT_EQ(end - begin, 2u);
+    for (std::size_t i = begin; i < end; ++i)
+        EXPECT_LT(g.targets()[i], 3u);
+}
+
+TEST(Graph, StorageBytesPositive)
+{
+    EXPECT_GT(triangle().storageBytes(), 0.0);
+}
+
+TEST(GraphDeath, OutOfRangeVertexIsFatal)
+{
+    Graph g = triangle();
+    EXPECT_EXIT(g.neighborRange(7), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(GraphDeath, EmptyGraphIsFatal)
+{
+    EXPECT_EXIT(Graph::fromEdges(0, {}), ::testing::ExitedWithCode(1),
+                "at least one vertex");
+}
+
+TEST(Graph, OutOfRangeEdgesDropped)
+{
+    Graph g = Graph::fromEdges(2, {{0, 1}, {0, 5}, {9, 1}}, false);
+    EXPECT_EQ(g.numEdges(), 1u);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/kernels.hh"
+
+namespace nvmexp {
+namespace {
+
+/** Path graph 0-1-2-3 plus an isolated vertex 4. */
+Graph
+pathPlusIsland()
+{
+    return Graph::fromEdges(5, {{0, 1}, {1, 2}, {2, 3}});
+}
+
+TEST(Bfs, LevelsAreCorrectOnPath)
+{
+    Graph g = pathPlusIsland();
+    BfsResult r = bfs(g, 0);
+    EXPECT_EQ(r.level[0], 0);
+    EXPECT_EQ(r.level[1], 1);
+    EXPECT_EQ(r.level[2], 2);
+    EXPECT_EQ(r.level[3], 3);
+    EXPECT_EQ(r.level[4], -1);
+    EXPECT_EQ(r.reached, 4u);
+}
+
+TEST(Bfs, AccessCountsScaleWithEdges)
+{
+    Graph g = facebookLike();
+    BfsResult r = bfs(g, 0);
+    // Each traversed edge costs at least two scratchpad reads.
+    EXPECT_GE(r.stats.reads, 2.0 * (double)r.reached);
+    EXPECT_GT(r.stats.writes, (double)r.reached * 0.99);
+    EXPECT_GT(r.reached, g.numVertices() / 2);
+}
+
+TEST(Bfs, ReadsDominateWrites)
+{
+    Graph g = facebookLike();
+    BfsResult r = bfs(g, 0);
+    // Graph processing is read-dominated (paper Sec. IV-B).
+    EXPECT_GT(r.stats.reads, 5.0 * r.stats.writes);
+}
+
+TEST(BfsDeath, SourceOutOfRange)
+{
+    Graph g = pathPlusIsland();
+    EXPECT_EXIT(bfs(g, 99), ::testing::ExitedWithCode(1),
+                "out of range");
+}
+
+TEST(PageRank, RanksSumToOne)
+{
+    Graph g = facebookLike();
+    PageRankResult r = pageRank(g, 3);
+    double sum = 0.0;
+    for (double rank : r.rank)
+        sum += rank;
+    EXPECT_NEAR(sum, 1.0, 0.05);
+}
+
+TEST(PageRank, HubsOutrankLeaves)
+{
+    Graph g = wikipediaLike();
+    PageRankResult r = pageRank(g, 5);
+    // Highest-degree vertex should outrank an average one.
+    std::size_t hub = 0;
+    for (Graph::Vertex v = 0; v < g.numVertices(); ++v)
+        if (g.degree(v) > g.degree((Graph::Vertex)hub))
+            hub = v;
+    double avg = 1.0 / (double)g.numVertices();
+    EXPECT_GT(r.rank[hub], 5.0 * avg);
+}
+
+TEST(PageRankDeath, ValidatesArguments)
+{
+    Graph g = pathPlusIsland();
+    EXPECT_EXIT(pageRank(g, 0), ::testing::ExitedWithCode(1),
+                "iteration");
+    EXPECT_EXIT(pageRank(g, 3, 1.5), ::testing::ExitedWithCode(1),
+                "damping");
+}
+
+TEST(Components, CountsIslands)
+{
+    Graph g = pathPlusIsland();
+    ComponentsResult r = connectedComponents(g);
+    EXPECT_EQ(r.numComponents, 2u);
+    EXPECT_EQ(r.label[0], r.label[3]);
+    EXPECT_NE(r.label[0], r.label[4]);
+}
+
+TEST(KernelTraffic, ConvertsCountsViaPipelineModel)
+{
+    AccessStats stats;
+    stats.reads = 9e6;
+    stats.writes = 1e6;
+    GraphAccelModel accel;  // 1 GHz, 1 access/cycle
+    TrafficPattern t = kernelTraffic("k", stats, accel);
+    EXPECT_DOUBLE_EQ(t.execTime, 1e-2);  // 1e7 accesses at 1e9/s
+    EXPECT_DOUBLE_EQ(t.readsPerSec, 9e8);
+    EXPECT_DOUBLE_EQ(t.writesPerSec, 1e8);
+}
+
+TEST(KernelTraffic, BfsRatesLandInPaperBand)
+{
+    // The generic sweep covers 1-10 GB/s reads at 8-byte records;
+    // real BFS traffic should land inside (or near) that band.
+    Graph g = wikipediaLike();
+    BfsResult r = bfs(g, 0);
+    GraphAccelModel accel;
+    TrafficPattern t = kernelTraffic("wiki-bfs", r.stats, accel);
+    double readBps = t.readBytesPerSec(accel.scratchWordBits);
+    EXPECT_GT(readBps, 1e9);
+    EXPECT_LT(readBps, 10e9);
+}
+
+TEST(KernelTrafficDeath, RejectsEmptyStats)
+{
+    AccessStats stats;
+    GraphAccelModel accel;
+    EXPECT_EXIT(kernelTraffic("empty", stats, accel),
+                ::testing::ExitedWithCode(1), "no accesses");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,170 @@
+#include <gtest/gtest.h>
+
+#include "celldb/tentpole.hh"
+#include "nvsim/array_model.hh"
+
+namespace nvmexp {
+namespace {
+
+ArrayConfig
+config(double mib, int wordBits = 512, int node = 22)
+{
+    ArrayConfig c;
+    c.capacityBytes = mib * 1024.0 * 1024.0;
+    c.wordBits = wordBits;
+    c.nodeNm = node;
+    return c;
+}
+
+TEST(ArrayModel, OptTargetNamesRoundTrip)
+{
+    for (OptTarget t : allOptTargets())
+        EXPECT_FALSE(optTargetName(t).empty());
+    EXPECT_EQ(optTargetName(OptTarget::ReadEDP), "ReadEDP");
+    EXPECT_EQ(allOptTargets().size(), 8u);
+}
+
+TEST(ArrayModel, EnumerateProducesConsistentOrganizations)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    ArrayDesigner designer(cell, config(4));
+    auto results = designer.enumerate();
+    ASSERT_FALSE(results.empty());
+    for (const auto &r : results) {
+        double bits = (double)r.org.banks * r.org.subarraysPerBank *
+            r.org.subarray.rows * r.org.subarray.cols *
+            cell.bitsPerCell;
+        EXPECT_DOUBLE_EQ(bits, 4.0 * 1024 * 1024 * 8);
+        EXPECT_EQ(r.org.subarray.cols % r.org.subarray.sensedBits, 0);
+        EXPECT_GE(r.areaEfficiency, 0.35);
+    }
+}
+
+TEST(ArrayModel, OptimizeIsMinimalOverEnumeration)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::RRAM);
+    ArrayDesigner designer(cell, config(2));
+    auto all = designer.enumerate();
+    for (OptTarget target : allOptTargets()) {
+        ArrayResult best = designer.optimize(target);
+        for (const auto &r : all)
+            EXPECT_LE(best.metric(target), r.metric(target) * (1 + 1e-12))
+                << optTargetName(target);
+    }
+}
+
+TEST(ArrayModel, TargetsShapeTheChosenDesign)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    ArrayDesigner designer(cell, config(8));
+    auto fastest = designer.optimize(OptTarget::ReadLatency);
+    auto smallest = designer.optimize(OptTarget::Area);
+    EXPECT_LE(fastest.readLatency, smallest.readLatency);
+    EXPECT_LE(smallest.areaM2, fastest.areaM2);
+}
+
+TEST(ArrayModel, CapacityScalesAreaAndLeakage)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::PCM);
+    ArrayDesigner d2(cell, config(2));
+    ArrayDesigner d16(cell, config(16));
+    auto a2 = d2.optimize(OptTarget::ReadEDP);
+    auto a16 = d16.optimize(OptTarget::ReadEDP);
+    EXPECT_GT(a16.areaM2, 4.0 * a2.areaM2);
+    EXPECT_GT(a16.leakage, 2.0 * a2.leakage);
+}
+
+TEST(ArrayModel, DensityOrderingFollowsCellArea)
+{
+    CellCatalog catalog;
+    auto area = [&](CellTech tech) {
+        ArrayDesigner designer(catalog.optimistic(tech), config(4));
+        return designer.optimize(OptTarget::Area).densityMbPerMm2();
+    };
+    double fefet = area(CellTech::FeFET);
+    double stt = area(CellTech::STT);
+    double pcm = area(CellTech::PCM);
+    EXPECT_GT(fefet, stt);
+    EXPECT_GT(stt, pcm);
+}
+
+TEST(ArrayModel, MlcHalvesCellCountAndRaisesDensity)
+{
+    CellCatalog catalog;
+    MemCell slc = catalog.optimistic(CellTech::RRAM);
+    MemCell mlc = slc.makeMlc();
+    ArrayDesigner ds(slc, config(8));
+    ArrayDesigner dm(mlc, config(8));
+    auto rs = ds.optimize(OptTarget::Area);
+    auto rm = dm.optimize(OptTarget::Area);
+    EXPECT_GT(rm.densityMbPerMm2(), 1.5 * rs.densityMbPerMm2());
+}
+
+TEST(ArrayModel, BandwidthMatchesBanksTimesWordRate)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    ArrayDesigner designer(cell, config(4));
+    auto r = designer.optimize(OptTarget::ReadEDP);
+    double expected = r.org.banks * (r.wordBits / 8.0) / r.readLatency;
+    EXPECT_NEAR(r.readBandwidth, expected, expected * 1e-12);
+}
+
+TEST(ArrayModel, ReadEnergyPerBitDividesWordWidth)
+{
+    CellCatalog catalog;
+    ArrayDesigner designer(catalog.optimistic(CellTech::STT),
+                           config(2));
+    auto r = designer.optimize(OptTarget::ReadEDP);
+    EXPECT_NEAR(r.readEnergyPerBit() * r.wordBits, r.readEnergy,
+                r.readEnergy * 1e-12);
+}
+
+TEST(ArrayModel, CharacterizeAllCoversEveryCell)
+{
+    CellCatalog catalog;
+    auto cells = catalog.studyEnvms();
+    auto results = characterizeAll(cells, config(2),
+                                   OptTarget::ReadEDP);
+    ASSERT_EQ(results.size(), cells.size());
+    for (std::size_t i = 0; i < cells.size(); ++i)
+        EXPECT_EQ(results[i].cell.name, cells[i].name);
+}
+
+TEST(ArrayModelDeath, RejectsTinyCapacity)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    ArrayConfig c = config(4);
+    c.capacityBytes = 512.0;
+    EXPECT_EXIT(ArrayDesigner(cell, c), ::testing::ExitedWithCode(1),
+                "capacity");
+}
+
+TEST(ArrayModelDeath, RejectsBadWordWidth)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    ArrayConfig c = config(4, 512);
+    c.wordBits = 4;
+    EXPECT_EXIT(ArrayDesigner(cell, c), ::testing::ExitedWithCode(1),
+                "wordBits");
+}
+
+TEST(ArrayModelDeath, ImpossibleConstraintsAreFatalInOptimize)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    ArrayConfig c = config(2);
+    c.minAreaEfficiency = 0.99;  // unattainable
+    ArrayDesigner designer(cell, c);
+    EXPECT_EXIT(designer.optimize(OptTarget::ReadEDP),
+                ::testing::ExitedWithCode(1), "no valid array");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Property-style sweeps over the whole study cell set: invariants
+ * that must hold for every technology, capacity, and word width.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "celldb/tentpole.hh"
+#include "nvsim/array_model.hh"
+
+namespace nvmexp {
+namespace {
+
+struct ArrayCase
+{
+    std::string cellName;
+    double capacityMiB;
+    int wordBits;
+};
+
+std::vector<ArrayCase>
+allCases()
+{
+    CellCatalog catalog;
+    std::vector<ArrayCase> cases;
+    for (const auto &cell : catalog.studyCells())
+        for (double mib : {1.0, 4.0, 16.0})
+            for (int wordBits : {64, 512})
+                cases.push_back({cell.name, mib, wordBits});
+    return cases;
+}
+
+class ArrayPropertyTest : public ::testing::TestWithParam<ArrayCase>
+{
+  protected:
+    static MemCell
+    cellByName(const std::string &name)
+    {
+        CellCatalog catalog;
+        for (const auto &cell : catalog.studyCells())
+            if (cell.name == name)
+                return cell;
+        ADD_FAILURE() << "unknown cell " << name;
+        return CellCatalog::sram16();
+    }
+
+    ArrayResult
+    build(const ArrayCase &c, OptTarget target)
+    {
+        MemCell cell = cellByName(c.cellName);
+        ArrayConfig config;
+        config.capacityBytes = c.capacityMiB * 1024.0 * 1024.0;
+        config.wordBits = c.wordBits;
+        config.nodeNm = cell.tech == CellTech::SRAM ? 16 : 22;
+        ArrayDesigner designer(cell, config);
+        return designer.optimize(target);
+    }
+};
+
+TEST_P(ArrayPropertyTest, AllMetricsFiniteAndPositive)
+{
+    auto r = build(GetParam(), OptTarget::ReadEDP);
+    for (double v : {r.readLatency, r.writeLatency, r.readEnergy,
+                     r.writeEnergy, r.leakage, r.areaM2,
+                     r.readBandwidth, r.writeBandwidth}) {
+        EXPECT_TRUE(std::isfinite(v));
+        EXPECT_GT(v, 0.0);
+    }
+    EXPECT_GT(r.areaEfficiency, 0.0);
+    EXPECT_LE(r.areaEfficiency, 1.0);
+}
+
+TEST_P(ArrayPropertyTest, WriteLatencyAtLeastCellPulse)
+{
+    auto r = build(GetParam(), OptTarget::WriteLatency);
+    EXPECT_GE(r.writeLatency, r.cell.worstWritePulse());
+}
+
+TEST_P(ArrayPropertyTest, ReadLatencyBelowWriteLatencyForNvm)
+{
+    auto r = build(GetParam(), OptTarget::ReadEDP);
+    if (r.cell.nonVolatile && r.cell.worstWritePulse() > 5e-9) {
+        EXPECT_LT(r.readLatency, r.writeLatency);
+    }
+}
+
+TEST_P(ArrayPropertyTest, DensityConsistentWithArea)
+{
+    auto r = build(GetParam(), OptTarget::Area);
+    double mbits = r.capacityBytes * 8.0 / 1e6;
+    EXPECT_NEAR(r.densityMbPerMm2(), mbits / (r.areaM2 * 1e6),
+                r.densityMbPerMm2() * 1e-9);
+}
+
+TEST_P(ArrayPropertyTest, TargetOrderingsHold)
+{
+    auto fastestRead = build(GetParam(), OptTarget::ReadLatency);
+    auto lowestLeak = build(GetParam(), OptTarget::Leakage);
+    auto smallest = build(GetParam(), OptTarget::Area);
+    EXPECT_LE(fastestRead.readLatency, lowestLeak.readLatency);
+    EXPECT_LE(fastestRead.readLatency, smallest.readLatency);
+    EXPECT_LE(lowestLeak.leakage, fastestRead.leakage);
+    EXPECT_LE(smallest.areaM2, fastestRead.areaM2 * (1 + 1e-12));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    StudySet, ArrayPropertyTest, ::testing::ValuesIn(allCases()),
+    [](const ::testing::TestParamInfo<ArrayCase> &info) {
+        std::string name = info.param.cellName + "_" +
+            std::to_string((int)info.param.capacityMiB) + "MiB_w" +
+            std::to_string(info.param.wordBits);
+        for (auto &ch : name)
+            if (ch == '-')
+                ch = '_';
+        return name;
+    });
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "nvsim/circuits.hh"
+
+namespace nvmexp {
+namespace {
+
+const TechNode &node22 = techNodeFor(22);
+
+TEST(Decoder, DelayGrowsWithRowsAndLoad)
+{
+    double pitch = 100e-9;
+    auto small = decoderModel(node22, 128, 20e-15, 0.9, pitch);
+    auto tall = decoderModel(node22, 4096, 20e-15, 0.9, pitch);
+    auto loaded = decoderModel(node22, 128, 500e-15, 0.9, pitch);
+    EXPECT_GT(tall.delay, small.delay);
+    EXPECT_GT(loaded.delay, small.delay);
+    EXPECT_GT(tall.areaM2, small.areaM2);
+    EXPECT_GT(tall.leakage, small.leakage);
+}
+
+TEST(DecoderDeath, RejectsDegenerateRowCount)
+{
+    EXPECT_EXIT(decoderModel(node22, 1, 1e-15, 0.9, 1e-7),
+                ::testing::ExitedWithCode(1), "rows");
+}
+
+TEST(Decoder, SliceAreaHasLogicFloor)
+{
+    // At tiny pitches the decoder slice is bounded by its logic area,
+    // not the pitch.
+    auto tiny = decoderModel(node22, 256, 20e-15, 0.9, 1e-9);
+    double f = node22.featureM();
+    EXPECT_GE(tiny.areaM2, 256.0 * 1500.0 * f * f * 0.999);
+}
+
+TEST(ColumnMux, DegreeOneIsFree)
+{
+    auto m = columnMuxModel(node22, 1, 512, 50e-15);
+    EXPECT_EQ(m.delay, 0.0);
+    EXPECT_EQ(m.energy, 0.0);
+}
+
+TEST(ColumnMux, HigherDegreeCostsMore)
+{
+    auto m2 = columnMuxModel(node22, 2, 512, 50e-15);
+    auto m8 = columnMuxModel(node22, 8, 512, 50e-15);
+    EXPECT_GT(m8.delay, 0.0);
+    EXPECT_GT(m8.leakage, m2.leakage);
+}
+
+TEST(SenseAmp, AreaFloorIndependentOfPitch)
+{
+    auto narrow = senseAmpModel(node22, 512, 10e-9);
+    auto wide = senseAmpModel(node22, 512, 1500e-9);
+    double f = node22.featureM();
+    EXPECT_GE(narrow.areaM2, 512.0 * 2000.0 * f * f * 0.999);
+    EXPECT_GT(wide.areaM2, narrow.areaM2);
+}
+
+TEST(SenseAmp, EnergyScalesWithSensedBits)
+{
+    auto sa256 = senseAmpModel(node22, 256, 100e-9);
+    auto sa512 = senseAmpModel(node22, 512, 100e-9);
+    EXPECT_NEAR(sa512.energy / sa256.energy, 2.0, 1e-9);
+}
+
+TEST(WriteDriver, WidthTracksProgrammingCurrent)
+{
+    auto weak = writeDriverModel(node22, 512, 1e-6, 1.5, 100e-9);
+    auto strong = writeDriverModel(node22, 512, 300e-6, 1.5, 100e-9);
+    EXPECT_GT(strong.areaM2, weak.areaM2 * 0.99);
+    EXPECT_GT(strong.delay, weak.delay);
+}
+
+TEST(ChargePump, OnlyBoostedWritesPayEfficiency)
+{
+    EXPECT_DOUBLE_EQ(chargePumpEfficiency(node22, 0.8), 1.0);
+    EXPECT_DOUBLE_EQ(chargePumpEfficiency(node22, node22.vdd), 1.0);
+    EXPECT_DOUBLE_EQ(chargePumpEfficiency(node22, 3.5), 0.4);
+}
+
+TEST(RepeatedWire, DelayAndEnergyLinearInLength)
+{
+    double d1 = repeatedWireDelay(node22, 1e-3);
+    double d2 = repeatedWireDelay(node22, 2e-3);
+    EXPECT_NEAR(d2 / d1, 2.0, 1e-9);
+    double e1 = repeatedWireEnergyPerBit(node22, 1e-3);
+    double e2 = repeatedWireEnergyPerBit(node22, 2e-3);
+    EXPECT_NEAR(e2 / e1, 2.0, 1e-9);
+    EXPECT_EQ(repeatedWireDelay(node22, 0.0), 0.0);
+}
+
+TEST(RepeatedWire, DelayPerMmInPlausibleBand)
+{
+    // ~50-300 ps/mm at 22 nm for repeated global wires.
+    double perMm = repeatedWireDelay(node22, 1e-3);
+    EXPECT_GT(perMm, 30e-12);
+    EXPECT_LT(perMm, 400e-12);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include "celldb/tentpole.hh"
+#include "nvsim/subarray.hh"
+
+namespace nvmexp {
+namespace {
+
+const TechNode &node22 = techNodeFor(22);
+
+SubarrayDesign
+design(int rows, int cols, int sensed)
+{
+    SubarrayDesign d;
+    d.rows = rows;
+    d.cols = cols;
+    d.sensedBits = sensed;
+    return d;
+}
+
+TEST(Subarray, MetricsArePositiveAndFinite)
+{
+    CellCatalog catalog;
+    for (const auto &cell : catalog.studyCells()) {
+        const TechNode &node =
+            techNodeFor(cell.tech == CellTech::SRAM ? 16 : 22);
+        auto m = characterizeSubarray(cell, node,
+                                      design(512, 1024, 512));
+        EXPECT_GT(m.readLatency, 0.0) << cell.name;
+        EXPECT_GT(m.writeLatency, 0.0) << cell.name;
+        EXPECT_GT(m.readEnergy, 0.0) << cell.name;
+        EXPECT_GT(m.writeEnergy, 0.0) << cell.name;
+        EXPECT_GT(m.leakage, 0.0) << cell.name;
+        EXPECT_GT(m.areaM2, m.cellAreaM2) << cell.name;
+        EXPECT_GT(m.areaEfficiency(), 0.0) << cell.name;
+        EXPECT_LT(m.areaEfficiency(), 1.0) << cell.name;
+    }
+}
+
+TEST(Subarray, WriteLatencyIncludesCellPulse)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.pessimistic(CellTech::FeFET);
+    auto m = characterizeSubarray(cell, node22, design(512, 512, 512));
+    EXPECT_GE(m.writeLatency, cell.worstWritePulse());
+}
+
+TEST(Subarray, TallerArraysReadSlower)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    auto short_ = characterizeSubarray(cell, node22,
+                                       design(128, 1024, 512));
+    auto tall = characterizeSubarray(cell, node22,
+                                     design(4096, 1024, 512));
+    EXPECT_GT(tall.readLatency, short_.readLatency);
+}
+
+TEST(Subarray, WiderRowsCostMoreReadEnergyForNvm)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::FeFET);
+    auto narrow = characterizeSubarray(cell, node22,
+                                       design(512, 512, 512));
+    auto wide = characterizeSubarray(cell, node22,
+                                     design(512, 4096, 512));
+    // Row activation biases every bitline, so wider rows burn more.
+    EXPECT_GT(wide.readEnergy, narrow.readEnergy);
+}
+
+TEST(Subarray, MlcSensingIsSlowerAndHungrier)
+{
+    CellCatalog catalog;
+    MemCell slc = catalog.optimistic(CellTech::RRAM);
+    MemCell mlc = slc.makeMlc();
+    // Iso cell count (MLC stores twice the bits in the same matrix).
+    auto mSlc = characterizeSubarray(slc, node22,
+                                     design(1024, 1024, 512));
+    auto mMlc = characterizeSubarray(mlc, node22,
+                                     design(1024, 1024, 256));
+    EXPECT_GT(mMlc.readLatency, mSlc.readLatency);
+    EXPECT_GT(mMlc.writeLatency, mSlc.writeLatency);
+}
+
+TEST(Subarray, SramLeakageDominatedByCells)
+{
+    MemCell sram = CellCatalog::sram16();
+    const TechNode &node16 = techNodeFor(16);
+    auto m = characterizeSubarray(sram, node16,
+                                  design(1024, 1024, 512));
+    double cellLeak = 1024.0 * 1024.0 * sram.cellLeakage;
+    EXPECT_GT(m.leakage, cellLeak);
+    EXPECT_LT(m.leakage, cellLeak * 1.5);
+}
+
+TEST(Subarray, EnvmHasNoCellLeakage)
+{
+    CellCatalog catalog;
+    MemCell stt = catalog.optimistic(CellTech::STT);
+    auto m512 = characterizeSubarray(stt, node22,
+                                     design(512, 512, 512));
+    auto m2048 = characterizeSubarray(stt, node22,
+                                      design(512, 2048, 512));
+    // 4x the cells but only periphery leaks: growth well below 4x.
+    EXPECT_LT(m2048.leakage, 3.0 * m512.leakage);
+}
+
+TEST(Subarray, FeFetReadEnergyExceedsStt)
+{
+    CellCatalog catalog;
+    auto fefet = characterizeSubarray(catalog.optimistic(
+                                          CellTech::FeFET),
+                                      node22, design(512, 1024, 512));
+    auto stt = characterizeSubarray(catalog.optimistic(CellTech::STT),
+                                    node22, design(512, 1024, 512));
+    EXPECT_GT(fefet.readEnergy, 2.0 * stt.readEnergy);
+}
+
+TEST(Subarray, ChargePumpPenalizesHighVoltageWrites)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::PCM);  // 1.2 V > vdd
+    MemCell lowV = cell;
+    lowV.writeVoltage = 0.8;  // below the 0.9 V supply
+    auto boosted = characterizeSubarray(cell, node22,
+                                        design(512, 512, 512));
+    auto direct = characterizeSubarray(lowV, node22,
+                                       design(512, 512, 512));
+    EXPECT_GT(boosted.writeEnergy, direct.writeEnergy);
+}
+
+TEST(SubarrayDeath, RejectsBadGeometry)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    EXPECT_EXIT(characterizeSubarray(cell, node22, design(1, 512, 512)),
+                ::testing::ExitedWithCode(1), "2x2");
+    EXPECT_EXIT(
+        characterizeSubarray(cell, node22, design(512, 512, 500)),
+        ::testing::ExitedWithCode(1), "divide");
+}
+
+TEST(SubarrayDeath, RejectsMarginlessCell)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    cell.resistanceOff = cell.resistanceOn;  // no sensing signal
+    EXPECT_EXIT(
+        characterizeSubarray(cell, node22, design(512, 512, 512)),
+        ::testing::ExitedWithCode(1), "margin");
+}
+
+} // namespace
+} // namespace nvmexp

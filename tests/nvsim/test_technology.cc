@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "nvsim/technology.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(TechNode, LookupReturnsExactNodes)
+{
+    for (int nm : {7, 10, 14, 16, 22, 28, 32, 40, 45, 65, 90, 130})
+        EXPECT_EQ(techNodeFor(nm).featureNm, nm);
+}
+
+TEST(TechNode, UnknownNodeSnapsToNearest)
+{
+    EXPECT_EQ(techNodeFor(20).featureNm, 22);
+    EXPECT_EQ(techNodeFor(55).featureNm, 45);
+    EXPECT_EQ(techNodeFor(120).featureNm, 130);
+}
+
+TEST(TechNodeDeath, OutOfRangeIsFatal)
+{
+    EXPECT_EXIT(techNodeFor(5), ::testing::ExitedWithCode(1),
+                "outside supported range");
+    EXPECT_EXIT(techNodeFor(180), ::testing::ExitedWithCode(1),
+                "outside supported range");
+}
+
+TEST(TechNode, ScalingTrendsAreMonotone)
+{
+    // Bigger nodes: slower gates, higher supply, less leaky, cheaper
+    // wires per um.
+    const TechNode &n22 = techNodeFor(22);
+    const TechNode &n90 = techNodeFor(90);
+    EXPECT_LT(n22.fo4Delay, n90.fo4Delay);
+    EXPECT_LE(n22.vdd, n90.vdd);
+    EXPECT_GT(n22.offCurrentPerUm, n90.offCurrentPerUm);
+    EXPECT_GT(n22.wireResPerUm, n90.wireResPerUm);
+}
+
+TEST(TechNode, MinGateCapMatchesTwoFeatureWidths)
+{
+    const TechNode &node = techNodeFor(22);
+    EXPECT_NEAR(node.minGateCap(),
+                node.gateCapPerUm * 2.0 * 22e-3, 1e-20);
+}
+
+TEST(TechNode, DriveResistanceInverseInWidth)
+{
+    const TechNode &node = techNodeFor(22);
+    double r1 = node.driveResistance(1.0);
+    double r2 = node.driveResistance(2.0);
+    EXPECT_NEAR(r1 / r2, 2.0, 1e-9);
+    EXPECT_GT(r1, 0.0);
+}
+
+TEST(TechNodeDeath, DriveResistanceRejectsZeroWidth)
+{
+    EXPECT_EXIT(techNodeFor(22).driveResistance(0.0),
+                ::testing::ExitedWithCode(1), "width");
+}
+
+TEST(TechNode, LeakageRolesDifferByOrders)
+{
+    const TechNode &node = techNodeFor(22);
+    double hp = node.leakagePower(10.0, DeviceRole::HighPerformance);
+    double lstp = node.leakagePower(10.0, DeviceRole::LowStandbyPower);
+    EXPECT_GT(hp, 10.0 * lstp);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/ascii_plot.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(AsciiPlot, RendersTitleAxesAndLegend)
+{
+    AsciiPlot plot("myplot", "xlab", "ylab", 40, 10);
+    plot.addSeries("s1");
+    plot.addPoint("s1", 1.0, 2.0);
+    plot.addPoint("s1", 3.0, 4.0);
+    std::ostringstream os;
+    plot.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("myplot"), std::string::npos);
+    EXPECT_NE(out.find("xlab"), std::string::npos);
+    EXPECT_NE(out.find("ylab"), std::string::npos);
+    EXPECT_NE(out.find("s1"), std::string::npos);
+}
+
+TEST(AsciiPlot, PlotsGlyphForEachSeries)
+{
+    AsciiPlot plot("p", "x", "y", 30, 8);
+    plot.addSeries("a", 'A');
+    plot.addSeries("b", 'B');
+    plot.addPoint("a", 0.0, 0.0);
+    plot.addPoint("b", 1.0, 1.0);
+    std::ostringstream os;
+    plot.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find('A'), std::string::npos);
+    EXPECT_NE(out.find('B'), std::string::npos);
+}
+
+TEST(AsciiPlot, LogScaleSkipsNonPositivePoints)
+{
+    AsciiPlot plot("p", "x", "y", 30, 8);
+    plot.setXScale(AxisScale::Log10);
+    plot.setYScale(AxisScale::Log10);
+    plot.addSeries("s", 'S');
+    plot.addPoint("s", -1.0, 5.0);  // dropped
+    plot.addPoint("s", 0.0, 5.0);   // dropped
+    plot.addPoint("s", 10.0, 100.0);
+    std::ostringstream os;
+    plot.print(os);
+    // Exactly one 'S' glyph should appear in the grid.
+    std::string out = os.str();
+    std::size_t glyphs = 0;
+    bool inLegend = false;
+    for (std::size_t i = 0; i < out.size(); ++i) {
+        if (out.compare(i, 7, "legend:") == 0)
+            inLegend = true;
+        if (!inLegend && out[i] == 'S')
+            ++glyphs;
+    }
+    EXPECT_EQ(glyphs, 1u);
+}
+
+TEST(AsciiPlot, FixedRangesClampPoints)
+{
+    AsciiPlot plot("p", "x", "y", 30, 8);
+    plot.setXRange(0.0, 1.0);
+    plot.setYRange(0.0, 1.0);
+    plot.addSeries("s", 'S');
+    plot.addPoint("s", 100.0, 100.0);  // clamps to the corner
+    std::ostringstream os;
+    plot.print(os);
+    EXPECT_NE(os.str().find('S'), std::string::npos);
+}
+
+TEST(AsciiPlot, EmptyPlotStillRenders)
+{
+    AsciiPlot plot("empty", "x", "y");
+    plot.addSeries("none");
+    std::ostringstream os;
+    plot.print(os);
+    EXPECT_NE(os.str().find("empty"), std::string::npos);
+}
+
+TEST(AsciiPlotDeath, UnknownSeriesIsFatal)
+{
+    AsciiPlot plot("p", "x", "y");
+    EXPECT_EXIT(plot.addPoint("nope", 1.0, 1.0),
+                ::testing::ExitedWithCode(1), "unknown series");
+}
+
+TEST(AsciiPlotDeath, BadRangeIsFatal)
+{
+    AsciiPlot plot("p", "x", "y");
+    EXPECT_EXIT(plot.setXRange(1.0, 1.0),
+                ::testing::ExitedWithCode(1), "range");
+}
+
+} // namespace
+} // namespace nvmexp

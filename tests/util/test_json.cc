@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include "util/json.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(Json, ParsesScalars)
+{
+    EXPECT_TRUE(JsonValue::parse("null").isNull());
+    EXPECT_TRUE(JsonValue::parse("true").asBool());
+    EXPECT_FALSE(JsonValue::parse("false").asBool());
+    EXPECT_DOUBLE_EQ(JsonValue::parse("42").asNumber(), 42.0);
+    EXPECT_DOUBLE_EQ(JsonValue::parse("-3.5e2").asNumber(), -350.0);
+    EXPECT_EQ(JsonValue::parse("\"hi\"").asString(), "hi");
+}
+
+TEST(Json, ParsesEscapes)
+{
+    auto v = JsonValue::parse(R"("a\"b\\c\nd\te")");
+    EXPECT_EQ(v.asString(), "a\"b\\c\nd\te");
+}
+
+TEST(Json, ParsesNestedStructures)
+{
+    auto v = JsonValue::parse(R"({
+        "name": "sweep",
+        "caps": [1, 2, 16],
+        "inner": {"flag": true, "x": 0.5}
+    })");
+    EXPECT_EQ(v.at("name").asString(), "sweep");
+    EXPECT_EQ(v.at("caps").asArray().size(), 3u);
+    EXPECT_DOUBLE_EQ(v.at("caps").asArray()[2].asNumber(), 16.0);
+    EXPECT_TRUE(v.at("inner").at("flag").asBool());
+    EXPECT_DOUBLE_EQ(v.at("inner").numberOr("x", 0.0), 0.5);
+}
+
+TEST(Json, LineCommentsAreSkipped)
+{
+    auto v = JsonValue::parse(
+        "// leading comment\n"
+        "{ \"a\": 1, // trailing comment\n"
+        "  \"b\": 2 }\n");
+    EXPECT_DOUBLE_EQ(v.at("a").asNumber(), 1.0);
+    EXPECT_DOUBLE_EQ(v.at("b").asNumber(), 2.0);
+}
+
+TEST(Json, DefaultsApplyWhenMembersAbsent)
+{
+    auto v = JsonValue::parse(R"({"present": 7})");
+    EXPECT_DOUBLE_EQ(v.numberOr("present", 1.0), 7.0);
+    EXPECT_DOUBLE_EQ(v.numberOr("absent", 1.0), 1.0);
+    EXPECT_EQ(v.stringOr("absent", "d"), "d");
+    EXPECT_TRUE(v.boolOr("absent", true));
+}
+
+TEST(Json, MemberNamesPreserveOrder)
+{
+    auto v = JsonValue::parse(R"({"z": 1, "a": 2, "m": 3})");
+    auto names = v.memberNames();
+    ASSERT_EQ(names.size(), 3u);
+    EXPECT_EQ(names[0], "z");
+    EXPECT_EQ(names[1], "a");
+    EXPECT_EQ(names[2], "m");
+}
+
+TEST(Json, EmptyContainers)
+{
+    EXPECT_TRUE(JsonValue::parse("[]").asArray().empty());
+    EXPECT_TRUE(JsonValue::parse("{}").isObject());
+}
+
+TEST(JsonDeath, ReportsPositionOnErrors)
+{
+    EXPECT_EXIT(JsonValue::parse("{\"a\": }"),
+                ::testing::ExitedWithCode(1), "line 1");
+    EXPECT_EXIT(JsonValue::parse("{\"a\": 1,\n\"a\": 2}"),
+                ::testing::ExitedWithCode(1), "duplicate member");
+    EXPECT_EXIT(JsonValue::parse("[1, 2"),
+                ::testing::ExitedWithCode(1), "unexpected end");
+    EXPECT_EXIT(JsonValue::parse("{} extra"),
+                ::testing::ExitedWithCode(1), "trailing");
+}
+
+TEST(JsonDeath, TypeMismatchesAreFatal)
+{
+    auto v = JsonValue::parse(R"({"s": "x"})");
+    EXPECT_EXIT(v.at("s").asNumber(), ::testing::ExitedWithCode(1),
+                "expected a number");
+    EXPECT_EXIT(v.at("missing"), ::testing::ExitedWithCode(1),
+                "missing required member");
+    EXPECT_EXIT(JsonValue::parse("3").at("x"),
+                ::testing::ExitedWithCode(1), "expected an object");
+}
+
+TEST(JsonDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(JsonValue::parseFile("/no/such/file.json"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace nvmexp

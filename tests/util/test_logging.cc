@@ -1,0 +1,51 @@
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(Logging, FormatAllConcatenatesArguments)
+{
+    EXPECT_EQ(detail::formatAll("a", 1, "-", 2.5), "a1-2.5");
+    EXPECT_EQ(detail::formatAll(), "");
+    EXPECT_EQ(detail::formatAll(42), "42");
+}
+
+TEST(Logging, QuietFlagRoundTrips)
+{
+    bool initial = isQuiet();
+    setQuiet(true);
+    EXPECT_TRUE(isQuiet());
+    setQuiet(false);
+    EXPECT_FALSE(isQuiet());
+    setQuiet(initial);
+}
+
+TEST(Logging, InformAndWarnDoNotTerminate)
+{
+    setQuiet(true);
+    inform("informational ", 1);
+    warn("warning ", 2);
+    setQuiet(false);
+    SUCCEED();
+}
+
+TEST(LoggingDeath, FatalExitsWithCodeOne)
+{
+    EXPECT_EXIT(fatal("boom"), ::testing::ExitedWithCode(1), "boom");
+}
+
+TEST(LoggingDeath, PanicAborts)
+{
+    EXPECT_DEATH(panic("bug ", 7), "bug 7");
+}
+
+TEST(LoggingDeath, FatalFormatsAllArguments)
+{
+    EXPECT_EXIT(fatal("x=", 3, " y=", 4.5),
+                ::testing::ExitedWithCode(1), "x=3 y=4.5");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/random.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(Rng, DeterministicUnderFixedSeed)
+{
+    Rng a(42), b(42);
+    for (int i = 0; i < 100; ++i)
+        EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge)
+{
+    Rng a(1), b(2);
+    int same = 0;
+    for (int i = 0; i < 64; ++i)
+        if (a() == b())
+            ++same;
+    EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformInHalfOpenUnitInterval)
+{
+    Rng rng(7);
+    for (int i = 0; i < 10000; ++i) {
+        double u = rng.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+    }
+}
+
+TEST(Rng, UniformMeanNearHalf)
+{
+    Rng rng(11);
+    double sum = 0.0;
+    constexpr int kN = 100000;
+    for (int i = 0; i < kN; ++i)
+        sum += rng.uniform();
+    EXPECT_NEAR(sum / kN, 0.5, 0.01);
+}
+
+TEST(Rng, RangeRespectsBound)
+{
+    Rng rng(3);
+    for (std::uint64_t bound : {1ull, 2ull, 7ull, 1000ull}) {
+        for (int i = 0; i < 1000; ++i)
+            EXPECT_LT(rng.range(bound), bound);
+    }
+}
+
+TEST(Rng, RangeCoversAllValues)
+{
+    Rng rng(5);
+    bool seen[8] = {};
+    for (int i = 0; i < 1000; ++i)
+        seen[rng.range(8)] = true;
+    for (bool s : seen)
+        EXPECT_TRUE(s);
+}
+
+TEST(Rng, GaussianMomentsMatchStandardNormal)
+{
+    Rng rng(13);
+    double sum = 0.0, sumSq = 0.0;
+    constexpr int kN = 200000;
+    for (int i = 0; i < kN; ++i) {
+        double g = rng.gaussian();
+        sum += g;
+        sumSq += g * g;
+    }
+    double mean = sum / kN;
+    double var = sumSq / kN - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 0.02);
+    EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+class RngBernoulliTest : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(RngBernoulliTest, FrequencyMatchesProbability)
+{
+    double p = GetParam();
+    Rng rng(17);
+    constexpr int kN = 100000;
+    int hits = 0;
+    for (int i = 0; i < kN; ++i)
+        if (rng.bernoulli(p))
+            ++hits;
+    double freq = (double)hits / kN;
+    double tol = 4.0 * std::sqrt(p * (1.0 - p) / kN) + 1e-4;
+    EXPECT_NEAR(freq, p, tol);
+}
+
+INSTANTIATE_TEST_SUITE_P(Probabilities, RngBernoulliTest,
+                         ::testing::Values(0.0, 0.01, 0.25, 0.5, 0.9,
+                                           1.0));
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/stats.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(RunningStats, EmptyIsZero)
+{
+    RunningStats s;
+    EXPECT_EQ(s.count(), 0u);
+    EXPECT_EQ(s.mean(), 0.0);
+    EXPECT_EQ(s.variance(), 0.0);
+}
+
+TEST(RunningStats, MatchesClosedForm)
+{
+    RunningStats s;
+    for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0})
+        s.add(x);
+    EXPECT_EQ(s.count(), 8u);
+    EXPECT_DOUBLE_EQ(s.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(s.variance(), 4.0);
+    EXPECT_DOUBLE_EQ(s.stddev(), 2.0);
+    EXPECT_DOUBLE_EQ(s.min(), 2.0);
+    EXPECT_DOUBLE_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, MergeEqualsSingleStream)
+{
+    RunningStats whole, a, b;
+    for (int i = 0; i < 100; ++i) {
+        double x = std::sin(i) * 10.0;
+        whole.add(x);
+        (i % 2 ? a : b).add(x);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), whole.count());
+    EXPECT_NEAR(a.mean(), whole.mean(), 1e-12);
+    EXPECT_NEAR(a.variance(), whole.variance(), 1e-10);
+    EXPECT_DOUBLE_EQ(a.min(), whole.min());
+    EXPECT_DOUBLE_EQ(a.max(), whole.max());
+}
+
+TEST(RunningStats, MergeWithEmptyIsIdentity)
+{
+    RunningStats a, empty;
+    a.add(1.0);
+    a.add(3.0);
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    EXPECT_DOUBLE_EQ(a.mean(), 2.0);
+
+    RunningStats b;
+    b.merge(a);
+    EXPECT_EQ(b.count(), 2u);
+    EXPECT_DOUBLE_EQ(b.mean(), 2.0);
+}
+
+TEST(Histogram, BucketBoundaries)
+{
+    Histogram h(0.0, 10.0, 5);
+    EXPECT_DOUBLE_EQ(h.bucketLow(0), 0.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(0), 2.0);
+    EXPECT_DOUBLE_EQ(h.bucketLow(4), 8.0);
+    EXPECT_DOUBLE_EQ(h.bucketHigh(4), 10.0);
+}
+
+TEST(Histogram, OutOfRangeClampsIntoEdgeBuckets)
+{
+    Histogram h(0.0, 1.0, 4);
+    h.add(-5.0);
+    h.add(7.0);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(3), 1u);
+    EXPECT_EQ(h.total(), 2u);
+}
+
+TEST(Histogram, QuantileOfUniformFill)
+{
+    Histogram h(0.0, 100.0, 100);
+    for (int i = 0; i < 100; ++i)
+        h.add(i + 0.5);
+    EXPECT_NEAR(h.quantile(0.5), 50.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.9), 90.0, 2.0);
+    EXPECT_NEAR(h.quantile(0.0), 0.0, 2.0);
+}
+
+TEST(HistogramDeath, RejectsDegenerateRange)
+{
+    EXPECT_EXIT(Histogram(1.0, 1.0, 4), ::testing::ExitedWithCode(1),
+                "Histogram");
+    EXPECT_EXIT(Histogram(0.0, 1.0, 0), ::testing::ExitedWithCode(1),
+                "Histogram");
+}
+
+TEST(Geomean, KnownValues)
+{
+    EXPECT_DOUBLE_EQ(geomean({4.0, 9.0}), 6.0);
+    EXPECT_NEAR(geomean({1.0, 10.0, 100.0}), 10.0, 1e-9);
+}
+
+TEST(GeomeanDeath, RejectsNonPositive)
+{
+    EXPECT_EXIT(geomean({1.0, 0.0}), ::testing::ExitedWithCode(1),
+                "positive");
+    EXPECT_EXIT(geomean({}), ::testing::ExitedWithCode(1), "empty");
+}
+
+TEST(Pearson, PerfectCorrelationIsOne)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {2, 4, 6, 8, 10};
+    EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectAnticorrelationIsMinusOne)
+{
+    std::vector<double> xs = {1, 2, 3, 4, 5};
+    std::vector<double> ys = {10, 8, 6, 4, 2};
+    EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ConstantSeriesYieldsZero)
+{
+    std::vector<double> xs = {1, 2, 3};
+    std::vector<double> ys = {5, 5, 5};
+    EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(PearsonDeath, RejectsMismatchedLengths)
+{
+    EXPECT_EXIT(pearson({1.0}, {1.0, 2.0}),
+                ::testing::ExitedWithCode(1), "equal-length");
+}
+
+} // namespace
+} // namespace nvmexp

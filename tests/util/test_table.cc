@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/table.hh"
+
+namespace nvmexp {
+namespace {
+
+TEST(Table, BasicLayoutContainsHeadersAndCells)
+{
+    Table t("demo", {"Name", "Value"});
+    t.row().add("alpha").add(1.5);
+    t.row().add("beta").add((long long)42);
+    std::ostringstream os;
+    t.print(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("Name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("42"), std::string::npos);
+}
+
+TEST(Table, CellAccessors)
+{
+    Table t("t", {"a", "b"});
+    t.row().add("x").add(2.0);
+    EXPECT_EQ(t.numRows(), 1u);
+    EXPECT_EQ(t.numCols(), 2u);
+    EXPECT_EQ(t.cell(0, 0), "x");
+    EXPECT_EQ(t.cell(0, 1), "2");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters)
+{
+    Table t("csv", {"col"});
+    t.row().add("plain");
+    t.row().add("with,comma");
+    t.row().add("with\"quote");
+    std::ostringstream os;
+    t.printCsv(os);
+    std::string out = os.str();
+    EXPECT_NE(out.find("plain\n"), std::string::npos);
+    EXPECT_NE(out.find("\"with,comma\""), std::string::npos);
+    EXPECT_NE(out.find("\"with\"\"quote\""), std::string::npos);
+}
+
+TEST(Table, FormatNumberBands)
+{
+    EXPECT_EQ(Table::formatNumber(0.0), "0");
+    EXPECT_EQ(Table::formatNumber(1.5), "1.5");
+    EXPECT_EQ(Table::formatNumber(12345.0), "12345");
+    // Large and tiny magnitudes switch to scientific notation.
+    EXPECT_NE(Table::formatNumber(1.23e8).find("e"), std::string::npos);
+    EXPECT_NE(Table::formatNumber(1.23e-7).find("e"), std::string::npos);
+    EXPECT_EQ(Table::formatNumber(
+                  std::numeric_limits<double>::quiet_NaN()), "nan");
+}
+
+TEST(Table, FormatEngPicksSuffix)
+{
+    EXPECT_EQ(Table::formatEng(0.0), "0");
+    EXPECT_EQ(Table::formatEng(1500.0), "1.5k");
+    EXPECT_EQ(Table::formatEng(2.5e9), "2.5G");
+    EXPECT_EQ(Table::formatEng(3e-9), "3n");
+    EXPECT_EQ(Table::formatEng(4.2e-12), "4.2p");
+}
+
+TEST(Table, AddEngAppendsUnit)
+{
+    Table t("t", {"v"});
+    t.row().addEng(5e-9, "s");
+    EXPECT_EQ(t.cell(0, 0), "5ns");
+}
+
+TEST(TableDeath, RejectsEmptyHeaders)
+{
+    EXPECT_EXIT(Table("bad", {}), ::testing::ExitedWithCode(1),
+                "at least one column");
+}
+
+TEST(TableDeath, RejectsAddBeforeRow)
+{
+    Table t("t", {"a"});
+    EXPECT_EXIT(t.add("x"), ::testing::ExitedWithCode(1),
+                "before row");
+}
+
+TEST(TableDeath, RejectsShortRow)
+{
+    Table t("t", {"a", "b"});
+    t.row().add("only-one");
+    EXPECT_EXIT(t.row(), ::testing::ExitedWithCode(1), "cells");
+}
+
+TEST(TableDeath, WriteCsvToBadPathFails)
+{
+    Table t("t", {"a"});
+    t.row().add("x");
+    EXPECT_EXIT(t.writeCsv("/nonexistent-dir/x.csv"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+} // namespace
+} // namespace nvmexp

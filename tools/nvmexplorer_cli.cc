@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Command-line front-end: `nvmexplorer_cli config/<study>.json` runs
+ * the configured design sweep and prints the dashboard table — the
+ * C++ analog of the original release's `python run.py <config>`.
+ */
+
+#include <cstring>
+#include <iostream>
+
+#include "core/config.hh"
+#include "util/logging.hh"
+
+using namespace nvmexp;
+
+namespace {
+
+void
+usage()
+{
+    std::cout <<
+        "usage: nvmexplorer_cli [-q] <config.json> [more configs...]\n"
+        "\n"
+        "Runs the design sweep(s) described by the JSON config(s) and\n"
+        "prints the results table. See config/README-style samples in\n"
+        "the repository's config/ directory.\n"
+        "  -q   suppress informational warnings\n";
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int argi = 1;
+    if (argi < argc && std::strcmp(argv[argi], "-q") == 0) {
+        setQuiet(true);
+        ++argi;
+    }
+    if (argi >= argc) {
+        usage();
+        return 2;
+    }
+    for (; argi < argc; ++argi) {
+        ExperimentConfig config = loadExperimentFile(argv[argi]);
+        inform("running experiment '", config.name, "' (",
+               config.sweep.cells.size(), " cells x ",
+               config.sweep.capacitiesBytes.size(), " capacities x ",
+               config.sweep.targets.size(), " targets x ",
+               config.sweep.traffics.size(), " traffic patterns)");
+        Table table = runExperiment(config);
+        table.print(std::cout);
+        if (!config.outputCsv.empty())
+            inform("wrote ", config.outputCsv);
+    }
+    return 0;
+}
