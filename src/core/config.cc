@@ -1,7 +1,9 @@
 #include "core/config.hh"
 
 #include "celldb/tentpole.hh"
+#include "core/parallel_sweep.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace nvmexp {
 
@@ -136,6 +138,17 @@ loadExperiment(const JsonValue &doc)
     config.sweep.wordBits = (int)doc.numberOr("word_bits", 512.0);
     config.sweep.nodeNm = (int)doc.numberOr("node_nm", 22.0);
     config.sweep.sramNodeNm = (int)doc.numberOr("sram_node_nm", 16.0);
+
+    // Worker threads: an explicit "jobs" key wins, else the process
+    // default (the CLI's --jobs flag). 0 = all hardware threads.
+    // Validate before the int cast: double-to-int conversion is UB
+    // outside int's range, and the CLI path enforces the same bounds.
+    double jobs = doc.numberOr("jobs", (double)defaultSweepJobs());
+    if (!(jobs >= 0.0 && jobs <= (double)ThreadPool::kMaxThreads)) {
+        fatal("config '", config.name, "': \"jobs\" must be in [0, ",
+              ThreadPool::kMaxThreads, "], got ", jobs);
+    }
+    config.sweep.jobs = (int)jobs;
 
     // Optimization targets (default ReadEDP).
     config.sweep.targets.clear();

@@ -1,0 +1,148 @@
+#include "core/parallel_sweep.hh"
+
+#include "util/logging.hh"
+#include "util/thread_pool.hh"
+
+namespace nvmexp {
+
+namespace {
+
+int sweepJobsDefault = 1;
+
+/**
+ * Characterize one (cell, capacity) pair: the best organization per
+ * optimization target, or empty when no organization is valid. This is
+ * the unit of parallel work for characterize(); keeping it as one item
+ * (rather than per target) avoids enumerating the design space
+ * targets-times over, matching the serial loop's cost.
+ */
+std::vector<ArrayResult>
+characterizePair(const SweepConfig &config, const MemCell &cell,
+                 double capacity)
+{
+    ArrayConfig ac;
+    ac.capacityBytes = capacity;
+    ac.wordBits = config.wordBits;
+    ac.nodeNm = implementationNode(cell, config.nodeNm,
+                                   config.sramNodeNm);
+    ArrayDesigner designer(cell, ac);
+    auto candidates = designer.enumerate();
+    if (candidates.empty()) {
+        warn("cell '", cell.name, "' has no valid organization", " at ",
+             capacity / (1024.0 * 1024.0), " MiB; skipping");
+        return {};
+    }
+    std::vector<ArrayResult> best;
+    best.reserve(config.targets.size());
+    for (OptTarget target : config.targets) {
+        const ArrayResult *winner = &candidates.front();
+        for (const auto &r : candidates)
+            if (r.metric(target) < winner->metric(target))
+                winner = &r;
+        best.push_back(*winner);
+    }
+    return best;
+}
+
+} // namespace
+
+int
+defaultSweepJobs()
+{
+    return sweepJobsDefault;
+}
+
+void
+setDefaultSweepJobs(int jobs)
+{
+    sweepJobsDefault = ThreadPool::resolveJobs(jobs);
+}
+
+ParallelSweepRunner::ParallelSweepRunner(int jobs)
+    : jobs_(ThreadPool::resolveJobs(jobs))
+{
+}
+
+void
+ParallelSweepRunner::shard(
+    std::size_t count,
+    const std::function<void(std::size_t)> &body) const
+{
+    if (jobs_ <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    if (!pool_)
+        pool_ = std::make_unique<ThreadPool>(jobs_);
+    parallelFor(*pool_, count, body);
+}
+
+std::vector<ArrayResult>
+ParallelSweepRunner::characterize(const SweepConfig &config) const
+{
+    if (config.cells.empty())
+        fatal("sweep has no cells configured");
+
+    // One work item per (cell, capacity) pair; slots keep serial order
+    // even though items complete in any order.
+    std::size_t pairs =
+        config.cells.size() * config.capacitiesBytes.size();
+    std::vector<std::vector<ArrayResult>> slots(pairs);
+    shard(pairs, [&](std::size_t idx) {
+        const MemCell &cell =
+            config.cells[idx / config.capacitiesBytes.size()];
+        double capacity =
+            config.capacitiesBytes[idx % config.capacitiesBytes.size()];
+        slots[idx] = characterizePair(config, cell, capacity);
+    });
+
+    std::vector<ArrayResult> arrays;
+    arrays.reserve(pairs * config.targets.size());
+    for (const auto &slot : slots)
+        arrays.insert(arrays.end(), slot.begin(), slot.end());
+    return arrays;
+}
+
+std::vector<EvalResult>
+ParallelSweepRunner::evaluateAll(
+    const std::vector<ArrayResult> &arrays,
+    const std::vector<TrafficPattern> &traffics) const
+{
+    std::vector<EvalResult> results(arrays.size() * traffics.size());
+    shard(results.size(), [&](std::size_t idx) {
+        const ArrayResult &array = arrays[idx / traffics.size()];
+        const TrafficPattern &traffic = traffics[idx % traffics.size()];
+        results[idx] = evaluate(array, traffic);
+    });
+    return results;
+}
+
+std::vector<EvalResult>
+ParallelSweepRunner::run(const SweepConfig &config) const
+{
+    if (config.traffics.empty())
+        fatal("sweep has no traffic patterns configured");
+    return evaluateAll(characterize(config), config.traffics);
+}
+
+std::vector<ArrayResult>
+ParallelSweepRunner::optimizeAll(const std::vector<MemCell> &cells,
+                                 double capacityBytes, int wordBits,
+                                 OptTarget target, int nodeNm,
+                                 int sramNodeNm) const
+{
+    std::vector<ArrayResult> arrays(cells.size());
+    shard(cells.size(), [&](std::size_t idx) {
+        const MemCell &cell = cells[idx];
+        ArrayConfig config;
+        config.capacityBytes = capacityBytes;
+        config.wordBits = wordBits;
+        config.nodeNm = implementationNode(cell, nodeNm, sramNodeNm);
+        ArrayDesigner designer(cell, config);
+        arrays[idx] = designer.optimize(target);
+    });
+    return arrays;
+}
+
+} // namespace nvmexp

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Multi-core sweep engine.
+ *
+ * The sweep cross product (cells x capacities x targets x traffic) is
+ * embarrassingly parallel: every array characterization and every
+ * (array, traffic) evaluation is independent. ParallelSweepRunner
+ * shards those items across a ThreadPool while writing each result
+ * into its serial-order slot, so the output is identical to the serial
+ * runSweep/characterizeSweep regardless of worker count or scheduling.
+ */
+
+#ifndef NVMEXP_CORE_PARALLEL_SWEEP_HH
+#define NVMEXP_CORE_PARALLEL_SWEEP_HH
+
+#include <memory>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "util/thread_pool.hh"
+
+namespace nvmexp {
+
+/**
+ * Process-wide default worker count for sweeps that don't specify one
+ * (studies, bench binaries). The CLI's --jobs flag sets this. 1 on
+ * startup; <=0 means "all hardware threads".
+ */
+int defaultSweepJobs();
+void setDefaultSweepJobs(int jobs);
+
+/** Runs sweep cross products on a fixed number of worker threads. */
+class ParallelSweepRunner
+{
+  public:
+    /** @param jobs worker threads; <=0 means all hardware threads. */
+    explicit ParallelSweepRunner(int jobs = 1);
+
+    /** Resolved worker count (always >= 1). */
+    int jobs() const { return jobs_; }
+
+    /** Parallel equivalent of characterizeSweep: cells x capacities x
+     *  targets, results in serial sweep order. */
+    std::vector<ArrayResult> characterize(const SweepConfig &config) const;
+
+    /** Parallel equivalent of runSweep: characterize then evaluate
+     *  against every traffic pattern, results in serial sweep order. */
+    std::vector<EvalResult> run(const SweepConfig &config) const;
+
+    /** Evaluate the full arrays x traffics cross product, array-major
+     *  (the order the serial study loops produce). */
+    std::vector<EvalResult>
+    evaluateAll(const std::vector<ArrayResult> &arrays,
+                const std::vector<TrafficPattern> &traffics) const;
+
+    /** Optimize one array per cell at a fixed capacity/word width,
+     *  results in cell order. */
+    std::vector<ArrayResult>
+    optimizeAll(const std::vector<MemCell> &cells, double capacityBytes,
+                int wordBits, OptTarget target, int nodeNm = 22,
+                int sramNodeNm = 16) const;
+
+  private:
+    /** Shard body(i) over the runner's workers (inline when jobs_ is
+     *  1). The pool is created on first parallel use and reused for
+     *  every subsequent loop of this runner (a study typically issues
+     *  one loop per traffic pattern or scenario). */
+    void shard(std::size_t count,
+               const std::function<void(std::size_t)> &body) const;
+
+    int jobs_;
+    /** Lazily-created persistent worker pool; runners are not
+     *  thread-safe themselves (one sweep driver per runner). */
+    mutable std::unique_ptr<ThreadPool> pool_;
+};
+
+} // namespace nvmexp
+
+#endif // NVMEXP_CORE_PARALLEL_SWEEP_HH

@@ -5,6 +5,7 @@
 
 #include "cachesim/streams.hh"
 #include "celldb/tentpole.hh"
+#include "core/parallel_sweep.hh"
 #include "dnn/inference.hh"
 #include "dnn/networks.hh"
 #include "fault/fault_model.hh"
@@ -26,12 +27,6 @@ namespace {
  */
 constexpr double kAccuracyBerCeiling = 2e-3;
 
-int
-nodeFor(const MemCell &cell)
-{
-    return cell.tech == CellTech::SRAM ? 16 : 22;
-}
-
 ArrayResult
 optimizeFor(const MemCell &cell, double capacityBytes, int wordBits,
             OptTarget target)
@@ -39,7 +34,7 @@ optimizeFor(const MemCell &cell, double capacityBytes, int wordBits,
     ArrayConfig config;
     config.capacityBytes = capacityBytes;
     config.wordBits = wordBits;
-    config.nodeNm = nodeFor(cell);
+    config.nodeNm = implementationNode(cell);
     ArrayDesigner designer(cell, config);
     return designer.optimize(target);
 }
@@ -70,6 +65,7 @@ arrayLandscape(double capacityBytes)
     sweep.cells = catalog.studyCells();
     sweep.capacitiesBytes = {capacityBytes};
     sweep.targets = allOptTargets();
+    sweep.jobs = defaultSweepJobs();
     return characterizeSweep(sweep);
 }
 
@@ -121,11 +117,9 @@ std::vector<ArrayResult>
 dnnBufferArrays(double capacityBytes)
 {
     CellCatalog catalog;
-    std::vector<ArrayResult> arrays;
-    for (const auto &cell : catalog.studyCells())
-        arrays.push_back(optimizeFor(cell, capacityBytes, 512,
-                                     OptTarget::ReadEDP));
-    return arrays;
+    return ParallelSweepRunner(defaultSweepJobs())
+        .optimizeAll(catalog.studyCells(), capacityBytes, 512,
+                     OptTarget::ReadEDP);
 }
 
 std::vector<DnnPowerRow>
@@ -147,6 +141,7 @@ dnnContinuousPower()
         {"multi/w+a", 3, DnnStorage::WeightsAndActivations},
     };
 
+    ParallelSweepRunner runner(defaultSweepJobs());
     std::vector<DnnPowerRow> rows;
     for (const auto &spec : scenarios) {
         DnnScenario scenario;
@@ -155,8 +150,10 @@ dnnContinuousPower()
         scenario.storage = spec.storage;
         scenario.framesPerSec = 60.0;
         TrafficPattern traffic = dnnTraffic(scenario);
-        for (const auto &array : arrays) {
-            EvalResult ev = evaluate(array, traffic);
+        auto evals = runner.evaluateAll(arrays, {traffic});
+        for (std::size_t i = 0; i < arrays.size(); ++i) {
+            const ArrayResult &array = arrays[i];
+            const EvalResult &ev = evals[i];
             DnnPowerRow row;
             row.cell = array.cell.name;
             row.scenario = spec.label;
@@ -371,10 +368,9 @@ graphStudyWithCells(const std::vector<MemCell> &cells,
     GraphStudyResult result;
     constexpr int kWordBits = 64;  // 8-byte vertex/edge records
 
-    std::vector<ArrayResult> arrays;
-    for (const auto &cell : cells)
-        arrays.push_back(optimizeFor(cell, capacityBytes, kWordBits,
-                                     OptTarget::ReadEDP));
+    ParallelSweepRunner runner(defaultSweepJobs());
+    auto arrays = runner.optimizeAll(cells, capacityBytes, kWordBits,
+                                     OptTarget::ReadEDP);
 
     // Generic grid spanning the graph-kernel demand range: the paper
     // sweeps 1-10 GB/s reads x 1-100 MB/s writes; we extend the low
@@ -382,9 +378,7 @@ graphStudyWithCells(const std::vector<MemCell> &cells,
     // visible in the same sweep.
     auto grid = genericTrafficGrid(0.05e9, 10e9, 1e6, 100e6, 5,
                                    kWordBits);
-    for (const auto &array : arrays)
-        for (const auto &traffic : grid)
-            result.generic.push_back(evaluate(array, traffic));
+    result.generic = runner.evaluateAll(arrays, grid);
 
     // Kernel points: BFS over two social graphs (Sec. IV-B2).
     GraphAccelModel accel;
@@ -396,10 +390,7 @@ graphStudyWithCells(const std::vector<MemCell> &cells,
         kernelTraffic("Facebook-BFS", fbStats, accel);
     TrafficPattern wikiTraffic =
         kernelTraffic("Wikipedia-BFS", wikiStats, accel);
-    for (const auto &array : arrays) {
-        result.kernels.push_back(evaluate(array, fbTraffic));
-        result.kernels.push_back(evaluate(array, wikiTraffic));
-    }
+    result.kernels = runner.evaluateAll(arrays, {fbTraffic, wikiTraffic});
     return result;
 }
 
@@ -431,28 +422,34 @@ llcStudy(double capacityBytes)
 {
     CellCatalog catalog;
     LlcStudyResult result;
+    ParallelSweepRunner runner(defaultSweepJobs());
 
     // Fig. 10: array characteristics per optimization target.
     SweepConfig sweep;
     sweep.cells = catalog.studyCells();
     sweep.capacitiesBytes = {capacityBytes};
     sweep.targets = allOptTargets();
-    result.arrays = characterizeSweep(sweep);
+    result.arrays = runner.characterize(sweep);
 
     // Fig. 9: ReadEDP-optimized arrays under SPEC-like traffic.
-    std::vector<ArrayResult> arrays;
-    for (const auto &cell : catalog.studyCells())
-        arrays.push_back(optimizeFor(cell, capacityBytes, 512,
-                                     OptTarget::ReadEDP));
+    auto arrays = runner.optimizeAll(catalog.studyCells(),
+                                     capacityBytes, 512,
+                                     OptTarget::ReadEDP);
 
     Hierarchy::Config hconfig;
     hconfig.llcBytes = (std::size_t)capacityBytes;
+    std::vector<TrafficPattern> traffics;
     for (const auto &profile : specLikeSuite()) {
         LlcTraffic llcTraffic = runBenchmark(profile, 20'000'000,
                                              5'000'000, hconfig);
-        TrafficPattern traffic = llcTrafficPattern(llcTraffic);
-        for (const auto &array : arrays)
-            result.evals.push_back(evaluate(array, traffic));
+        traffics.push_back(llcTrafficPattern(llcTraffic));
+    }
+    // Benchmark-major ordering (Fig. 9 groups by benchmark): evaluate
+    // each traffic against every array in turn.
+    for (const auto &traffic : traffics) {
+        auto evals = runner.evaluateAll(arrays, {traffic});
+        result.evals.insert(result.evals.end(), evals.begin(),
+                            evals.end());
     }
     return result;
 }
@@ -466,7 +463,7 @@ areaEfficiencyStudy(double capacityBytes)
         ArrayConfig config;
         config.capacityBytes = capacityBytes;
         config.wordBits = 512;
-        config.nodeNm = nodeFor(cell);
+        config.nodeNm = implementationNode(cell);
         // Admit low-efficiency organizations: the point of the study
         // is the efficiency/latency correlation across the full space.
         config.minAreaEfficiency = 0.05;

@@ -2,55 +2,20 @@
 
 #include <limits>
 
-#include "util/logging.hh"
+#include "core/parallel_sweep.hh"
 
 namespace nvmexp {
 
 std::vector<ArrayResult>
 characterizeSweep(const SweepConfig &config)
 {
-    if (config.cells.empty())
-        fatal("sweep has no cells configured");
-    std::vector<ArrayResult> arrays;
-    for (const auto &cell : config.cells) {
-        for (double capacity : config.capacitiesBytes) {
-            ArrayConfig ac;
-            ac.capacityBytes = capacity;
-            ac.wordBits = config.wordBits;
-            ac.nodeNm = cell.tech == CellTech::SRAM ? config.sramNodeNm
-                                                    : config.nodeNm;
-            ArrayDesigner designer(cell, ac);
-            auto candidates = designer.enumerate();
-            if (candidates.empty()) {
-                warn("cell '", cell.name, "' has no valid organization",
-                     " at ", capacity / (1024.0 * 1024.0),
-                     " MiB; skipping");
-                continue;
-            }
-            for (OptTarget target : config.targets) {
-                const ArrayResult *best = &candidates.front();
-                for (const auto &r : candidates)
-                    if (r.metric(target) < best->metric(target))
-                        best = &r;
-                arrays.push_back(*best);
-            }
-        }
-    }
-    return arrays;
+    return ParallelSweepRunner(config.jobs).characterize(config);
 }
 
 std::vector<EvalResult>
 runSweep(const SweepConfig &config)
 {
-    if (config.traffics.empty())
-        fatal("sweep has no traffic patterns configured");
-    auto arrays = characterizeSweep(config);
-    std::vector<EvalResult> results;
-    results.reserve(arrays.size() * config.traffics.size());
-    for (const auto &array : arrays)
-        for (const auto &traffic : config.traffics)
-            results.push_back(evaluate(array, traffic));
-    return results;
+    return ParallelSweepRunner(config.jobs).run(config);
 }
 
 bool

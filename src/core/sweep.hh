@@ -13,7 +13,11 @@
 #ifndef NVMEXP_CORE_SWEEP_HH
 #define NVMEXP_CORE_SWEEP_HH
 
+#include <algorithm>
 #include <functional>
+#include <limits>
+#include <numeric>
+#include <utility>
 #include <vector>
 
 #include "celldb/cell.hh"
@@ -32,7 +36,20 @@ struct SweepConfig
     int wordBits = 512;
     int nodeNm = 22;       ///< eNVM implementation node
     int sramNodeNm = 16;   ///< SRAM baseline node
+    /** Worker threads for the sweep cross product; <=0 means all
+     *  hardware threads. Results are identical for any value. */
+    int jobs = 1;
 };
+
+/** Implementation node for a cell: SRAM baselines use the (denser)
+ *  SRAM node, eNVMs the eNVM node — the paper's 16 nm SRAM vs 22 nm
+ *  eNVM comparison. Single source of truth for every sweep/study. */
+inline int
+implementationNode(const MemCell &cell, int nodeNm = 22,
+                   int sramNodeNm = 16)
+{
+    return cell.tech == CellTech::SRAM ? sramNodeNm : nodeNm;
+}
 
 /** Run the full cross product; arrays that cannot be built are
  *  skipped with a warning rather than aborting the sweep. */
@@ -63,6 +80,11 @@ bool satisfies(const EvalResult &result, const Constraints &constraints);
 
 /**
  * 2-D Pareto front (minimize both keys) over any result vector.
+ *
+ * O(n log n): sort by (keyA, keyB) and sweep with the running minimum
+ * of keyB over strictly smaller keyA. Within an equal-keyA group only
+ * the minimal-keyB items survive; exact (keyA, keyB) duplicates do not
+ * dominate each other and are all kept. Output preserves input order.
  */
 template <typename T>
 std::vector<T>
@@ -70,21 +92,40 @@ paretoFront(const std::vector<T> &items,
             const std::function<double(const T &)> &keyA,
             const std::function<double(const T &)> &keyB)
 {
-    std::vector<T> front;
-    for (const auto &candidate : items) {
-        bool dominated = false;
-        for (const auto &other : items) {
-            if (keyA(other) <= keyA(candidate) &&
-                keyB(other) <= keyB(candidate) &&
-                (keyA(other) < keyA(candidate) ||
-                 keyB(other) < keyB(candidate))) {
-                dominated = true;
-                break;
+    const std::size_t n = items.size();
+    std::vector<std::pair<double, double>> keys(n);
+    for (std::size_t i = 0; i < n; ++i)
+        keys[i] = {keyA(items[i]), keyB(items[i])};
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t lhs, std::size_t rhs) {
+                  return keys[lhs] < keys[rhs];
+              });
+
+    std::vector<char> keep(n, 0);
+    double bestB = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < n;) {
+        const double a = keys[order[i]].first;
+        const double groupMinB = keys[order[i]].second;
+        std::size_t j = i;
+        while (j < n && keys[order[j]].first == a)
+            ++j;
+        if (groupMinB < bestB) {
+            for (std::size_t k = i;
+                 k < j && keys[order[k]].second == groupMinB; ++k) {
+                keep[order[k]] = 1;
             }
+            bestB = groupMinB;
         }
-        if (!dominated)
-            front.push_back(candidate);
+        i = j;
     }
+
+    std::vector<T> front;
+    for (std::size_t i = 0; i < n; ++i)
+        if (keep[i])
+            front.push_back(items[i]);
     return front;
 }
 

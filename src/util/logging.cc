@@ -1,13 +1,46 @@
 #include "util/logging.hh"
 
+#include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
+#include <mutex>
 
 namespace nvmexp {
 
 namespace {
+
 bool quietFlag = false;
+
+/**
+ * Serialize fatal() exits: sweep workers run on a thread pool, so a
+ * fatal can fire on a worker while siblings are still executing.
+ * Concurrent std::exit is undefined behavior, and even a single
+ * std::exit would run static destructors while other workers still
+ * read function-local statics (opt-target tables, ECC tables). The
+ * first fatal thread flushes stdio and _Exits — skipping static
+ * destruction entirely, which is safe because nothing here owns
+ * external state beyond FILE buffers; any other thread that also hits
+ * fatal after printing its message parks forever (the process is
+ * already going down).
+ */
+[[noreturn]] void
+exitOnce(int code)
+{
+    static std::once_flag flag;
+    bool winner = false;
+    std::call_once(flag, [&] { winner = true; });
+    if (winner) {
+        std::fflush(nullptr);
+        std::_Exit(code);
+    }
+    std::mutex m;
+    std::condition_variable cv;
+    std::unique_lock<std::mutex> lock(m);
+    cv.wait(lock, [] { return false; });
+    __builtin_unreachable();
 }
+
+} // namespace
 
 void
 setQuiet(bool quiet)
@@ -35,7 +68,7 @@ logMessage(LogLevel level, const std::string &msg)
         break;
       case LogLevel::Fatal:
         std::fprintf(stderr, "fatal: %s\n", msg.c_str());
-        std::exit(1);
+        exitOnce(1);
       case LogLevel::Panic:
         std::fprintf(stderr, "panic: %s\n", msg.c_str());
         std::abort();

@@ -1,0 +1,124 @@
+#include "util/thread_pool.hh"
+
+#include <atomic>
+#include <utility>
+
+namespace nvmexp {
+
+int
+ThreadPool::hardwareThreads()
+{
+    unsigned n = std::thread::hardware_concurrency();
+    return n == 0 ? 1 : (int)n;
+}
+
+int
+ThreadPool::resolveJobs(int jobs)
+{
+    if (jobs <= 0)
+        jobs = hardwareThreads();
+    return jobs < kMaxThreads ? jobs : kMaxThreads;
+}
+
+ThreadPool::ThreadPool(int threads)
+{
+    int n = resolveJobs(threads);
+    workers_.reserve((std::size_t)n);
+    for (int i = 0; i < n; ++i)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        stopping_ = true;
+    }
+    workReady_.notify_all();
+    for (auto &worker : workers_)
+        worker.join();
+}
+
+void
+ThreadPool::submit(std::function<void()> task)
+{
+    {
+        std::unique_lock<std::mutex> lock(mutex_);
+        queue_.push_back(std::move(task));
+        ++inFlight_;
+    }
+    workReady_.notify_one();
+}
+
+void
+ThreadPool::wait()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    allDone_.wait(lock, [this] { return inFlight_ == 0; });
+}
+
+void
+ThreadPool::workerLoop()
+{
+    for (;;) {
+        std::function<void()> task;
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            workReady_.wait(lock, [this] {
+                return stopping_ || !queue_.empty();
+            });
+            if (queue_.empty())
+                return;  // stopping_ and nothing left to drain
+            task = std::move(queue_.front());
+            queue_.pop_front();
+        }
+        task();
+        {
+            std::unique_lock<std::mutex> lock(mutex_);
+            if (--inFlight_ == 0)
+                allDone_.notify_all();
+        }
+    }
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t count,
+            const std::function<void(std::size_t)> &body)
+{
+    if (pool.size() <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    std::size_t drainers = (std::size_t)pool.size() < count
+                               ? (std::size_t)pool.size() : count;
+    std::atomic<std::size_t> next{0};
+    for (std::size_t w = 0; w < drainers; ++w) {
+        pool.submit([&] {
+            for (std::size_t i = next.fetch_add(1); i < count;
+                 i = next.fetch_add(1)) {
+                body(i);
+            }
+        });
+    }
+    pool.wait();
+}
+
+void
+parallelFor(std::size_t count, int jobs,
+            const std::function<void(std::size_t)> &body)
+{
+    int workers = ThreadPool::resolveJobs(jobs);
+    if (workers <= 1 || count <= 1) {
+        for (std::size_t i = 0; i < count; ++i)
+            body(i);
+        return;
+    }
+    if ((std::size_t)workers > count)
+        workers = (int)count;
+
+    ThreadPool pool(workers);
+    parallelFor(pool, count, body);
+}
+
+} // namespace nvmexp

@@ -84,9 +84,10 @@ TEST_F(StudiesTest, UseCaseSummaryShapeMatchesTable2)
         EXPECT_NE(row.optChoice, "");
         EXPECT_NE(row.altChoice, "");
         // Winners come from the right pools.
-        if (row.optChoice != "none")
+        if (row.optChoice != "none") {
             EXPECT_NE(row.optChoice.find("-Opt"), std::string::npos)
                 << row.optChoice;
+        }
         if (row.altChoice != "none") {
             bool alt = row.altChoice.find("-Pess") != std::string::npos ||
                 row.altChoice.find("-Ref") != std::string::npos;

@@ -2,6 +2,7 @@
 
 #include "celldb/tentpole.hh"
 #include "core/sweep.hh"
+#include "util/random.hh"
 
 namespace nvmexp {
 namespace {
@@ -75,6 +76,72 @@ TEST(Pareto, SinglePointIsItsOwnFront)
         xs, [](const double &x) { return x; },
         [](const double &x) { return -x; });
     EXPECT_EQ(front.size(), 1u);
+}
+
+TEST(Pareto, MatchesBruteForceOnRandomPointsWithTies)
+{
+    struct P
+    {
+        double a, b;
+        bool operator==(const P &o) const
+        {
+            return a == o.a && b == o.b;
+        }
+    };
+    auto keyA = [](const P &p) { return p.a; };
+    auto keyB = [](const P &p) { return p.b; };
+
+    Rng rng(0xFACADE);
+    for (int round = 0; round < 20; ++round) {
+        std::vector<P> points;
+        for (int i = 0; i < 200; ++i) {
+            // Coarse grid so equal keys and exact duplicates occur.
+            points.push_back({(double)rng.range(12),
+                              (double)rng.range(12)});
+        }
+
+        // Reference: the original O(n^2) dominance scan.
+        std::vector<P> expected;
+        for (const auto &c : points) {
+            bool dominated = false;
+            for (const auto &o : points) {
+                if (o.a <= c.a && o.b <= c.b &&
+                    (o.a < c.a || o.b < c.b)) {
+                    dominated = true;
+                    break;
+                }
+            }
+            if (!dominated)
+                expected.push_back(c);
+        }
+
+        auto front = paretoFront<P>(points, keyA, keyB);
+        ASSERT_EQ(front.size(), expected.size()) << "round " << round;
+        for (std::size_t i = 0; i < front.size(); ++i)
+            EXPECT_TRUE(front[i] == expected[i])
+                << "round " << round << " item " << i;
+    }
+}
+
+TEST(Pareto, PreservesInputOrderAndDuplicates)
+{
+    struct P
+    {
+        double a, b;
+    };
+    std::vector<P> points = {
+        {4, 1}, {2, 2}, {1, 4}, {2, 2}, {3, 3}, {1, 4},
+    };
+    auto front = paretoFront<P>(
+        points, [](const P &p) { return p.a; },
+        [](const P &p) { return p.b; });
+    // All duplicates of non-dominated points survive, in input order.
+    ASSERT_EQ(front.size(), 5u);
+    EXPECT_EQ(front[0].a, 4);
+    EXPECT_EQ(front[1].a, 2);
+    EXPECT_EQ(front[2].a, 1);
+    EXPECT_EQ(front[3].a, 2);
+    EXPECT_EQ(front[4].a, 1);
 }
 
 TEST(BestBy, FindsMinimum)

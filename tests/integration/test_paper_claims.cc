@@ -62,9 +62,11 @@ TEST_F(PaperClaimsTest, Fig5_PessimisticPcmIsTheReadLatencyOutlier)
 {
     auto arrays = arraysByName(studies::dnnBufferArrays());
     double pcmPess = arrays.at("PCM-Pess").readLatency;
-    for (const auto &[name, array] : arrays)
-        if (name != "PCM-Pess")
+    for (const auto &[name, array] : arrays) {
+        if (name != "PCM-Pess") {
             EXPECT_LT(array.readLatency, pcmPess) << name;
+        }
+    }
 }
 
 TEST_F(PaperClaimsTest, Fig5_DensityHeadlines)
@@ -121,8 +123,9 @@ TEST_F(PaperClaimsTest, Fig6_WriteHeavyScenarioExcludesSlowCells)
             EXPECT_FALSE(row.meetsFps) << row.cell;
             ++excluded;
         }
-        if (row.cell == "STT-Opt")
+        if (row.cell == "STT-Opt") {
             EXPECT_TRUE(row.meetsFps);
+        }
     }
     EXPECT_EQ(excluded, 4);
 }
@@ -176,9 +179,11 @@ TEST_F(PaperClaimsTest, Fig8_GraphHeadlines)
     // eNVMs deliver the paper's ~2-10x power win over SRAM.
     EXPECT_GT(power.at("SRAM") / power.at("STT-Opt"), 2.0);
     // Pessimistic FeFET cannot keep up with the write traffic.
-    for (const auto &ev : study.kernels)
-        if (ev.array.cell.name == "FeFET-Pess")
+    for (const auto &ev : study.kernels) {
+        if (ev.array.cell.name == "FeFET-Pess") {
             EXPECT_FALSE(ev.viable());
+        }
+    }
 }
 
 TEST_F(PaperClaimsTest, Fig8_LowReadRatePowerWinnerIsFeFet)
@@ -283,9 +288,11 @@ TEST_F(PaperClaimsTest, Fig11_BackGatedFefetClosesThePerformanceGap)
     for (const auto &ev : study.generic)
         if (ev.traffic.readsPerSec == loRate)
             lo.try_emplace(ev.array.cell.name, ev.totalPower);
-    for (const auto &[name, power] : lo)
-        if (name != "FeFET-BG" && name != "FeFET-Opt")
+    for (const auto &[name, power] : lo) {
+        if (name != "FeFET-BG" && name != "FeFET-Opt") {
             EXPECT_LE(lo.at("FeFET-BG"), power) << name;
+        }
+    }
 }
 
 TEST_F(PaperClaimsTest, Fig13_MlcReliabilityIsTechnologySpecific)

@@ -5,11 +5,15 @@
  * C++ analog of the original release's `python run.py <config>`.
  */
 
+#include <cerrno>
+#include <cstdlib>
 #include <cstring>
 #include <iostream>
 
 #include "core/config.hh"
+#include "core/parallel_sweep.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 using namespace nvmexp;
 
@@ -19,12 +23,16 @@ void
 usage()
 {
     std::cout <<
-        "usage: nvmexplorer_cli [-q] <config.json> [more configs...]\n"
+        "usage: nvmexplorer_cli [-q] [--jobs N] <config.json> "
+        "[more configs...]\n"
         "\n"
         "Runs the design sweep(s) described by the JSON config(s) and\n"
         "prints the results table. See config/README-style samples in\n"
         "the repository's config/ directory.\n"
-        "  -q   suppress informational warnings\n";
+        "  -q         suppress informational warnings\n"
+        "  --jobs N   worker threads for the sweep cross product\n"
+        "             (0 = all hardware threads; default 1); a config's\n"
+        "             own \"jobs\" key overrides this\n";
 }
 
 } // namespace
@@ -33,9 +41,34 @@ int
 main(int argc, char **argv)
 {
     int argi = 1;
-    if (argi < argc && std::strcmp(argv[argi], "-q") == 0) {
-        setQuiet(true);
-        ++argi;
+    while (argi < argc && argv[argi][0] == '-' &&
+           std::strcmp(argv[argi], "-") != 0) {
+        if (std::strcmp(argv[argi], "-q") == 0) {
+            setQuiet(true);
+            ++argi;
+        } else if (std::strcmp(argv[argi], "--jobs") == 0 ||
+                   std::strcmp(argv[argi], "-j") == 0) {
+            if (argi + 1 >= argc)
+                fatal("--jobs needs a thread count");
+            errno = 0;
+            char *end = nullptr;
+            long jobs = std::strtol(argv[argi + 1], &end, 10);
+            if (end == argv[argi + 1] || *end != '\0' || errno != 0 ||
+                jobs > ThreadPool::kMaxThreads || jobs < 0) {
+                fatal("--jobs: '", argv[argi + 1],
+                      "' must be an integer in [0, ",
+                      ThreadPool::kMaxThreads, "]");
+            }
+            setDefaultSweepJobs((int)jobs);
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--help") == 0 ||
+                   std::strcmp(argv[argi], "-h") == 0) {
+            usage();
+            return 0;
+        } else {
+            usage();
+            return 2;
+        }
     }
     if (argi >= argc) {
         usage();
@@ -47,7 +80,8 @@ main(int argc, char **argv)
                config.sweep.cells.size(), " cells x ",
                config.sweep.capacitiesBytes.size(), " capacities x ",
                config.sweep.targets.size(), " targets x ",
-               config.sweep.traffics.size(), " traffic patterns)");
+               config.sweep.traffics.size(), " traffic patterns, ",
+               ThreadPool::resolveJobs(config.sweep.jobs), " jobs)");
         Table table = runExperiment(config);
         table.print(std::cout);
         if (!config.outputCsv.empty())
