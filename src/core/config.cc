@@ -142,13 +142,21 @@ loadExperiment(const JsonValue &doc)
     // Worker threads: an explicit "jobs" key wins, else the process
     // default (the CLI's --jobs flag). 0 = all hardware threads.
     // Validate before the int cast: double-to-int conversion is UB
-    // outside int's range, and the CLI path enforces the same bounds.
+    // outside int's range, and the CLI path enforces the same bounds
+    // (both go through ThreadPool::jobsInRange).
     double jobs = doc.numberOr("jobs", (double)defaultSweepJobs());
-    if (!(jobs >= 0.0 && jobs <= (double)ThreadPool::kMaxThreads)) {
+    if (!ThreadPool::jobsInRange(jobs)) {
         fatal("config '", config.name, "': \"jobs\" must be in [0, ",
               ThreadPool::kMaxThreads, "], got ", jobs);
     }
     config.sweep.jobs = (int)jobs;
+
+    // Result store: only the config's own keys here. The CLI layers
+    // its --out/--resume flags (and the $NVMEXP_STORE_DIR fallback)
+    // on top of configs that leave these unset, handling one-store-
+    // per-experiment isolation there.
+    config.sweep.outDir = doc.stringOr("out_dir", "");
+    config.sweep.resume = doc.boolOr("resume", false);
 
     // Optimization targets (default ReadEDP).
     config.sweep.targets.clear();

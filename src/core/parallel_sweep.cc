@@ -1,5 +1,7 @@
 #include "core/parallel_sweep.hh"
 
+#include <cstdlib>
+
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -8,6 +10,15 @@ namespace nvmexp {
 namespace {
 
 int sweepJobsDefault = 1;
+std::string sweepStoreDirDefault;
+bool sweepStoreDirSet = false;
+
+void
+warnNoOrganization(const MemCell &cell, double capacity)
+{
+    warn("cell '", cell.name, "' has no valid organization", " at ",
+         capacity / (1024.0 * 1024.0), " MiB; skipping");
+}
 
 /**
  * Characterize one (cell, capacity) pair: the best organization per
@@ -15,31 +26,73 @@ int sweepJobsDefault = 1;
  * the unit of parallel work for characterize(); keeping it as one item
  * (rather than per target) avoids enumerating the design space
  * targets-times over, matching the serial loop's cost.
+ *
+ * With a store, each per-target winner lives under its own content-
+ * hash key: when every target hits, the (expensive) design-space
+ * enumeration is skipped entirely; any miss recomputes the pair once
+ * and refreshes all of its entries. Cached winners deserialize
+ * bit-identically, so results don't depend on cache state.
  */
 std::vector<ArrayResult>
 characterizePair(const SweepConfig &config, const MemCell &cell,
-                 double capacity)
+                 double capacity, store::ResultStore *resultStore)
 {
     ArrayConfig ac;
     ac.capacityBytes = capacity;
     ac.wordBits = config.wordBits;
     ac.nodeNm = implementationNode(cell, config.nodeNm,
                                    config.sramNodeNm);
+
+    std::vector<std::string> keys;
+    if (resultStore) {
+        keys.reserve(config.targets.size());
+        for (OptTarget target : config.targets) {
+            keys.push_back(store::ResultStore::characterizationKey(
+                cell, ac, target));
+        }
+        std::vector<ArrayResult> cached(keys.size());
+        std::size_t hits = 0, invalid = 0;
+        for (std::size_t t = 0; t < keys.size(); ++t) {
+            switch (resultStore->lookupArray(keys[t], cached[t])) {
+              case store::ResultStore::CacheOutcome::Hit:
+                ++hits;
+                break;
+              case store::ResultStore::CacheOutcome::HitInvalid:
+                ++invalid;
+                break;
+              case store::ResultStore::CacheOutcome::Miss:
+                break;
+            }
+        }
+        if (invalid == keys.size() && !keys.empty()) {
+            warnNoOrganization(cell, capacity);
+            return {};
+        }
+        if (hits == keys.size())
+            return cached;
+    }
+
     ArrayDesigner designer(cell, ac);
     auto candidates = designer.enumerate();
     if (candidates.empty()) {
-        warn("cell '", cell.name, "' has no valid organization", " at ",
-             capacity / (1024.0 * 1024.0), " MiB; skipping");
+        warnNoOrganization(cell, capacity);
+        if (resultStore) {
+            for (const auto &key : keys)
+                resultStore->storeInvalid(key);
+        }
         return {};
     }
     std::vector<ArrayResult> best;
     best.reserve(config.targets.size());
-    for (OptTarget target : config.targets) {
+    for (std::size_t t = 0; t < config.targets.size(); ++t) {
+        OptTarget target = config.targets[t];
         const ArrayResult *winner = &candidates.front();
         for (const auto &r : candidates)
             if (r.metric(target) < winner->metric(target))
                 winner = &r;
         best.push_back(*winner);
+        if (resultStore)
+            resultStore->storeArray(keys[t], *winner);
     }
     return best;
 }
@@ -56,6 +109,32 @@ void
 setDefaultSweepJobs(int jobs)
 {
     sweepJobsDefault = ThreadPool::resolveJobs(jobs);
+}
+
+const std::string &
+defaultSweepStoreDir()
+{
+    // Bench binaries and study drivers have no store flag of their
+    // own; NVMEXP_STORE_DIR lets figure regeneration share one
+    // characterization cache. Any explicit setDefaultSweepStoreDir()
+    // — including an explicit "" to force persistence off — wins
+    // over the environment.
+    static const bool envApplied = [] {
+        if (!sweepStoreDirSet) {
+            if (const char *env = std::getenv("NVMEXP_STORE_DIR"))
+                sweepStoreDirDefault = env;
+        }
+        return true;
+    }();
+    (void)envApplied;
+    return sweepStoreDirDefault;
+}
+
+void
+setDefaultSweepStoreDir(std::string dir)
+{
+    sweepStoreDirDefault = std::move(dir);
+    sweepStoreDirSet = true;
 }
 
 ParallelSweepRunner::ParallelSweepRunner(int jobs)
@@ -79,7 +158,8 @@ ParallelSweepRunner::shard(
 }
 
 std::vector<ArrayResult>
-ParallelSweepRunner::characterize(const SweepConfig &config) const
+ParallelSweepRunner::characterizeWithStore(
+    const SweepConfig &config, store::ResultStore *resultStore) const
 {
     if (config.cells.empty())
         fatal("sweep has no cells configured");
@@ -94,13 +174,28 @@ ParallelSweepRunner::characterize(const SweepConfig &config) const
             config.cells[idx / config.capacitiesBytes.size()];
         double capacity =
             config.capacitiesBytes[idx % config.capacitiesBytes.size()];
-        slots[idx] = characterizePair(config, cell, capacity);
+        slots[idx] = characterizePair(config, cell, capacity,
+                                      resultStore);
     });
 
     std::vector<ArrayResult> arrays;
     arrays.reserve(pairs * config.targets.size());
     for (const auto &slot : slots)
         arrays.insert(arrays.end(), slot.begin(), slot.end());
+    return arrays;
+}
+
+std::vector<ArrayResult>
+ParallelSweepRunner::characterize(const SweepConfig &config) const
+{
+    lastStoreStats_ = store::StoreStats{};
+    if (config.outDir.empty())
+        return characterizeWithStore(config, nullptr);
+
+    store::ResultStore resultStore(config.outDir);
+    auto arrays = characterizeWithStore(config, &resultStore);
+    lastStoreStats_ = resultStore.stats();
+    resultStore.writeStats();
     return arrays;
 }
 
@@ -123,7 +218,42 @@ ParallelSweepRunner::run(const SweepConfig &config) const
 {
     if (config.traffics.empty())
         fatal("sweep has no traffic patterns configured");
-    return evaluateAll(characterize(config), config.traffics);
+    lastStoreStats_ = store::StoreStats{};
+    if (config.outDir.empty())
+        return evaluateAll(characterizeWithStore(config, nullptr),
+                           config.traffics);
+
+    store::ResultStore resultStore(config.outDir);
+    auto arrays = characterizeWithStore(config, &resultStore);
+
+    std::size_t slots = arrays.size() * config.traffics.size();
+    auto done = resultStore.openCheckpoint(
+        store::sweepFingerprint(config), slots, config.resume);
+
+    // Index-addressed slots: replayed checkpoint entries and freshly
+    // evaluated ones land in the same serial-order positions, so the
+    // output is byte-identical to an uninterrupted run.
+    std::vector<EvalResult> results(slots);
+    std::vector<char> todo(slots, 1);
+    for (const auto &[slot, result] : done) {
+        results[slot] = result;
+        todo[slot] = 0;
+    }
+    shard(slots, [&](std::size_t idx) {
+        if (!todo[idx])
+            return;
+        const ArrayResult &array =
+            arrays[idx / config.traffics.size()];
+        const TrafficPattern &traffic =
+            config.traffics[idx % config.traffics.size()];
+        results[idx] = evaluate(array, traffic);
+        resultStore.checkpointSlot(idx, results[idx]);
+    });
+    resultStore.closeCheckpoint();
+    resultStore.writeResults(results);
+    lastStoreStats_ = resultStore.stats();
+    resultStore.writeStats();
+    return results;
 }
 
 std::vector<ArrayResult>

@@ -14,9 +14,11 @@
 #define NVMEXP_CORE_PARALLEL_SWEEP_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/sweep.hh"
+#include "store/result_store.hh"
 #include "util/thread_pool.hh"
 
 namespace nvmexp {
@@ -29,6 +31,17 @@ namespace nvmexp {
 int defaultSweepJobs();
 void setDefaultSweepJobs(int jobs);
 
+/**
+ * Process-wide default result-store directory for sweeps that don't
+ * specify one: studies and bench binaries route their SweepConfigs
+ * through it so repeated figure regeneration hits the
+ * characterization cache. Initialized from $NVMEXP_STORE_DIR on first
+ * use unless setDefaultSweepStoreDir() ran earlier; empty disables
+ * persistence.
+ */
+const std::string &defaultSweepStoreDir();
+void setDefaultSweepStoreDir(std::string dir);
+
 /** Runs sweep cross products on a fixed number of worker threads. */
 class ParallelSweepRunner
 {
@@ -40,12 +53,24 @@ class ParallelSweepRunner
     int jobs() const { return jobs_; }
 
     /** Parallel equivalent of characterizeSweep: cells x capacities x
-     *  targets, results in serial sweep order. */
+     *  targets, results in serial sweep order. With config.outDir set,
+     *  already-characterized arrays are served from the store's cache
+     *  (byte-identical to recomputation) and fresh ones persisted, so
+     *  an interrupted characterization resumes where it stopped. */
     std::vector<ArrayResult> characterize(const SweepConfig &config) const;
 
     /** Parallel equivalent of runSweep: characterize then evaluate
-     *  against every traffic pattern, results in serial sweep order. */
+     *  against every traffic pattern, results in serial sweep order.
+     *  With config.outDir set, evaluation slots are journaled (and
+     *  replayed under config.resume) and results.json/.csv written. */
     std::vector<EvalResult> run(const SweepConfig &config) const;
+
+    /** Store counters from the last characterize()/run() that used a
+     *  result store (zeros otherwise). */
+    const store::StoreStats &lastStoreStats() const
+    {
+        return lastStoreStats_;
+    }
 
     /** Evaluate the full arrays x traffics cross product, array-major
      *  (the order the serial study loops produce). */
@@ -68,10 +93,16 @@ class ParallelSweepRunner
     void shard(std::size_t count,
                const std::function<void(std::size_t)> &body) const;
 
+    /** characterize() body against an optional store (null = none). */
+    std::vector<ArrayResult>
+    characterizeWithStore(const SweepConfig &config,
+                          store::ResultStore *resultStore) const;
+
     int jobs_;
     /** Lazily-created persistent worker pool; runners are not
      *  thread-safe themselves (one sweep driver per runner). */
     mutable std::unique_ptr<ThreadPool> pool_;
+    mutable store::StoreStats lastStoreStats_;
 };
 
 } // namespace nvmexp

@@ -66,6 +66,7 @@ arrayLandscape(double capacityBytes)
     sweep.capacitiesBytes = {capacityBytes};
     sweep.targets = allOptTargets();
     sweep.jobs = defaultSweepJobs();
+    sweep.outDir = defaultSweepStoreDir();
     return characterizeSweep(sweep);
 }
 
@@ -429,6 +430,7 @@ llcStudy(double capacityBytes)
     sweep.cells = catalog.studyCells();
     sweep.capacitiesBytes = {capacityBytes};
     sweep.targets = allOptTargets();
+    sweep.outDir = defaultSweepStoreDir();
     result.arrays = runner.characterize(sweep);
 
     // Fig. 9: ReadEDP-optimized arrays under SPEC-like traffic.

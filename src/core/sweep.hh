@@ -17,6 +17,7 @@
 #include <functional>
 #include <limits>
 #include <numeric>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -39,6 +40,18 @@ struct SweepConfig
     /** Worker threads for the sweep cross product; <=0 means all
      *  hardware threads. Results are identical for any value. */
     int jobs = 1;
+    /**
+     * Result-store directory (CLI --out / config "out_dir"): persists
+     * results.json/.csv, a content-hashed characterization cache, and
+     * an evaluation checkpoint journal there. Empty disables
+     * persistence. Neither this nor `resume` affects result values or
+     * order — cache hits and replayed checkpoint slots are
+     * byte-identical to fresh computation.
+     */
+    std::string outDir;
+    /** Replay outDir's checkpoint journal (CLI --resume) and continue
+     *  an interrupted sweep instead of restarting it. */
+    bool resume = false;
 };
 
 /** Implementation node for a cell: SRAM baselines use the (denser)

@@ -13,6 +13,8 @@
 #ifndef NVMEXP_EVAL_ENGINE_HH
 #define NVMEXP_EVAL_ENGINE_HH
 
+#include <limits>
+
 #include "eval/traffic.hh"
 #include "nvsim/array_model.hh"
 
@@ -44,7 +46,7 @@ struct EvalResult
 
     /** Projected array lifetime under this write rate [s];
      *  +inf for unlimited-endurance cells or zero write traffic. */
-    double lifetimeSec = 0.0;
+    double lifetimeSec = std::numeric_limits<double>::infinity();
 
     /** @return lifetime in years (365-day years). */
     double lifetimeYears() const { return lifetimeSec / (365.0 * 86400.0); }
@@ -104,7 +106,9 @@ struct IntermittentResult
     double energyPerDay = 0.0;     ///< J, events + standby
     double wakeLatency = 0.0;      ///< s before the event can compute
     double eventLatency = 0.0;     ///< s of aggregated access latency
-    double lifetimeSec = 0.0;      ///< s under the daily write load
+    /** Lifetime under the daily write load [s]; +inf when nothing
+     *  wears the array (unlimited endurance or no writes). */
+    double lifetimeSec = std::numeric_limits<double>::infinity();
     bool keptPowered = false;      ///< volatile array stayed powered
     /**
      * Non-volatile retention covers the powered-off interval between

@@ -1,0 +1,450 @@
+#include "store/result_store.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/table.hh"
+
+namespace nvmexp {
+namespace store {
+
+JsonValue
+StoreStats::toJson() const
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("format", JsonValue::makeNumber(kFormatVersion));
+    v.set("cache_hits", JsonValue::makeNumber((double)cacheHits));
+    v.set("cache_misses", JsonValue::makeNumber((double)cacheMisses));
+    v.set("cache_stores", JsonValue::makeNumber((double)cacheStores));
+    v.set("checkpoint_loaded",
+          JsonValue::makeNumber((double)checkpointLoaded));
+    v.set("checkpoint_computed",
+          JsonValue::makeNumber((double)checkpointComputed));
+    return v;
+}
+
+StoreStats
+StoreStats::fromJson(const JsonValue &doc)
+{
+    if ((int)doc.at("format").asNumber() != kFormatVersion) {
+        fatal("store: stats written with format ",
+              doc.at("format").asNumber(), ", this build reads format ",
+              kFormatVersion);
+    }
+    StoreStats s;
+    s.cacheHits = (std::uint64_t)doc.at("cache_hits").asNumber();
+    s.cacheMisses = (std::uint64_t)doc.at("cache_misses").asNumber();
+    s.cacheStores = (std::uint64_t)doc.at("cache_stores").asNumber();
+    s.checkpointLoaded =
+        (std::uint64_t)doc.at("checkpoint_loaded").asNumber();
+    s.checkpointComputed =
+        (std::uint64_t)doc.at("checkpoint_computed").asNumber();
+    return s;
+}
+
+std::uint64_t
+fnv1a64(const std::string &text)
+{
+    std::uint64_t hash = 0xCBF29CE484222325ull;
+    for (unsigned char c : text) {
+        hash ^= c;
+        hash *= 0x100000001B3ull;
+    }
+    return hash;
+}
+
+namespace {
+
+std::string
+hexHash(const std::string &text)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof(buffer), "%016llx",
+                  (unsigned long long)fnv1a64(text));
+    return buffer;
+}
+
+/** Typed member guards for documents that may be corrupt: the
+ *  fatal()-based accessors must never run on untrusted shapes. */
+bool
+hasString(const JsonValue &doc, const std::string &key)
+{
+    return doc.isObject() && doc.has(key) && doc.at(key).isString();
+}
+
+bool
+hasNumber(const JsonValue &doc, const std::string &key)
+{
+    return doc.isObject() && doc.has(key) && doc.at(key).isNumber();
+}
+
+bool
+hasObject(const JsonValue &doc, const std::string &key)
+{
+    return doc.isObject() && doc.has(key) && doc.at(key).isObject();
+}
+
+} // namespace
+
+std::string
+sweepFingerprint(const SweepConfig &config)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("format", JsonValue::makeNumber(kFormatVersion));
+    JsonValue cells = JsonValue::makeArray();
+    for (const auto &cell : config.cells)
+        cells.append(toJson(cell));
+    v.set("cells", std::move(cells));
+    JsonValue capacities = JsonValue::makeArray();
+    for (double capacity : config.capacitiesBytes)
+        capacities.append(JsonValue::makeNumber(capacity));
+    v.set("capacities_bytes", std::move(capacities));
+    JsonValue targets = JsonValue::makeArray();
+    for (OptTarget target : config.targets)
+        targets.append(JsonValue::makeString(optTargetName(target)));
+    v.set("targets", std::move(targets));
+    JsonValue traffics = JsonValue::makeArray();
+    for (const auto &traffic : config.traffics)
+        traffics.append(toJson(traffic));
+    v.set("traffics", std::move(traffics));
+    v.set("word_bits", JsonValue::makeNumber(config.wordBits));
+    v.set("node_nm", JsonValue::makeNumber(config.nodeNm));
+    v.set("sram_node_nm", JsonValue::makeNumber(config.sramNodeNm));
+    return hexHash(v.dump(-1));
+}
+
+ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+{
+    std::error_code ec;
+    std::filesystem::create_directories(dir_ + "/cache", ec);
+    if (ec) {
+        fatal("result store: cannot create '", dir_, "/cache': ",
+              ec.message());
+    }
+}
+
+std::string
+ResultStore::characterizationKey(const MemCell &cell,
+                                 const ArrayConfig &config,
+                                 OptTarget target)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("format", JsonValue::makeNumber(kFormatVersion));
+    v.set("cell", toJson(cell));
+    v.set("capacity_bytes",
+          JsonValue::makeNumber(config.capacityBytes));
+    v.set("word_bits", JsonValue::makeNumber(config.wordBits));
+    v.set("node_nm", JsonValue::makeNumber(config.nodeNm));
+    v.set("min_area_efficiency",
+          JsonValue::makeNumber(config.minAreaEfficiency));
+    v.set("max_banks", JsonValue::makeNumber(config.maxBanks));
+    v.set("target", JsonValue::makeString(optTargetName(target)));
+    return v.dump(-1);
+}
+
+std::string
+ResultStore::cachePath(const std::string &key) const
+{
+    return dir_ + "/cache/" + hexHash(key) + ".json";
+}
+
+ResultStore::CacheOutcome
+ResultStore::lookupArray(const std::string &key, ArrayResult &out)
+{
+    CacheOutcome outcome = CacheOutcome::Miss;
+    std::string path = cachePath(key);
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    if (in)
+        buffer << in.rdbuf();
+    // A truncated or corrupt entry (disk trouble, torn copy) degrades
+    // to a miss and gets recomputed and overwritten — the cache is an
+    // optimization, never a correctness or availability dependency.
+    // The non-fatal parse plus the byte-exact comparison of the full
+    // stored key covers every realistic corruption; the fatal()
+    // parser never sees untrusted bytes.
+    JsonValue doc;
+    if (in && JsonValue::tryParse(buffer.str(), doc) &&
+        hasString(doc, "key") && doc.at("key").asString() == key) {
+        if (doc.has("invalid") && doc.at("invalid").isBool() &&
+            doc.at("invalid").asBool()) {
+            outcome = CacheOutcome::HitInvalid;
+        } else if (hasObject(doc, "array")) {
+            out = arrayResultFromJson(doc.at("array"));
+            outcome = CacheOutcome::Hit;
+        }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (outcome == CacheOutcome::Miss)
+        ++stats_.cacheMisses;
+    else
+        ++stats_.cacheHits;
+    return outcome;
+}
+
+namespace {
+
+/** Write-then-rename so readers never observe a torn entry. The tmp
+ *  name is unique per writer (pid + counter): concurrent writers of
+ *  the same key — duplicate cells in one sweep, or two processes
+ *  sharing a cache directory — each rename a complete file, and
+ *  last-rename-wins leaves a valid entry either way. */
+void
+writeAtomically(const std::string &path, const JsonValue &doc)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+        "." + std::to_string(counter.fetch_add(1));
+    doc.writeFile(tmp, -1);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        fatal("result store: cannot move '", tmp, "': ", ec.message());
+}
+
+} // namespace
+
+void
+ResultStore::storeArray(const std::string &key, const ArrayResult &array)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("key", JsonValue::makeString(key));
+    doc.set("array", toJson(array));
+    writeAtomically(cachePath(key), doc);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cacheStores;
+}
+
+void
+ResultStore::storeInvalid(const std::string &key)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("key", JsonValue::makeString(key));
+    doc.set("invalid", JsonValue::makeBool(true));
+    writeAtomically(cachePath(key), doc);
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.cacheStores;
+}
+
+namespace {
+
+JsonValue
+checkpointHeader(const std::string &fingerprint, std::size_t slots)
+{
+    JsonValue header = JsonValue::makeObject();
+    header.set("format", JsonValue::makeNumber(kFormatVersion));
+    header.set("fingerprint", JsonValue::makeString(fingerprint));
+    header.set("slots", JsonValue::makeNumber((double)slots));
+    return header;
+}
+
+} // namespace
+
+std::map<std::size_t, EvalResult>
+ResultStore::openCheckpoint(const std::string &fingerprint,
+                            std::size_t slots, bool resume)
+{
+    std::string path = dir_ + "/checkpoint.jsonl";
+    std::map<std::size_t, EvalResult> done;
+
+    if (resume) {
+        std::ifstream in(path);
+        std::string line;
+        bool headerOk = false;
+        JsonValue header;
+        if (in && std::getline(in, line) &&
+            JsonValue::tryParse(line, header)) {
+            headerOk = hasNumber(header, "format") &&
+                (int)header.at("format").asNumber() == kFormatVersion &&
+                hasString(header, "fingerprint") &&
+                header.at("fingerprint").asString() == fingerprint &&
+                hasNumber(header, "slots") &&
+                (std::size_t)header.at("slots").asNumber() == slots;
+            if (!headerOk) {
+                warn("result store: checkpoint in '", dir_,
+                     "' belongs to a different sweep; restarting");
+            }
+        }
+        if (headerOk) {
+            while (std::getline(in, line)) {
+                if (line.empty())
+                    continue;
+                // The last line of an interrupted run may be torn at
+                // any byte; only lines that parse and carry the
+                // expected members are trusted.
+                JsonValue entry;
+                if (!JsonValue::tryParse(line, entry) ||
+                    !hasNumber(entry, "slot") ||
+                    !hasObject(entry, "result")) {
+                    warn("result store: skipping torn checkpoint line");
+                    continue;
+                }
+                auto slot = (std::size_t)entry.at("slot").asNumber();
+                if (slot < slots)
+                    done[slot] = evalResultFromJson(entry.at("result"));
+            }
+        }
+    }
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.checkpointLoaded = done.size();
+    if (!done.empty()) {
+        // Rewrite the journal from the validated entries before
+        // appending: the original file may end in a torn, newline-less
+        // partial write that a plain append would merge with the next
+        // entry, corrupting it for any later resume.
+        std::string tmp = path + ".tmp";
+        {
+            std::ofstream out(tmp, std::ios::trunc);
+            out << checkpointHeader(fingerprint, slots).dump(-1) << '\n';
+            for (const auto &[slot, result] : done) {
+                JsonValue entry = JsonValue::makeObject();
+                entry.set("slot", JsonValue::makeNumber((double)slot));
+                entry.set("result", toJson(result));
+                out << entry.dump(-1) << '\n';
+            }
+            if (!out.flush())
+                fatal("result store: cannot write '", tmp, "'");
+        }
+        std::error_code ec;
+        std::filesystem::rename(tmp, path, ec);
+        if (ec) {
+            fatal("result store: cannot move '", tmp, "': ",
+                  ec.message());
+        }
+        checkpoint_.open(path, std::ios::app);
+    } else {
+        checkpoint_.open(path, std::ios::trunc);
+        checkpoint_ << checkpointHeader(fingerprint, slots).dump(-1)
+                    << '\n';
+        checkpoint_.flush();
+    }
+    if (!checkpoint_)
+        fatal("result store: cannot write '", path, "'");
+    return done;
+}
+
+void
+ResultStore::checkpointSlot(std::size_t slot, const EvalResult &result)
+{
+    JsonValue entry = JsonValue::makeObject();
+    entry.set("slot", JsonValue::makeNumber((double)slot));
+    entry.set("result", toJson(result));
+    std::string line = entry.dump(-1);
+    std::lock_guard<std::mutex> lock(mutex_);
+    checkpoint_ << line << '\n';
+    checkpoint_.flush();
+    ++stats_.checkpointComputed;
+}
+
+void
+ResultStore::closeCheckpoint()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (checkpoint_.is_open())
+        checkpoint_.close();
+}
+
+void
+ResultStore::writeResults(const std::vector<EvalResult> &results)
+{
+    toJson(results).writeFile(dir_ + "/results.json");
+
+    std::string path = dir_ + "/results.csv";
+    std::ofstream csv(path);
+    if (!csv)
+        fatal("result store: cannot write '", path, "'");
+    csv << "cell,tech,traffic,capacity_bytes,word_bits,node_nm,"
+           "read_latency_s,write_latency_s,read_energy_j,"
+           "write_energy_j,leakage_w,area_m2,read_bandwidth_bps,"
+           "write_bandwidth_bps,dynamic_power_w,total_power_w,"
+           "latency_load,lifetime_sec,meets_read_bw,meets_write_bw,"
+           "viable\n";
+    auto num = [](double v) { return JsonValue::formatNumber(v); };
+    for (const auto &r : results) {
+        csv << Table::csvEscape(r.array.cell.name) << ','
+            << techName(r.array.cell.tech) << ','
+            << Table::csvEscape(r.traffic.name) << ','
+            << num(r.array.capacityBytes) << ',' << r.array.wordBits
+            << ',' << r.array.nodeNm << ','
+            << num(r.array.readLatency) << ','
+            << num(r.array.writeLatency) << ','
+            << num(r.array.readEnergy) << ','
+            << num(r.array.writeEnergy) << ',' << num(r.array.leakage)
+            << ',' << num(r.array.areaM2) << ','
+            << num(r.array.readBandwidth) << ','
+            << num(r.array.writeBandwidth) << ','
+            << num(r.dynamicPower) << ',' << num(r.totalPower) << ','
+            << num(r.latencyLoad) << ',' << num(r.lifetimeSec) << ','
+            << (r.meetsReadBandwidth ? 1 : 0) << ','
+            << (r.meetsWriteBandwidth ? 1 : 0) << ','
+            << (r.viable() ? 1 : 0) << '\n';
+    }
+    if (!csv.flush())
+        fatal("result store: failed writing '", path, "'");
+}
+
+void
+ResultStore::writeStats()
+{
+    stats().toJson().writeFile(dir_ + "/stats.json");
+}
+
+StoreStats
+ResultStore::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+}
+
+std::vector<EvalResult>
+loadResults(const std::string &dir)
+{
+    return evalResultsFromJson(
+        JsonValue::parseFile(dir + "/results.json"));
+}
+
+StoreStats
+loadStats(const std::string &dir)
+{
+    return StoreStats::fromJson(
+        JsonValue::parseFile(dir + "/stats.json"));
+}
+
+std::vector<EvalResult>
+applyQuery(const std::vector<EvalResult> &results,
+           const StoreQuery &query)
+{
+    std::vector<EvalResult> out;
+    for (const auto &result : results) {
+        if (query.applyConstraints &&
+            !satisfies(result, query.constraints))
+            continue;
+        bool keep = true;
+        for (const auto &predicate : query.predicates) {
+            if (!predicate(result)) {
+                keep = false;
+                break;
+            }
+        }
+        if (keep)
+            out.push_back(result);
+    }
+    if (query.paretoX && query.paretoY)
+        out = paretoFront<EvalResult>(out, query.paretoX, query.paretoY);
+    return out;
+}
+
+std::vector<EvalResult>
+queryStore(const std::string &dir, const StoreQuery &query)
+{
+    return applyQuery(loadResults(dir), query);
+}
+
+} // namespace store
+} // namespace nvmexp

@@ -1,0 +1,175 @@
+/**
+ * @file
+ * Persistent sweep result store: the on-disk artifact behind the
+ * paper's "filter and refine" dashboard stage.
+ *
+ * A store is one directory:
+ *
+ *   <dir>/cache/<hash>.json   characterization cache, one entry per
+ *                             (cell, capacity, target, node) content
+ *                             hash; re-running an identical or
+ *                             enlarged sweep skips already-
+ *                             characterized arrays
+ *   <dir>/checkpoint.jsonl    append-only journal of completed
+ *                             evaluation slots; an interrupted sweep
+ *                             resumed with SweepConfig::resume
+ *                             continues where it stopped
+ *   <dir>/results.json        full-precision serialized EvalResults
+ *   <dir>/results.csv         same results, flat CSV for external
+ *                             dashboards
+ *   <dir>/stats.json          cache/checkpoint counters of the last
+ *                             run (the 100%-cache-hit acceptance
+ *                             check reads these)
+ *
+ * Cache entries and checkpoint slots round-trip doubles exactly
+ * (util/json shortest-exact formatting), so a resumed or cache-served
+ * sweep produces results byte-identical to a cold serial run. Cache
+ * invalidation is purely content-based: any change to the cell
+ * definition, capacity, optimization target, node, word width, or
+ * store format version changes the key hash, and the stale entry is
+ * simply never referenced again. One sweep per directory at a time;
+ * the characterization cache may be shared across sweeps.
+ */
+
+#ifndef NVMEXP_STORE_RESULT_STORE_HH
+#define NVMEXP_STORE_RESULT_STORE_HH
+
+#include <cstdint>
+#include <fstream>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "store/serialize.hh"
+
+namespace nvmexp {
+namespace store {
+
+/** Counters from one store-backed sweep (exposed via stats.json). */
+struct StoreStats
+{
+    std::uint64_t cacheHits = 0;      ///< arrays served from cache
+    std::uint64_t cacheMisses = 0;    ///< arrays characterized fresh
+    std::uint64_t cacheStores = 0;    ///< cache entries written
+    std::uint64_t checkpointLoaded = 0;   ///< eval slots resumed
+    std::uint64_t checkpointComputed = 0; ///< eval slots computed
+
+    std::uint64_t cacheLookups() const { return cacheHits + cacheMisses; }
+
+    JsonValue toJson() const;
+    static StoreStats fromJson(const JsonValue &doc);
+};
+
+/** 64-bit FNV-1a content hash (stable across platforms/runs). */
+std::uint64_t fnv1a64(const std::string &text);
+
+/** Hash of everything that determines a sweep's results (cells,
+ *  capacities, targets, traffics, word width, nodes — not jobs or
+ *  store settings). Guards checkpoint reuse across config edits. */
+std::string sweepFingerprint(const SweepConfig &config);
+
+/**
+ * One result-store directory. Thread-safe: the sweep engine calls
+ * lookup/store/checkpoint methods from its worker threads.
+ */
+class ResultStore
+{
+  public:
+    /** Opens (creating if needed) the store directory. */
+    explicit ResultStore(std::string dir);
+
+    const std::string &dir() const { return dir_; }
+
+    /** Cache lookups distinguish "no entry" from a cached negative
+     *  (a design point with no valid organization). */
+    enum class CacheOutcome { Miss, Hit, HitInvalid };
+
+    /** Content-hash key for one characterized array. */
+    static std::string characterizationKey(const MemCell &cell,
+                                           const ArrayConfig &config,
+                                           OptTarget target);
+
+    /** @return Hit and fill `out`, HitInvalid for a cached negative,
+     *  Miss otherwise. Counts toward stats(). */
+    CacheOutcome lookupArray(const std::string &key, ArrayResult &out);
+
+    /** Persist one characterized array under its key. */
+    void storeArray(const std::string &key, const ArrayResult &array);
+
+    /** Persist a negative entry: this key has no valid design. */
+    void storeInvalid(const std::string &key);
+
+    /**
+     * Open the checkpoint journal for a sweep of `slots` evaluation
+     * slots. With resume=true a journal whose fingerprint and slot
+     * count match is replayed and the completed slots returned;
+     * otherwise (or on mismatch) the journal restarts empty. A
+     * malformed trailing line — the interrupted write — is skipped.
+     */
+    std::map<std::size_t, EvalResult>
+    openCheckpoint(const std::string &fingerprint, std::size_t slots,
+                   bool resume);
+
+    /** Journal one completed slot (thread-safe, flushed). */
+    void checkpointSlot(std::size_t slot, const EvalResult &result);
+
+    /** Close the journal (results are about to be finalized). */
+    void closeCheckpoint();
+
+    /** Write results.json + results.csv. */
+    void writeResults(const std::vector<EvalResult> &results);
+
+    /** Write stats.json with the current counters. */
+    void writeStats();
+
+    StoreStats stats() const;
+
+  private:
+    std::string cachePath(const std::string &key) const;
+
+    std::string dir_;
+    mutable std::mutex mutex_;
+    StoreStats stats_;
+    std::ofstream checkpoint_;
+};
+
+/** Load a store's serialized results; fatal() if absent/corrupt. */
+std::vector<EvalResult> loadResults(const std::string &dir);
+
+/** Load a store's stats.json. */
+StoreStats loadStats(const std::string &dir);
+
+/**
+ * Offline "filter and refine": the dashboard interaction (paper
+ * Fig. 2) over a persisted store instead of a live sweep.
+ */
+struct StoreQuery
+{
+    /** Applied first when applyConstraints is set. */
+    Constraints constraints;
+    bool applyConstraints = false;
+
+    /** Arbitrary metric predicates, ANDed. */
+    std::vector<std::function<bool(const EvalResult &)>> predicates;
+
+    /** When both set, reduce to the 2-D Pareto front minimizing
+     *  (paretoX, paretoY). */
+    std::function<double(const EvalResult &)> paretoX;
+    std::function<double(const EvalResult &)> paretoY;
+};
+
+/** Apply a query to in-memory results (input order preserved). */
+std::vector<EvalResult> applyQuery(const std::vector<EvalResult> &results,
+                                   const StoreQuery &query);
+
+/** loadResults + applyQuery over a store directory. */
+std::vector<EvalResult> queryStore(const std::string &dir,
+                                   const StoreQuery &query);
+
+} // namespace store
+} // namespace nvmexp
+
+#endif // NVMEXP_STORE_RESULT_STORE_HH

@@ -1,13 +1,83 @@
 #include "util/json.hh"
 
 #include <cctype>
-#include <cstdlib>
+#include <charconv>
+#include <cmath>
 #include <fstream>
+#include <limits>
 #include <sstream>
+#include <system_error>
 
 #include "util/logging.hh"
 
 namespace nvmexp {
+
+JsonValue
+JsonValue::makeBool(bool value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Bool;
+    v.bool_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeNumber(double value)
+{
+    JsonValue v;
+    v.kind_ = Kind::Number;
+    v.number_ = value;
+    return v;
+}
+
+JsonValue
+JsonValue::makeString(std::string value)
+{
+    JsonValue v;
+    v.kind_ = Kind::String;
+    v.string_ = std::move(value);
+    return v;
+}
+
+JsonValue
+JsonValue::makeArray()
+{
+    JsonValue v;
+    v.kind_ = Kind::Array;
+    return v;
+}
+
+JsonValue
+JsonValue::makeObject()
+{
+    JsonValue v;
+    v.kind_ = Kind::Object;
+    return v;
+}
+
+JsonValue &
+JsonValue::append(JsonValue element)
+{
+    if (!isArray())
+        fatal("JSON: append on non-array");
+    array_.push_back(std::move(element));
+    return *this;
+}
+
+JsonValue &
+JsonValue::set(const std::string &key, JsonValue member)
+{
+    if (!isObject())
+        fatal("JSON: set on non-object");
+    auto it = object_.find(key);
+    if (it == object_.end()) {
+        memberOrder_.push_back(key);
+        object_.emplace(key, std::move(member));
+    } else {
+        it->second = std::move(member);
+    }
+    return *this;
+}
 
 bool
 JsonValue::asBool() const
@@ -84,11 +154,144 @@ JsonValue::memberNames() const
     return memberOrder_;
 }
 
+std::string
+JsonValue::formatNumber(double value)
+{
+    if (std::isnan(value))
+        return "NaN";
+    if (std::isinf(value))
+        return value > 0.0 ? "Infinity" : "-Infinity";
+    // std::to_chars emits the shortest decimal form that parses back
+    // to the exact same bits, independent of the C locale (snprintf
+    // would print a ',' decimal point under e.g. de_DE and corrupt
+    // every store artifact).
+    char buffer[40];
+    auto r = std::to_chars(buffer, buffer + sizeof(buffer), value);
+    return std::string(buffer, r.ptr);
+}
+
+namespace {
+
+void
+dumpString(std::ostringstream &os, const std::string &s)
+{
+    os << '"';
+    for (char c : s) {
+        switch (c) {
+          case '"':  os << "\\\""; break;
+          case '\\': os << "\\\\"; break;
+          case '\n': os << "\\n"; break;
+          case '\t': os << "\\t"; break;
+          case '\r': os << "\\r"; break;
+          case '\b': os << "\\b"; break;
+          case '\f': os << "\\f"; break;
+          default:   os << c; break;
+        }
+    }
+    os << '"';
+}
+
+void
+dumpValue(std::ostringstream &os, const JsonValue &v, int indent,
+          int depth)
+{
+    auto newline = [&](int d) {
+        if (indent >= 0) {
+            os << '\n';
+            for (int i = 0; i < indent * d; ++i)
+                os << ' ';
+        }
+    };
+    switch (v.kind()) {
+      case JsonValue::Kind::Null:
+        os << "null";
+        break;
+      case JsonValue::Kind::Bool:
+        os << (v.asBool() ? "true" : "false");
+        break;
+      case JsonValue::Kind::Number:
+        os << JsonValue::formatNumber(v.asNumber());
+        break;
+      case JsonValue::Kind::String:
+        dumpString(os, v.asString());
+        break;
+      case JsonValue::Kind::Array: {
+        const auto &elements = v.asArray();
+        if (elements.empty()) {
+            os << "[]";
+            break;
+        }
+        os << '[';
+        for (std::size_t i = 0; i < elements.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            dumpValue(os, elements[i], indent, depth + 1);
+        }
+        newline(depth);
+        os << ']';
+        break;
+      }
+      case JsonValue::Kind::Object: {
+        const auto &names = v.memberNames();
+        if (names.empty()) {
+            os << "{}";
+            break;
+        }
+        os << '{';
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (i)
+                os << ',';
+            newline(depth + 1);
+            dumpString(os, names[i]);
+            os << (indent >= 0 ? ": " : ":");
+            dumpValue(os, v.at(names[i]), indent, depth + 1);
+        }
+        newline(depth);
+        os << '}';
+        break;
+      }
+    }
+}
+
+} // namespace
+
+std::string
+JsonValue::dump(int indent) const
+{
+    std::ostringstream os;
+    dumpValue(os, *this, indent, 0);
+    return os.str();
+}
+
+void
+JsonValue::writeFile(const std::string &path, int indent) const
+{
+    std::ofstream out(path);
+    if (!out)
+        fatal("cannot write JSON file '", path, "'");
+    out << dump(indent) << '\n';
+    if (!out.flush())
+        fatal("failed writing JSON file '", path, "'");
+}
+
+namespace {
+
+/** Thrown instead of fatal() when parsing leniently (tryParse). */
+struct JsonParseAbort
+{
+};
+
+} // namespace
+
 /** Recursive-descent parser with line/column tracking. */
 class JsonParser
 {
   public:
-    explicit JsonParser(const std::string &text) : text_(text) {}
+    explicit JsonParser(const std::string &text, bool lenient = false)
+        : text_(text), lenient_(lenient)
+    {
+    }
 
     JsonValue
     parseDocument()
@@ -104,6 +307,8 @@ class JsonParser
     [[noreturn]] void
     fail(const std::string &what)
     {
+        if (lenient_)
+            throw JsonParseAbort{};
         std::size_t line = 1, col = 1;
         for (std::size_t i = 0; i < pos_ && i < text_.size(); ++i) {
             if (text_[i] == '\n') {
@@ -172,6 +377,8 @@ class JsonParser
           case 't':
           case 'f': return parseBool();
           case 'n': return parseNull();
+          case 'I':
+          case 'N': return parseNonFinite(false);
           default:  return parseNumber();
         }
     }
@@ -276,13 +483,36 @@ class JsonParser
         return JsonValue();
     }
 
+    /** JSON5-style non-finite literals (written by the serializer). */
+    JsonValue
+    parseNonFinite(bool negative)
+    {
+        JsonValue v;
+        v.kind_ = JsonValue::Kind::Number;
+        if (text_.compare(pos_, 8, "Infinity") == 0) {
+            pos_ += 8;
+            v.number_ = negative
+                ? -std::numeric_limits<double>::infinity()
+                : std::numeric_limits<double>::infinity();
+        } else if (!negative && text_.compare(pos_, 3, "NaN") == 0) {
+            pos_ += 3;
+            v.number_ = std::numeric_limits<double>::quiet_NaN();
+        } else {
+            fail("bad literal");
+        }
+        return v;
+    }
+
     JsonValue
     parseNumber()
     {
         std::size_t start = pos_;
         if (pos_ < text_.size() &&
-            (text_[pos_] == '-' || text_[pos_] == '+'))
+            (text_[pos_] == '-' || text_[pos_] == '+')) {
             ++pos_;
+            if (pos_ < text_.size() && text_[pos_] == 'I')
+                return parseNonFinite(text_[start] == '-');
+        }
         bool sawDigit = false;
         while (pos_ < text_.size() &&
                (std::isdigit((unsigned char)text_[pos_]) ||
@@ -299,13 +529,24 @@ class JsonParser
         }
         JsonValue v;
         v.kind_ = JsonValue::Kind::Number;
-        v.number_ = std::strtod(text_.substr(start, pos_ - start).c_str(),
-                                nullptr);
+        // Locale-independent counterpart of formatNumber (strtod
+        // would expect a ',' decimal point under some locales).
+        // from_chars rejects a leading '+', which the scanner allows.
+        std::size_t first = start;
+        if (text_[first] == '+')
+            ++first;
+        auto r = std::from_chars(text_.data() + first,
+                                 text_.data() + pos_, v.number_);
+        if (r.ec != std::errc()) {
+            pos_ = start;
+            fail("bad number");
+        }
         return v;
     }
 
     const std::string &text_;
     std::size_t pos_ = 0;
+    bool lenient_ = false;
 };
 
 JsonValue
@@ -313,6 +554,18 @@ JsonValue::parse(const std::string &text)
 {
     JsonParser parser(text);
     return parser.parseDocument();
+}
+
+bool
+JsonValue::tryParse(const std::string &text, JsonValue &out)
+{
+    JsonParser parser(text, /*lenient=*/true);
+    try {
+        out = parser.parseDocument();
+        return true;
+    } catch (const JsonParseAbort &) {
+        return false;
+    }
 }
 
 JsonValue

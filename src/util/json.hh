@@ -1,11 +1,20 @@
 /**
  * @file
- * Minimal JSON parser for the configuration front-end.
+ * Minimal JSON parser and writer for the configuration front-end and
+ * the result store.
  *
  * Supports the full JSON value grammar (objects, arrays, strings with
  * the common escapes, numbers, booleans, null) plus `//` line
- * comments, which configuration files are allowed to use. Errors are
- * reported with line/column context via fatal().
+ * comments, which configuration files are allowed to use, and the
+ * JSON5-style literals `Infinity`, `-Infinity`, and `NaN` so
+ * serialized metrics (e.g. unlimited lifetimes) survive a round trip.
+ * Errors are reported with line/column context via fatal().
+ *
+ * Writing: values built with the make*()/set()/append() builders dump
+ * with exact double round-trip (shortest decimal form that parses
+ * back bit-identically), so serialize -> parse -> serialize is
+ * byte-stable — the property the result store's resume and golden-file
+ * tiers rely on.
  */
 
 #ifndef NVMEXP_UTIL_JSON_HH
@@ -18,13 +27,27 @@
 
 namespace nvmexp {
 
-/** A parsed JSON value (immutable after parse). */
+/** A JSON value: parsed from text or built with the make* helpers. */
 class JsonValue
 {
   public:
     enum class Kind { Null, Bool, Number, String, Array, Object };
 
     JsonValue() = default;
+
+    /** Builders for writing (a default-constructed value is null). */
+    static JsonValue makeBool(bool value);
+    static JsonValue makeNumber(double value);
+    static JsonValue makeString(std::string value);
+    static JsonValue makeArray();
+    static JsonValue makeObject();
+
+    /** Append to an array value; fatal() on non-arrays. */
+    JsonValue &append(JsonValue element);
+
+    /** Insert/overwrite an object member; fatal() on non-objects.
+     *  First-insertion order is preserved when dumping. */
+    JsonValue &set(const std::string &key, JsonValue member);
 
     Kind kind() const { return kind_; }
     bool isNull() const { return kind_ == Kind::Null; }
@@ -54,8 +77,31 @@ class JsonValue
     /** Parse a JSON document; fatal() with position on bad input. */
     static JsonValue parse(const std::string &text);
 
+    /** Non-fatal parse for artifacts that may be corrupt (cache
+     *  entries, checkpoint journals): @return true and fill `out` on
+     *  success, false on any syntax error. */
+    static bool tryParse(const std::string &text, JsonValue &out);
+
     /** Parse the contents of a file. */
     static JsonValue parseFile(const std::string &path);
+
+    /**
+     * Serialize. indent >= 0 pretty-prints with that many spaces per
+     * level; indent < 0 emits the compact single-line form (used for
+     * checkpoint journal lines).
+     */
+    std::string dump(int indent = 2) const;
+
+    /** Write dump() + trailing newline to a file; fatal() on failure. */
+    void writeFile(const std::string &path, int indent = 2) const;
+
+    /**
+     * Format a double as the shortest decimal string that strtod()
+     * parses back to the exact same bits ("inf"-style values dump as
+     * Infinity/NaN literals). Shared by dump() and the store's
+     * content-hash keys.
+     */
+    static std::string formatNumber(double value);
 
   private:
     friend class JsonParser;

@@ -135,12 +135,10 @@ Table::print(std::ostream &os) const
         emitRow(row);
 }
 
-namespace {
-
 std::string
-csvEscape(const std::string &cell)
+Table::csvEscape(const std::string &cell)
 {
-    if (cell.find_first_of(",\"\n") == std::string::npos)
+    if (cell.find_first_of(",\"\n\r") == std::string::npos)
         return cell;
     std::string out = "\"";
     for (char ch : cell) {
@@ -151,8 +149,6 @@ csvEscape(const std::string &cell)
     out += '"';
     return out;
 }
-
-} // namespace
 
 void
 Table::printCsv(std::ostream &os) const

@@ -61,6 +61,11 @@ class Table
     /** Format a double with 4 significant digits (shared helper). */
     static std::string formatNumber(double value);
 
+    /** RFC-4180 CSV escaping: quotes (doubling embedded quotes) any
+     *  cell containing a comma, quote, or line break. Shared by every
+     *  CSV emitter (tables, the result store). */
+    static std::string csvEscape(const std::string &cell);
+
     /** Engineering-notation formatter, e.g. 1.32e-10 s -> "132p". */
     static std::string formatEng(double value);
 

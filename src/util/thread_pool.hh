@@ -56,6 +56,14 @@ class ThreadPool
      *  hardware threads, large values clamp to kMaxThreads. */
     static int resolveJobs(int jobs);
 
+    /** A user-supplied jobs value is acceptable iff it lies in
+     *  [0, kMaxThreads]. Single source of truth for the CLI --jobs
+     *  flag and the config front-end's "jobs" key. */
+    static bool jobsInRange(double jobs)
+    {
+        return jobs >= 0.0 && jobs <= (double)kMaxThreads;
+    }
+
   private:
     void workerLoop();
 

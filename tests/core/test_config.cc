@@ -1,7 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+
 #include "core/config.hh"
+#include "core/parallel_sweep.hh"
 #include "util/logging.hh"
+#include "util/thread_pool.hh"
 
 namespace nvmexp {
 namespace {
@@ -155,6 +159,57 @@ TEST_F(ConfigTest, ShippedConfigFilesLoad)
         EXPECT_FALSE(config.sweep.cells.empty()) << path;
         EXPECT_FALSE(config.sweep.traffics.empty()) << path;
     }
+}
+
+TEST_F(ConfigTest, JobsKeyValidatedLikeTheCliFlag)
+{
+    // Both input paths funnel through ThreadPool::jobsInRange, so the
+    // JSON "jobs" key accepts exactly the --jobs range [0, kMaxThreads].
+    auto configWithJobs = [](const std::string &jobs) {
+        return JsonValue::parse(R"({
+            "cells": ["SRAM"],
+            "capacities_mib": [2],
+            "traffic": [{"name": "t", "reads": 1}],
+            "jobs": )" + jobs + "}");
+    };
+
+    for (const char *ok : {"0", "1", "256"}) {
+        ExperimentConfig config = loadExperiment(configWithJobs(ok));
+        EXPECT_EQ(config.sweep.jobs, std::atoi(ok)) << ok;
+        EXPECT_TRUE(ThreadPool::jobsInRange(std::atof(ok))) << ok;
+    }
+    for (const char *bad : {"-1", "257", "1e9", "-0.5", "NaN"}) {
+        EXPECT_FALSE(ThreadPool::jobsInRange(std::atof(bad))) << bad;
+        EXPECT_EXIT(loadExperiment(configWithJobs(bad)),
+                    ::testing::ExitedWithCode(1), "jobs")
+            << bad;
+    }
+}
+
+TEST_F(ConfigTest, StoreKeysThreadThroughToTheSweep)
+{
+    auto doc = JsonValue::parse(R"({
+        "cells": ["SRAM"],
+        "capacities_mib": [2],
+        "traffic": [{"name": "t", "reads": 1}],
+        "out_dir": "/tmp/nvmexp-store",
+        "resume": true
+    })");
+    ExperimentConfig config = loadExperiment(doc);
+    EXPECT_EQ(config.sweep.outDir, "/tmp/nvmexp-store");
+    EXPECT_TRUE(config.sweep.resume);
+
+    // Without store keys a config stays persistence-free — the
+    // process-wide default (studies/bench/$NVMEXP_STORE_DIR hook) is
+    // layered on by the CLI, never inside loadExperiment, so configs
+    // loaded programmatically are unaffected by the environment.
+    setDefaultSweepStoreDir("/tmp/nvmexp-default-store");
+    ExperimentConfig plain =
+        loadExperiment(JsonValue::parse(kBasicConfig));
+    EXPECT_TRUE(plain.sweep.outDir.empty());
+    EXPECT_FALSE(plain.sweep.resume);
+    EXPECT_EQ(defaultSweepStoreDir(), "/tmp/nvmexp-default-store");
+    setDefaultSweepStoreDir("");
 }
 
 TEST_F(ConfigTest, BadConfigsAreFatal)

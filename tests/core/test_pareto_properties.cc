@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "util/random.hh"
+
+namespace nvmexp {
+namespace {
+
+struct Point
+{
+    double a = 0.0;
+    double b = 0.0;
+    int id = 0;
+};
+
+const std::function<double(const Point &)> keyA =
+    [](const Point &p) { return p.a; };
+const std::function<double(const Point &)> keyB =
+    [](const Point &p) { return p.b; };
+
+/** Random sets with deliberate duplicate coordinates: a small value
+ *  grid makes ties and exact-duplicate points common. */
+std::vector<Point>
+randomPoints(Rng &rng, int count)
+{
+    std::vector<Point> points;
+    points.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        Point p;
+        p.a = (double)rng.range(8);
+        p.b = (double)rng.range(8);
+        p.id = i;
+        points.push_back(p);
+    }
+    return points;
+}
+
+std::multiset<int>
+ids(const std::vector<Point> &points)
+{
+    std::multiset<int> out;
+    for (const auto &p : points)
+        out.insert(p.id);
+    return out;
+}
+
+bool
+dominates(const Point &x, const Point &y)
+{
+    return (x.a <= y.a && x.b < y.b) || (x.a < y.a && x.b <= y.b);
+}
+
+TEST(ParetoProperties, Idempotent)
+{
+    Rng rng(1);
+    for (int trial = 0; trial < 100; ++trial) {
+        auto points = randomPoints(rng, 1 + (int)rng.range(60));
+        auto front = paretoFront<Point>(points, keyA, keyB);
+        auto twice = paretoFront<Point>(front, keyA, keyB);
+        EXPECT_EQ(ids(twice), ids(front)) << trial;
+    }
+}
+
+TEST(ParetoProperties, NoDominatedSurvivorAndNoDroppedNonDominated)
+{
+    Rng rng(2);
+    for (int trial = 0; trial < 100; ++trial) {
+        auto points = randomPoints(rng, 1 + (int)rng.range(60));
+        auto front = paretoFront<Point>(points, keyA, keyB);
+
+        // Survivors are never dominated by any input point.
+        for (const auto &survivor : front) {
+            for (const auto &p : points) {
+                EXPECT_FALSE(dominates(p, survivor))
+                    << trial << ": (" << p.a << "," << p.b
+                    << ") dominates surviving (" << survivor.a << ","
+                    << survivor.b << ")";
+            }
+        }
+
+        // And everything non-dominated survives (brute force).
+        std::multiset<int> expected;
+        for (const auto &candidate : points) {
+            bool dominated = false;
+            for (const auto &p : points)
+                if (dominates(p, candidate)) {
+                    dominated = true;
+                    break;
+                }
+            if (!dominated)
+                expected.insert(candidate.id);
+        }
+        EXPECT_EQ(ids(front), expected) << trial;
+    }
+}
+
+TEST(ParetoProperties, SurvivingSetIsPermutationInvariant)
+{
+    Rng rng(3);
+    for (int trial = 0; trial < 100; ++trial) {
+        auto points = randomPoints(rng, 2 + (int)rng.range(60));
+        auto baseline = ids(paretoFront<Point>(points, keyA, keyB));
+
+        auto shuffled = points;
+        std::shuffle(shuffled.begin(), shuffled.end(), rng);
+        EXPECT_EQ(ids(paretoFront<Point>(shuffled, keyA, keyB)),
+                  baseline)
+            << trial;
+    }
+}
+
+TEST(ParetoProperties, OutputPreservesInputOrder)
+{
+    Rng rng(4);
+    for (int trial = 0; trial < 50; ++trial) {
+        auto points = randomPoints(rng, 2 + (int)rng.range(60));
+        auto front = paretoFront<Point>(points, keyA, keyB);
+        for (std::size_t i = 1; i < front.size(); ++i)
+            EXPECT_LT(front[i - 1].id, front[i].id) << trial;
+    }
+}
+
+} // namespace
+} // namespace nvmexp

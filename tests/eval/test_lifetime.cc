@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <limits>
 
 #include "celldb/tentpole.hh"
 #include "eval/engine.hh"
@@ -33,7 +34,39 @@ TEST(Lifetime, InfiniteWithoutWrites)
 {
     ArrayResult array = arrayFor(CellTech::RRAM);
     auto t = TrafficPattern::fromCounts("t", 1e6, 0.0, 1.0);
-    EXPECT_TRUE(std::isinf(evaluate(array, t).lifetimeSec));
+    EvalResult r = evaluate(array, t);
+    EXPECT_TRUE(std::isinf(r.lifetimeSec));
+    EXPECT_GT(r.lifetimeSec, 0.0);
+}
+
+TEST(Lifetime, InfiniteForUnlimitedEnduranceCells)
+{
+    // An unlimited-endurance cell never wears out, no matter how much
+    // write traffic it absorbs.
+    CellCatalog catalog;
+    MemCell eternal = catalog.optimistic(CellTech::STT);
+    eternal.endurance = std::numeric_limits<double>::infinity();
+    ArrayConfig config;
+    config.capacityBytes = 8.0 * 1024 * 1024;
+    ArrayDesigner designer(eternal, config);
+    ArrayResult array = designer.optimize(OptTarget::ReadEDP);
+
+    auto t = TrafficPattern::fromCounts("t", 0.0, 1e9, 1.0);
+    EvalResult r = evaluate(array, t);
+    EXPECT_TRUE(std::isinf(r.lifetimeSec));
+    EXPECT_GT(r.lifetimeSec, 0.0);
+}
+
+TEST(Lifetime, DefaultMatchesUnlimitedContract)
+{
+    // The documented contract is "+inf for unlimited-endurance cells
+    // or zero write traffic": a result nothing has evaluated yet must
+    // not claim an already-dead array (lifetime 0).
+    EvalResult untouched;
+    EXPECT_TRUE(std::isinf(untouched.lifetimeSec));
+    EXPECT_GT(untouched.lifetimeSec, 0.0);
+    IntermittentResult idle;
+    EXPECT_TRUE(std::isinf(idle.lifetimeSec));
 }
 
 TEST(Lifetime, InverselyProportionalToWriteRate)

@@ -1,0 +1,116 @@
+/**
+ * Golden-file regression tier: a small reference sweep whose
+ * serialized results are committed under tests/data/. Any change to
+ * the characterization or evaluation pipeline that moves a metric
+ * shows up as a structural diff against the golden file.
+ *
+ * To intentionally re-baseline after a deliberate model change:
+ *   NVMEXP_REGOLD=1 build/tests/integration_test_golden_sweep
+ * and commit the rewritten tests/data/golden_sweep.json.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "../support/golden_compare.hh"
+#include "celldb/tentpole.hh"
+#include "core/parallel_sweep.hh"
+#include "store/result_store.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace {
+
+const char *kGoldenRelPath = "tests/data/golden_sweep.json";
+
+std::string
+goldenPath()
+{
+    return std::string(NVMEXP_SOURCE_DIR) + "/" + kGoldenRelPath;
+}
+
+/** The committed reference sweep: 3 cells x 2 capacities x 2 targets
+ *  x 2 traffics = 24 evaluation rows covering SRAM + two eNVM
+ *  flavors, both bandwidth regimes, and a finite-lifetime cell. */
+SweepConfig
+referenceSweep()
+{
+    CellCatalog catalog;
+    SweepConfig config;
+    config.cells = {CellCatalog::sram16(),
+                    catalog.optimistic(CellTech::STT),
+                    catalog.pessimistic(CellTech::RRAM)};
+    config.capacitiesBytes = {1.0 * 1024 * 1024, 4.0 * 1024 * 1024};
+    config.targets = {OptTarget::ReadEDP, OptTarget::WriteLatency};
+    config.traffics = {
+        TrafficPattern::fromByteRates("dnn-like", 2e9, 2e7, 512),
+        TrafficPattern::fromCounts("bursty", 5e6, 5e5, 0.25),
+    };
+    config.jobs = 4;
+    return config;
+}
+
+class GoldenSweep : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+};
+
+TEST_F(GoldenSweep, MetricsMatchTheCommittedReference)
+{
+    JsonValue current = store::toJson(runSweep(referenceSweep()));
+
+    if (std::getenv("NVMEXP_REGOLD")) {
+        current.writeFile(goldenPath());
+        GTEST_SKIP() << "regenerated " << kGoldenRelPath;
+    }
+
+    JsonValue golden = JsonValue::parseFile(goldenPath());
+    std::vector<std::string> diffs;
+    // Tolerance 0: the store's exact double serialization makes the
+    // golden comparison bitwise; any drift is a real model change.
+    bool same = testsupport::jsonNear(golden, current, 0.0, diffs);
+    for (const auto &diff : diffs)
+        ADD_FAILURE() << diff;
+    EXPECT_TRUE(same)
+        << "reference sweep diverged from " << kGoldenRelPath
+        << "; if intentional, regenerate with NVMEXP_REGOLD=1";
+}
+
+TEST_F(GoldenSweep, StoreRoundTripAndCacheReproduceTheReference)
+{
+    if (std::getenv("NVMEXP_REGOLD"))
+        GTEST_SKIP() << "regeneration run";
+
+    std::string dir = ::testing::TempDir() + "nvmexp_golden_store";
+    std::filesystem::remove_all(dir);
+
+    SweepConfig config = referenceSweep();
+    config.outDir = dir;
+    runSweep(config);
+    // Second run: every array must come from the characterization
+    // cache, and the persisted artifact must still match the golden
+    // file after a full disk round trip.
+    runSweep(config);
+
+    store::StoreStats stats = store::loadStats(dir);
+    EXPECT_EQ(stats.cacheMisses, 0u);
+    EXPECT_EQ(stats.cacheHits, stats.cacheLookups());
+    EXPECT_GT(stats.cacheHits, 0u);
+
+    JsonValue golden = JsonValue::parseFile(goldenPath());
+    JsonValue roundTripped = store::toJson(store::loadResults(dir));
+    std::vector<std::string> diffs;
+    bool same = testsupport::jsonNear(golden, roundTripped, 0.0, diffs);
+    for (const auto &diff : diffs)
+        ADD_FAILURE() << diff;
+    EXPECT_TRUE(same);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,363 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "celldb/tentpole.hh"
+#include "core/parallel_sweep.hh"
+#include "store/result_store.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE((bool)in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+void
+writeLines(const std::string &path,
+           const std::vector<std::string> &lines)
+{
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto &line : lines)
+        out << line << '\n';
+}
+
+class ResultStoreTest : public ::testing::Test
+{
+  protected:
+    void SetUp() override { setQuiet(true); }
+    void TearDown() override { setQuiet(false); }
+
+    /** Fresh per-test store directory. */
+    std::string
+    storeDir(const std::string &name)
+    {
+        std::string dir = ::testing::TempDir() + "nvmexp_store_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()->name() +
+            "_" + name;
+        std::filesystem::remove_all(dir);
+        return dir;
+    }
+
+    /** 2 cells x 1 capacity x 2 targets x 2 traffics = 8 eval slots. */
+    SweepConfig
+    smallSweep()
+    {
+        CellCatalog catalog;
+        SweepConfig config;
+        config.cells = {CellCatalog::sram16(),
+                        catalog.optimistic(CellTech::STT)};
+        config.capacitiesBytes = {1.0 * 1024 * 1024};
+        config.targets = {OptTarget::ReadEDP, OptTarget::Area};
+        config.traffics = {
+            TrafficPattern::fromByteRates("hot", 2e9, 2e7, 512),
+            TrafficPattern::fromByteRates("cold", 1e8, 1e6, 512),
+        };
+        config.jobs = 4;
+        return config;
+    }
+};
+
+TEST_F(ResultStoreTest, RepeatedSweepHitsCacheForEveryArray)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("cache");
+
+    ParallelSweepRunner runner(config.jobs);
+    auto first = runner.characterize(config);
+    store::StoreStats cold = runner.lastStoreStats();
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.cacheMisses, 4u);   // 2 cells x 2 targets
+    EXPECT_EQ(cold.cacheStores, 4u);
+
+    auto second = runner.characterize(config);
+    store::StoreStats warm = runner.lastStoreStats();
+    // 100% of arrays served from the characterization cache.
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(warm.cacheHits, warm.cacheLookups());
+    EXPECT_EQ(warm.cacheHits, 4u);
+
+    // Cache hits preserve values and serial order bit-for-bit.
+    ASSERT_EQ(first.size(), second.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_TRUE(store::identical(first[i], second[i])) << i;
+
+    // The same counters are persisted for offline verification.
+    store::StoreStats onDisk = store::loadStats(config.outDir);
+    EXPECT_EQ(onDisk.cacheHits, warm.cacheHits);
+    EXPECT_EQ(onDisk.cacheMisses, 0u);
+}
+
+TEST_F(ResultStoreTest, EnlargedSweepOnlyCharacterizesNewArrays)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("enlarge");
+
+    ParallelSweepRunner runner(config.jobs);
+    runner.characterize(config);
+
+    config.capacitiesBytes.push_back(2.0 * 1024 * 1024);
+    runner.characterize(config);
+    store::StoreStats stats = runner.lastStoreStats();
+    EXPECT_EQ(stats.cacheHits, 4u);    // the original capacity
+    EXPECT_EQ(stats.cacheMisses, 4u);  // the added capacity
+}
+
+TEST_F(ResultStoreTest, CorruptCacheEntryDegradesToMiss)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("corrupt");
+
+    ParallelSweepRunner runner(config.jobs);
+    auto first = runner.characterize(config);
+
+    // Truncate one entry mid-file (torn copy / disk trouble): the
+    // cache must never become a correctness or availability problem.
+    std::string victim;
+    for (const auto &entry : std::filesystem::directory_iterator(
+             config.outDir + "/cache"))
+        victim = entry.path().string();
+    ASSERT_FALSE(victim.empty());
+    std::string content = readFile(victim);
+    std::ofstream(victim, std::ios::trunc)
+        << content.substr(0, content.size() / 2);
+
+    auto second = runner.characterize(config);
+    store::StoreStats stats = runner.lastStoreStats();
+    EXPECT_EQ(stats.cacheMisses, 1u);  // recomputed, not fatal
+    EXPECT_EQ(stats.cacheHits, 3u);
+    // The victim's whole (cell, capacity) pair re-persists: one
+    // entry per target.
+    EXPECT_EQ(stats.cacheStores, 2u);
+    ASSERT_EQ(second.size(), first.size());
+    for (std::size_t i = 0; i < first.size(); ++i)
+        EXPECT_TRUE(store::identical(first[i], second[i])) << i;
+
+    // And the rewritten entry serves the next run again.
+    runner.characterize(config);
+    EXPECT_EQ(runner.lastStoreStats().cacheMisses, 0u);
+
+    // Brace-balanced but unparseable corruption (a flipped byte) must
+    // also degrade to a miss rather than abort the sweep.
+    std::string flipped = readFile(victim);
+    flipped[flipped.find(':')] = ' ';
+    std::ofstream(victim, std::ios::trunc) << flipped;
+    runner.characterize(config);
+    EXPECT_EQ(runner.lastStoreStats().cacheMisses, 1u);
+    runner.characterize(config);
+    EXPECT_EQ(runner.lastStoreStats().cacheMisses, 0u);
+}
+
+TEST_F(ResultStoreTest, RunSweepPersistsLoadableResults)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("artifacts");
+
+    auto results = runSweep(config);
+    ASSERT_EQ(results.size(), 8u);
+
+    auto loaded = store::loadResults(config.outDir);
+    ASSERT_EQ(loaded.size(), results.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_TRUE(store::identical(results[i], loaded[i])) << i;
+
+    // CSV: header + one row per result.
+    auto csv = readLines(config.outDir + "/results.csv");
+    ASSERT_EQ(csv.size(), 1u + results.size());
+    EXPECT_NE(csv[0].find("lifetime_sec"), std::string::npos);
+}
+
+TEST_F(ResultStoreTest, InterruptedSweepResumesByteIdentically)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("uninterrupted");
+    runSweep(config);
+    std::string golden = readFile(config.outDir + "/results.json");
+
+    // Simulate an interruption: run to completion in a second store,
+    // then rewind its journal to header + 3 completed slots and drop
+    // the final artifacts, as a kill mid-sweep would leave them.
+    config.outDir = storeDir("interrupted");
+    runSweep(config);
+    std::string journal = config.outDir + "/checkpoint.jsonl";
+    auto lines = readLines(journal);
+    ASSERT_EQ(lines.size(), 1u + 8u);
+    lines.resize(4);
+    writeLines(journal, lines);
+    std::filesystem::remove(config.outDir + "/results.json");
+    std::filesystem::remove(config.outDir + "/results.csv");
+
+    config.resume = true;
+    auto resumed = runSweep(config);
+    EXPECT_EQ(readFile(config.outDir + "/results.json"), golden);
+
+    store::StoreStats stats = store::loadStats(config.outDir);
+    EXPECT_EQ(stats.checkpointLoaded, 3u);
+    EXPECT_EQ(stats.checkpointComputed, 5u);
+    EXPECT_EQ(stats.cacheHits, 4u);  // characterization fully cached
+}
+
+TEST_F(ResultStoreTest, TornTrailingJournalLineIsSkipped)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("torn");
+    auto fresh = runSweep(config);
+    std::string golden = readFile(config.outDir + "/results.json");
+
+    // A real mid-write kill leaves a partial final line with NO
+    // trailing newline — including tears that happen to stop right
+    // after a nested closing brace (structurally unbalanced, but
+    // first/last-character checks would accept them).
+    std::string journal = config.outDir + "/checkpoint.jsonl";
+    auto lines = readLines(journal);
+    lines.resize(3);
+    writeLines(journal, lines);
+    {
+        std::ofstream torn(journal, std::ios::app);
+        torn << "{\"slot\":7,\"result\":{\"x\":1}";
+    }
+
+    config.resume = true;
+    auto resumed = runSweep(config);
+    ASSERT_EQ(resumed.size(), fresh.size());
+    EXPECT_EQ(readFile(config.outDir + "/results.json"), golden);
+    EXPECT_EQ(store::loadStats(config.outDir).checkpointLoaded, 2u);
+
+    // The resume rewrote the journal (torn bytes gone, fresh entries
+    // not merged into them), so a further resume replays every slot.
+    auto again = runSweep(config);
+    EXPECT_EQ(again.size(), fresh.size());
+    EXPECT_EQ(readFile(config.outDir + "/results.json"), golden);
+    store::StoreStats stats = store::loadStats(config.outDir);
+    EXPECT_EQ(stats.checkpointLoaded, 8u);
+    EXPECT_EQ(stats.checkpointComputed, 0u);
+}
+
+TEST_F(ResultStoreTest, CheckpointFromDifferentSweepIsDiscarded)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("fingerprint");
+    runSweep(config);
+
+    // Same store, different traffic: the journal must not be replayed.
+    SweepConfig changed = config;
+    changed.traffics[0].readsPerSec *= 2.0;
+    changed.resume = true;
+    auto results = runSweep(changed);
+
+    store::StoreStats stats = store::loadStats(changed.outDir);
+    EXPECT_EQ(stats.checkpointLoaded, 0u);
+    EXPECT_EQ(stats.checkpointComputed, results.size());
+
+    // And the restarted run matches a store-less reference run.
+    SweepConfig reference = changed;
+    reference.outDir.clear();
+    reference.resume = false;
+    auto expected = runSweep(reference);
+    ASSERT_EQ(results.size(), expected.size());
+    for (std::size_t i = 0; i < results.size(); ++i)
+        EXPECT_TRUE(store::identical(results[i], expected[i])) << i;
+}
+
+TEST_F(ResultStoreTest, QueryStoreFiltersAndExtractsPareto)
+{
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("query");
+    auto results = runSweep(config);
+
+    // Predicate: only the "hot" traffic rows.
+    store::StoreQuery query;
+    query.predicates.push_back([](const EvalResult &r) {
+        return r.traffic.name == "hot";
+    });
+    auto hot = store::queryStore(config.outDir, query);
+    EXPECT_EQ(hot.size(), 4u);
+    for (const auto &r : hot)
+        EXPECT_EQ(r.traffic.name, "hot");
+
+    // Constraints route through satisfies().
+    store::StoreQuery constrained;
+    constrained.applyConstraints = true;
+    constrained.constraints.maxPowerWatts = 1e-15;
+    EXPECT_TRUE(store::queryStore(config.outDir, constrained).empty());
+
+    // Pareto extraction matches paretoFront over the same keys.
+    store::StoreQuery pareto;
+    pareto.paretoX = [](const EvalResult &r) { return r.totalPower; };
+    pareto.paretoY = [](const EvalResult &r) {
+        return r.array.readLatency;
+    };
+    auto front = store::queryStore(config.outDir, pareto);
+    auto expected = paretoFront<EvalResult>(
+        results, pareto.paretoX, pareto.paretoY);
+    ASSERT_EQ(front.size(), expected.size());
+    for (std::size_t i = 0; i < front.size(); ++i)
+        EXPECT_TRUE(store::identical(front[i], expected[i]));
+}
+
+TEST_F(ResultStoreTest, CharacterizationKeySeparatesDesignPoints)
+{
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::STT);
+    ArrayConfig ac;
+    std::string base = store::ResultStore::characterizationKey(
+        cell, ac, OptTarget::ReadEDP);
+    EXPECT_NE(base, store::ResultStore::characterizationKey(
+        cell, ac, OptTarget::Area));
+    ArrayConfig bigger = ac;
+    bigger.capacityBytes *= 2.0;
+    EXPECT_NE(base, store::ResultStore::characterizationKey(
+        cell, bigger, OptTarget::ReadEDP));
+    MemCell tweaked = cell;
+    tweaked.endurance *= 10.0;
+    EXPECT_NE(base, store::ResultStore::characterizationKey(
+        tweaked, ac, OptTarget::ReadEDP));
+    EXPECT_EQ(base, store::ResultStore::characterizationKey(
+        cell, ac, OptTarget::ReadEDP));
+}
+
+TEST_F(ResultStoreTest, SweepFingerprintTracksResultShapingFields)
+{
+    SweepConfig config = smallSweep();
+    std::string base = store::sweepFingerprint(config);
+
+    SweepConfig sameResults = config;
+    sameResults.jobs = 1;
+    sameResults.outDir = "elsewhere";
+    sameResults.resume = true;
+    EXPECT_EQ(base, store::sweepFingerprint(sameResults));
+
+    SweepConfig different = config;
+    different.traffics.pop_back();
+    EXPECT_NE(base, store::sweepFingerprint(different));
+    different = config;
+    different.wordBits = 256;
+    EXPECT_NE(base, store::sweepFingerprint(different));
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "util/json.hh"
 
 namespace nvmexp {
@@ -97,6 +99,73 @@ TEST(JsonDeath, MissingFileIsFatal)
 {
     EXPECT_EXIT(JsonValue::parseFile("/no/such/file.json"),
                 ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(JsonWriter, BuildersDumpAndReparse)
+{
+    JsonValue doc = JsonValue::makeObject();
+    doc.set("name", JsonValue::makeString("line \"1\"\n\ttab"));
+    doc.set("flag", JsonValue::makeBool(true));
+    doc.set("nothing", JsonValue());
+    JsonValue list = JsonValue::makeArray();
+    list.append(JsonValue::makeNumber(1.0));
+    list.append(JsonValue::makeNumber(-2.5e-19));
+    doc.set("list", std::move(list));
+    doc.set("flag", JsonValue::makeBool(false));  // overwrite in place
+
+    JsonValue back = JsonValue::parse(doc.dump());
+    EXPECT_EQ(back.at("name").asString(), "line \"1\"\n\ttab");
+    EXPECT_FALSE(back.at("flag").asBool());
+    EXPECT_TRUE(back.at("nothing").isNull());
+    EXPECT_EQ(back.at("list").asArray()[1].asNumber(), -2.5e-19);
+    // Member order is preserved, so dumps are byte-stable.
+    EXPECT_EQ(doc.dump(), back.dump());
+    EXPECT_EQ(doc.dump(-1), back.dump(-1));
+    EXPECT_EQ(doc.dump(-1),
+              "{\"name\":\"line \\\"1\\\"\\n\\ttab\",\"flag\":false,"
+              "\"nothing\":null,\"list\":[1,-2.5e-19]}");
+}
+
+TEST(JsonWriter, FormatNumberRoundTripsExactly)
+{
+    const double values[] = {0.0, 1.0, -1.0, 0.1, 1.0 / 3.0,
+                             6.02214076e23, 5e-324, -1.7976931348623157e308,
+                             2.0e-19, 146.0};
+    for (double v : values) {
+        std::string text = JsonValue::formatNumber(v);
+        EXPECT_EQ(JsonValue::parse(text).asNumber(), v) << text;
+    }
+    EXPECT_EQ(JsonValue::formatNumber(
+                  std::numeric_limits<double>::infinity()),
+              "Infinity");
+    EXPECT_EQ(JsonValue::formatNumber(
+                  -std::numeric_limits<double>::infinity()),
+              "-Infinity");
+    EXPECT_EQ(JsonValue::formatNumber(
+                  std::numeric_limits<double>::quiet_NaN()),
+              "NaN");
+}
+
+TEST(JsonWriter, TryParseReportsErrorsWithoutExiting)
+{
+    JsonValue out;
+    EXPECT_TRUE(JsonValue::tryParse("{\"a\": [1, Infinity]}", out));
+    EXPECT_EQ(out.at("a").asArray()[0].asNumber(), 1.0);
+    EXPECT_FALSE(JsonValue::tryParse("{\"a\" 1}", out));  // balanced braces
+    EXPECT_FALSE(JsonValue::tryParse("{\"a\": 1", out));  // truncated
+    EXPECT_FALSE(JsonValue::tryParse("{} trailing", out));
+    EXPECT_FALSE(JsonValue::tryParse("{\"a\": tru", out));
+    EXPECT_FALSE(JsonValue::tryParse("", out));
+}
+
+TEST(JsonWriterDeath, BuilderMisuseIsFatal)
+{
+    JsonValue array = JsonValue::makeArray();
+    EXPECT_EXIT(array.set("k", JsonValue()),
+                ::testing::ExitedWithCode(1), "set on non-object");
+    JsonValue object = JsonValue::makeObject();
+    EXPECT_EXIT(object.append(JsonValue()),
+                ::testing::ExitedWithCode(1), "append on non-array");
 }
 
 } // namespace

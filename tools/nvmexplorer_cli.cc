@@ -9,9 +9,12 @@
 #include <cstdlib>
 #include <cstring>
 #include <iostream>
+#include <set>
+#include <string>
 
 #include "core/config.hh"
 #include "core/parallel_sweep.hh"
+#include "store/result_store.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 
@@ -23,8 +26,8 @@ void
 usage()
 {
     std::cout <<
-        "usage: nvmexplorer_cli [-q] [--jobs N] <config.json> "
-        "[more configs...]\n"
+        "usage: nvmexplorer_cli [-q] [--jobs N] [--out DIR] [--resume]\n"
+        "                       <config.json> [more configs...]\n"
         "\n"
         "Runs the design sweep(s) described by the JSON config(s) and\n"
         "prints the results table. See config/README-style samples in\n"
@@ -32,7 +35,15 @@ usage()
         "  -q         suppress informational warnings\n"
         "  --jobs N   worker threads for the sweep cross product\n"
         "             (0 = all hardware threads; default 1); a config's\n"
-        "             own \"jobs\" key overrides this\n";
+        "             own \"jobs\" key overrides this\n"
+        "  --out DIR  persist results.json/.csv, the characterization\n"
+        "             cache, and a checkpoint journal under DIR (one\n"
+        "             subdirectory per experiment when several configs\n"
+        "             are given); a config's own \"out_dir\" key\n"
+        "             overrides this\n"
+        "  --resume   continue an interrupted sweep from DIR's\n"
+        "             checkpoint journal (results are byte-identical\n"
+        "             to an uninterrupted run)\n";
 }
 
 } // namespace
@@ -41,6 +52,8 @@ int
 main(int argc, char **argv)
 {
     int argi = 1;
+    std::string outDir;
+    bool resume = false;
     while (argi < argc && argv[argi][0] == '-' &&
            std::strcmp(argv[argi], "-") != 0) {
         if (std::strcmp(argv[argi], "-q") == 0) {
@@ -54,13 +67,22 @@ main(int argc, char **argv)
             char *end = nullptr;
             long jobs = std::strtol(argv[argi + 1], &end, 10);
             if (end == argv[argi + 1] || *end != '\0' || errno != 0 ||
-                jobs > ThreadPool::kMaxThreads || jobs < 0) {
+                !ThreadPool::jobsInRange((double)jobs)) {
                 fatal("--jobs: '", argv[argi + 1],
                       "' must be an integer in [0, ",
                       ThreadPool::kMaxThreads, "]");
             }
             setDefaultSweepJobs((int)jobs);
             argi += 2;
+        } else if (std::strcmp(argv[argi], "--out") == 0 ||
+                   std::strcmp(argv[argi], "-o") == 0) {
+            if (argi + 1 >= argc)
+                fatal("--out needs a directory");
+            outDir = argv[argi + 1];
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--resume") == 0) {
+            resume = true;
+            ++argi;
         } else if (std::strcmp(argv[argi], "--help") == 0 ||
                    std::strcmp(argv[argi], "-h") == 0) {
             usage();
@@ -74,8 +96,32 @@ main(int argc, char **argv)
         usage();
         return 2;
     }
+    // --out wins over the environment fallback (both only apply to
+    // configs without their own "out_dir" key).
+    if (outDir.empty())
+        outDir = defaultSweepStoreDir();
+    const bool multipleConfigs = argc - argi > 1;
+    std::set<std::string> usedSubdirs;
     for (; argi < argc; ++argi) {
         ExperimentConfig config = loadExperimentFile(argv[argi]);
+        // The CLI flags fill in store settings a config didn't pin
+        // down itself; several experiments sharing one --out each get
+        // their own subdirectory (a store holds one sweep at a time),
+        // made unique even when experiment names repeat or collide
+        // with an earlier name's "-N" suffix.
+        if (!outDir.empty() && config.sweep.outDir.empty()) {
+            std::string sub = config.name;
+            for (int n = 2; !usedSubdirs.insert(sub).second; ++n)
+                sub = config.name + "-" + std::to_string(n);
+            config.sweep.outDir =
+                multipleConfigs ? outDir + "/" + sub : outDir;
+        }
+        if (resume)
+            config.sweep.resume = true;
+        if (config.sweep.resume && config.sweep.outDir.empty()) {
+            fatal("--resume needs a store: pass --out or set "
+                  "\"out_dir\" in the config");
+        }
         inform("running experiment '", config.name, "' (",
                config.sweep.cells.size(), " cells x ",
                config.sweep.capacitiesBytes.size(), " capacities x ",
@@ -86,6 +132,15 @@ main(int argc, char **argv)
         table.print(std::cout);
         if (!config.outputCsv.empty())
             inform("wrote ", config.outputCsv);
+        if (!config.sweep.outDir.empty()) {
+            store::StoreStats stats =
+                store::loadStats(config.sweep.outDir);
+            inform("result store '", config.sweep.outDir,
+                   "': cache hits ", stats.cacheHits, "/",
+                   stats.cacheLookups(), ", checkpoint slots reused ",
+                   stats.checkpointLoaded, ", computed ",
+                   stats.checkpointComputed);
+        }
     }
     return 0;
 }
