@@ -4,6 +4,7 @@
 #include "core/parallel_sweep.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "workload/workload.hh"
 
 namespace nvmexp {
 
@@ -168,24 +169,46 @@ loadExperiment(const JsonValue &doc)
         config.sweep.targets.push_back(OptTarget::ReadEDP);
     }
 
-    // Traffic: explicit patterns and/or a generic grid.
-    for (const auto &spec : doc.at("traffic").asArray()) {
-        if (spec.isObject() && spec.stringOr("kind", "") ==
-                "generic_grid") {
-            auto grid = genericTrafficGrid(
-                spec.at("read_lo").asNumber(),
-                spec.at("read_hi").asNumber(),
-                spec.at("write_lo").asNumber(),
-                spec.at("write_hi").asNumber(),
-                (int)spec.numberOr("steps", 3.0),
-                config.sweep.wordBits);
-            config.sweep.traffics.insert(config.sweep.traffics.end(),
-                                         grid.begin(), grid.end());
-        } else {
-            config.sweep.traffics.push_back(
-                trafficFromJson(spec, config.sweep.wordBits));
+    // Traffic: explicit patterns and/or a generic grid. Optional when
+    // the config names registry workloads instead.
+    if (doc.has("traffic")) {
+        for (const auto &spec : doc.at("traffic").asArray()) {
+            if (spec.isObject() && spec.stringOr("kind", "") ==
+                    "generic_grid") {
+                auto grid = genericTrafficGrid(
+                    spec.at("read_lo").asNumber(),
+                    spec.at("read_hi").asNumber(),
+                    spec.at("write_lo").asNumber(),
+                    spec.at("write_hi").asNumber(),
+                    (int)spec.numberOr("steps", 3.0),
+                    config.sweep.wordBits);
+                config.sweep.traffics.insert(
+                    config.sweep.traffics.end(), grid.begin(),
+                    grid.end());
+            } else {
+                config.sweep.traffics.push_back(
+                    trafficFromJson(spec, config.sweep.wordBits));
+            }
         }
     }
+
+    // Workloads: registry-dispatched traffic sources. Specs are
+    // validated here (unknown names and bad parameters fail before
+    // any simulation) but expanded by the sweep engine.
+    if (doc.has("workloads")) {
+        for (const auto &spec : doc.at("workloads").asArray()) {
+            workload::validateWorkloadJson(spec);
+            config.sweep.workloads.push_back(spec);
+        }
+    }
+    if (doc.has("workload")) {
+        const JsonValue &spec = doc.at("workload");
+        workload::validateWorkloadJson(spec);
+        config.sweep.workloads.push_back(spec);
+    }
+    if (config.sweep.traffics.empty() && config.sweep.workloads.empty())
+        fatal("config '", config.name,
+              "': needs \"traffic\" patterns or \"workloads\"");
 
     // Constraints.
     if (doc.has("constraints")) {

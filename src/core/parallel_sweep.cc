@@ -4,10 +4,33 @@
 
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "workload/workload.hh"
 
 namespace nvmexp {
 
 namespace {
+
+/**
+ * Resolve a sweep's effective traffic list: explicit patterns first,
+ * then every workload spec expanded through the WorkloadRegistry in
+ * order. Returns `config` itself when there is nothing to expand, so
+ * the common path stays copy-free.
+ */
+const SweepConfig &
+expandWorkloadSpecs(const SweepConfig &config, SweepConfig &storage)
+{
+    if (config.workloads.empty())
+        return config;
+    storage = config;
+    workload::TrafficContext context;
+    context.wordBits = config.wordBits;
+    auto patterns =
+        workload::expandWorkloads(config.workloads, context);
+    storage.traffics.insert(storage.traffics.end(), patterns.begin(),
+                            patterns.end());
+    storage.workloads.clear();
+    return storage;
+}
 
 int sweepJobsDefault = 1;
 std::string sweepStoreDirDefault;
@@ -214,8 +237,15 @@ ParallelSweepRunner::evaluateAll(
 }
 
 std::vector<EvalResult>
-ParallelSweepRunner::run(const SweepConfig &config) const
+ParallelSweepRunner::run(const SweepConfig &rawConfig) const
 {
+    // Workload specs become traffic patterns here — the one place the
+    // sweep engine touches application behaviour — so every traffic
+    // source flows through the registry and the store fingerprints the
+    // fully expanded sweep.
+    SweepConfig expandedStorage;
+    const SweepConfig &config =
+        expandWorkloadSpecs(rawConfig, expandedStorage);
     if (config.traffics.empty())
         fatal("sweep has no traffic patterns configured");
     lastStoreStats_ = store::StoreStats{};

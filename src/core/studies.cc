@@ -3,16 +3,14 @@
 #include <algorithm>
 #include <cmath>
 
-#include "cachesim/streams.hh"
 #include "celldb/tentpole.hh"
 #include "core/parallel_sweep.hh"
 #include "dnn/inference.hh"
 #include "dnn/networks.hh"
 #include "fault/fault_model.hh"
 #include "fault/injector.hh"
-#include "graph/graph.hh"
-#include "graph/kernels.hh"
 #include "util/logging.hh"
+#include "workload/workload.hh"
 
 namespace nvmexp {
 namespace studies {
@@ -53,6 +51,28 @@ provisionCapacity(double footprintBytes)
     while (capacity < footprintBytes)
         capacity *= 2.0;
     return capacity;
+}
+
+/** Registry dispatch for the studies: a JSON workload spec (the same
+ *  syntax config files use) expanded at the study's word width. */
+std::vector<TrafficPattern>
+workloadTraffic(const std::string &specJson, int wordBits)
+{
+    workload::TrafficContext context;
+    context.wordBits = wordBits;
+    return workload::trafficFromWorkloadJson(
+        JsonValue::parse(specJson), context);
+}
+
+/** Single-pattern convenience for scenario-shaped studies. */
+TrafficPattern
+workloadPattern(const std::string &specJson, int wordBits)
+{
+    auto patterns = workloadTraffic(specJson, wordBits);
+    if (patterns.size() != 1)
+        panic("study workload spec produced ", patterns.size(),
+              " patterns, expected one: ", specJson);
+    return patterns.front();
 }
 
 } // namespace
@@ -127,30 +147,29 @@ std::vector<DnnPowerRow>
 dnnContinuousPower()
 {
     auto arrays = dnnBufferArrays();
-    NetworkModel net = resnet26();
 
     struct ScenarioSpec
     {
         const char *label;
         int tasks;
-        DnnStorage storage;
+        const char *storage;
     };
     const ScenarioSpec scenarios[] = {
-        {"single/weights", 1, DnnStorage::WeightsOnly},
-        {"single/w+a", 1, DnnStorage::WeightsAndActivations},
-        {"multi/weights", 3, DnnStorage::WeightsOnly},
-        {"multi/w+a", 3, DnnStorage::WeightsAndActivations},
+        {"single/weights", 1, "weights"},
+        {"single/w+a", 1, "weights+activations"},
+        {"multi/weights", 3, "weights"},
+        {"multi/w+a", 3, "weights+activations"},
     };
 
     ParallelSweepRunner runner(defaultSweepJobs());
     std::vector<DnnPowerRow> rows;
     for (const auto &spec : scenarios) {
-        DnnScenario scenario;
-        scenario.network = net;
-        scenario.tasks = spec.tasks;
-        scenario.storage = spec.storage;
-        scenario.framesPerSec = 60.0;
-        TrafficPattern traffic = dnnTraffic(scenario);
+        TrafficPattern traffic = workloadPattern(
+            std::string("{\"name\": \"dnn\", "
+                        "\"network\": \"resnet26\", \"tasks\": ") +
+                std::to_string(spec.tasks) + ", \"storage\": \"" +
+                spec.storage + "\", \"fps\": 60}",
+            512);
         auto evals = runner.evaluateAll(arrays, {traffic});
         for (std::size_t i = 0; i < arrays.size(); ++i) {
             const ArrayResult &array = arrays[i];
@@ -381,16 +400,14 @@ graphStudyWithCells(const std::vector<MemCell> &cells,
                                    kWordBits);
     result.generic = runner.evaluateAll(arrays, grid);
 
-    // Kernel points: BFS over two social graphs (Sec. IV-B2).
-    GraphAccelModel accel;
-    Graph fb = facebookLike();
-    Graph wiki = wikipediaLike();
-    auto fbStats = bfs(fb, 0).stats;
-    auto wikiStats = bfs(wiki, 0).stats;
-    TrafficPattern fbTraffic =
-        kernelTraffic("Facebook-BFS", fbStats, accel);
-    TrafficPattern wikiTraffic =
-        kernelTraffic("Wikipedia-BFS", wikiStats, accel);
+    // Kernel points: BFS over two social graphs (Sec. IV-B2), via the
+    // workload registry.
+    TrafficPattern fbTraffic = workloadPattern(
+        R"({"name": "graph", "graph": "facebook", "kernel": "bfs"})",
+        kWordBits);
+    TrafficPattern wikiTraffic = workloadPattern(
+        R"({"name": "graph", "graph": "wikipedia", "kernel": "bfs"})",
+        kWordBits);
     result.kernels = runner.evaluateAll(arrays, {fbTraffic, wikiTraffic});
     return result;
 }
@@ -438,14 +455,11 @@ llcStudy(double capacityBytes)
                                      capacityBytes, 512,
                                      OptTarget::ReadEDP);
 
-    Hierarchy::Config hconfig;
-    hconfig.llcBytes = (std::size_t)capacityBytes;
-    std::vector<TrafficPattern> traffics;
-    for (const auto &profile : specLikeSuite()) {
-        LlcTraffic llcTraffic = runBenchmark(profile, 20'000'000,
-                                             5'000'000, hconfig);
-        traffics.push_back(llcTrafficPattern(llcTraffic));
-    }
+    std::vector<TrafficPattern> traffics = workloadTraffic(
+        "{\"name\": \"llc\", \"benchmark\": \"suite\", "
+        "\"instructions\": 20e6, \"warmup\": 5e6, \"llc_mib\": " +
+            JsonValue::formatNumber(capacityBytes / kMiB) + "}",
+        512);
     // Benchmark-major ordering (Fig. 9 groups by benchmark): evaluate
     // each traffic against every array in turn.
     for (const auto &traffic : traffics) {
@@ -550,16 +564,15 @@ writeBufferStudy()
     };
 
     // Workload 1: BFS on the Facebook-like graph (8 MiB scratchpad).
-    GraphAccelModel accel;
-    Graph fb = facebookLike();
-    TrafficPattern fbTraffic =
-        kernelTraffic("Facebook-BFS", bfs(fb, 0).stats, accel);
+    TrafficPattern fbTraffic = workloadPattern(
+        R"({"name": "graph", "graph": "facebook", "kernel": "bfs"})",
+        64);
 
     // Workload 2: a write-heavy SPEC-like benchmark on a 16 MiB LLC.
-    Hierarchy::Config hconfig;
-    LlcTraffic lbm = runBenchmark(profileByName("lbm"), 10'000'000,
-                                  2'000'000, hconfig);
-    TrafficPattern lbmTraffic = llcTrafficPattern(lbm);
+    TrafficPattern lbmTraffic = workloadPattern(
+        R"({"name": "llc", "benchmark": "lbm",
+            "instructions": 10e6, "warmup": 2e6})",
+        512);
 
     struct Workload
     {

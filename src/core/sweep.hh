@@ -24,6 +24,7 @@
 #include "celldb/cell.hh"
 #include "eval/engine.hh"
 #include "nvsim/array_model.hh"
+#include "util/json.hh"
 
 namespace nvmexp {
 
@@ -34,6 +35,15 @@ struct SweepConfig
     std::vector<double> capacitiesBytes = {2.0 * 1024 * 1024};
     std::vector<OptTarget> targets = {OptTarget::ReadEDP};
     std::vector<TrafficPattern> traffics;
+    /**
+     * Workload specs ({"name": "<registry key>", ...params}) expanded
+     * through the WorkloadRegistry at run time; the generated patterns
+     * are appended after `traffics` in spec order. Keeping the raw
+     * specs here (rather than eagerly expanding in the config loader)
+     * lets the sweep engine dispatch every traffic source — built-in
+     * or plugged-in — through one registry.
+     */
+    std::vector<JsonValue> workloads;
     int wordBits = 512;
     int nodeNm = 22;       ///< eNVM implementation node
     int sramNodeNm = 16;   ///< SRAM baseline node

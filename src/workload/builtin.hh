@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Registration hooks for the built-in workloads. Each workload
+ * translation unit defines its register function here; the registry
+ * calls them all on first use. (Direct calls rather than static
+ * registrar objects: the framework ships as a static library, and a
+ * self-registering object in an otherwise-unreferenced object file
+ * would be dropped by the linker.)
+ */
+
+#ifndef NVMEXP_WORKLOAD_BUILTIN_HH
+#define NVMEXP_WORKLOAD_BUILTIN_HH
+
+namespace nvmexp {
+namespace workload {
+
+class WorkloadRegistry;
+
+void registerLlcWorkload(WorkloadRegistry &registry);
+void registerDnnWorkload(WorkloadRegistry &registry);
+void registerGraphWorkload(WorkloadRegistry &registry);
+void registerKvStoreWorkload(WorkloadRegistry &registry);
+void registerWalWorkload(WorkloadRegistry &registry);
+void registerIntermittentWorkload(WorkloadRegistry &registry);
+
+} // namespace workload
+} // namespace nvmexp
+
+#endif // NVMEXP_WORKLOAD_BUILTIN_HH

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * "dnn" workload: the DNN-inference family as a registry plugin. Maps
+ * a deployment scenario (network, task count, buffer contents, frame
+ * rate) onto the on-chip-buffer TrafficPattern via the same extraction
+ * path the paper's Sec. IV-A studies use.
+ */
+
+#include "dnn/networks.hh"
+#include "util/logging.hh"
+#include "workload/builtin.hh"
+#include "workload/workload.hh"
+
+namespace nvmexp {
+namespace workload {
+
+namespace {
+
+NetworkModel
+networkByName(const std::string &name)
+{
+    if (name == "resnet26")
+        return resnet26();
+    if (name == "resnet18")
+        return resnet18();
+    if (name == "albert-base")
+        return albertBase();
+    if (name == "albert-embeddings")
+        return albertEmbeddings();
+    fatal("dnn workload: unknown network '", name, "'");
+}
+
+class DnnWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "dnn"; }
+
+    std::string
+    description() const override
+    {
+        return "DNN inference buffer traffic (network x tasks x "
+               "storage x frame rate)";
+    }
+
+    std::vector<ParamSpec>
+    schema() const override
+    {
+        return {
+            ParamSpec::string("network", "resnet26", "network model")
+                .oneOf({"resnet26", "resnet18", "albert-base",
+                        "albert-embeddings"}),
+            ParamSpec::number("tasks", 1.0, "concurrent tasks")
+                .min(1.0).max(64.0),
+            ParamSpec::string("storage", "weights",
+                              "what the buffer stores")
+                .oneOf({"weights", "weights+activations"}),
+            ParamSpec::number("fps", 60.0, "inference rate [1/s]")
+                .min(1e-3).max(1e6),
+            ParamSpec::number("weight_bits", 8.0,
+                              "stored weight precision")
+                .min(1.0).max(32.0),
+            ParamSpec::number("activation_bits", 8.0,
+                              "stored activation precision")
+                .min(1.0).max(32.0),
+        };
+    }
+
+    std::vector<TrafficPattern>
+    generateTraffic(const Params &params,
+                    const TrafficContext &context) const override
+    {
+        DnnScenario scenario;
+        scenario.network = networkByName(params.str("network"));
+        scenario.tasks = (int)params.number("tasks");
+        scenario.storage = params.str("storage") == "weights"
+                               ? DnnStorage::WeightsOnly
+                               : DnnStorage::WeightsAndActivations;
+        scenario.framesPerSec = params.number("fps");
+        scenario.weightBits = (int)params.number("weight_bits");
+        scenario.activationBits = (int)params.number("activation_bits");
+        scenario.wordBits = context.wordBits;
+        return {dnnTraffic(scenario)};
+    }
+};
+
+} // namespace
+
+void
+registerDnnWorkload(WorkloadRegistry &registry)
+{
+    registry.add(std::make_unique<DnnWorkload>());
+}
+
+} // namespace workload
+} // namespace nvmexp

@@ -1,0 +1,106 @@
+/**
+ * @file
+ * "graph" workload: the graph-analytics family as a registry plugin.
+ * Runs an instrumented kernel over a generated social graph and
+ * converts its scratchpad access counts into sustained traffic via the
+ * Graphicionado-style accelerator model (paper Sec. IV-B).
+ */
+
+#include "graph/graph.hh"
+#include "graph/kernels.hh"
+#include "util/logging.hh"
+#include "workload/builtin.hh"
+#include "workload/workload.hh"
+
+namespace nvmexp {
+namespace workload {
+
+namespace {
+
+class GraphWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "graph"; }
+
+    std::string
+    description() const override
+    {
+        return "graph-kernel scratchpad traffic (BFS/PageRank/CC on "
+               "social graphs)";
+    }
+
+    std::vector<ParamSpec>
+    schema() const override
+    {
+        return {
+            ParamSpec::string("graph", "facebook", "input graph")
+                .oneOf({"facebook", "wikipedia"}),
+            ParamSpec::string("kernel", "bfs", "kernel to run")
+                .oneOf({"bfs", "pagerank", "components"}),
+            ParamSpec::number("source", 0.0, "BFS source vertex")
+                .min(0.0).max(4294967295.0),  // Graph::Vertex range
+            ParamSpec::number("iterations", 20.0,
+                              "PageRank iterations")
+                .min(1.0).max(1000.0),
+            ParamSpec::number("clock_ghz", 1.0,
+                              "accelerator pipeline clock [GHz]")
+                .min(1e-3).max(100.0),
+            ParamSpec::number("accesses_per_cycle", 1.0,
+                              "scratchpad accesses per cycle")
+                .min(1e-3).max(64.0),
+            ParamSpec::string("pattern_name", "",
+                              "override for the emitted pattern name"),
+        };
+    }
+
+    std::vector<TrafficPattern>
+    generateTraffic(const Params &params,
+                    const TrafficContext &context) const override
+    {
+        const std::string &which = params.str("graph");
+        Graph g = which == "facebook" ? facebookLike()
+                                      : wikipediaLike();
+
+        const std::string &kernel = params.str("kernel");
+        AccessStats stats;
+        if (kernel == "bfs") {
+            auto source = (Graph::Vertex)params.number("source");
+            if (source >= g.numVertices()) {
+                fatal("graph workload: BFS source ", source,
+                      " out of range (graph has ", g.numVertices(),
+                      " vertices)");
+            }
+            stats = bfs(g, source).stats;
+        } else if (kernel == "pagerank") {
+            stats = pageRank(g, (int)params.number("iterations")).stats;
+        } else {
+            stats = connectedComponents(g).stats;
+        }
+
+        GraphAccelModel accel;
+        accel.clockHz = params.number("clock_ghz") * 1e9;
+        accel.accessesPerCycle = params.number("accesses_per_cycle");
+        accel.scratchWordBits = context.wordBits;
+
+        std::string label = params.str("pattern_name");
+        if (label.empty()) {
+            label = (which == "facebook" ? std::string("Facebook")
+                                         : std::string("Wikipedia")) +
+                "-" + (kernel == "bfs"        ? "BFS"
+                       : kernel == "pagerank" ? "PageRank"
+                                              : "CC");
+        }
+        return {kernelTraffic(label, stats, accel)};
+    }
+};
+
+} // namespace
+
+void
+registerGraphWorkload(WorkloadRegistry &registry)
+{
+    registry.add(std::make_unique<GraphWorkload>());
+}
+
+} // namespace workload
+} // namespace nvmexp

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * "wal" workload: write-ahead-logging / transactional traffic.
+ *
+ * Commits append records to a sequential log in group-commit batches
+ * (one header word per batch); every checkpoint period the log
+ * accumulated since the last checkpoint is scanned back and a compact
+ * snapshot of the dirty working set is written, concentrated into a
+ * short checkpoint window. The workload therefore emits two patterns —
+ * the append-only steady state and the read-burst checkpoint — plus an
+ * optional crash-recovery replay, so a sweep sees both the
+ * endurance-limited and the bandwidth-limited face of a transactional
+ * store.
+ */
+
+#include <cmath>
+
+#include "workload/builtin.hh"
+#include "workload/workload.hh"
+
+namespace nvmexp {
+namespace workload {
+
+namespace {
+
+class WalWorkload final : public Workload
+{
+  public:
+    std::string name() const override { return "wal"; }
+
+    std::string
+    description() const override
+    {
+        return "write-ahead log: sequential append bursts + "
+               "checkpoint scans";
+    }
+
+    std::vector<ParamSpec>
+    schema() const override
+    {
+        return {
+            ParamSpec::number("commits_per_sec", 1e4,
+                              "transaction commit rate")
+                .min(1.0).max(1e9),
+            ParamSpec::number("record_bytes", 512.0,
+                              "log record size [B]")
+                .min(1.0).max(1e6),
+            ParamSpec::number("group_commit", 8.0,
+                              "records batched per log append")
+                .min(1.0).max(1e4),
+            ParamSpec::number("checkpoint_period_sec", 60.0,
+                              "seconds between checkpoints")
+                .min(1e-3).max(1e6),
+            ParamSpec::number("checkpoint_window_sec", 1.0,
+                              "duration of the checkpoint burst [s]")
+                .min(1e-6).max(1e6),
+            ParamSpec::number("snapshot_mib", 4.0,
+                              "dirty working set written per "
+                              "checkpoint [MiB]")
+                .min(0.0).max(1e5),
+            ParamSpec::boolean("recovery", false,
+                               "also emit a crash-recovery replay "
+                               "pattern"),
+            ParamSpec::string("pattern_name", "wal",
+                              "prefix for the emitted pattern names"),
+        };
+    }
+
+    std::vector<TrafficPattern>
+    generateTraffic(const Params &params,
+                    const TrafficContext &context) const override
+    {
+        const double wordBytes = (double)context.wordBits / 8.0;
+        const double commits = params.number("commits_per_sec");
+        const double recordWords =
+            std::ceil(params.number("record_bytes") / wordBytes);
+        const double batches =
+            commits / params.number("group_commit");
+        const double period = params.number("checkpoint_period_sec");
+        double window = params.number("checkpoint_window_sec");
+        if (window > period)
+            window = period;  // a burst cannot outlast its period
+        const double snapshotWords =
+            std::ceil(params.number("snapshot_mib") * 1024.0 * 1024.0 /
+                      wordBytes);
+        const std::string &prefix = params.str("pattern_name");
+
+        // Steady state: append-only. One header word per group-commit
+        // batch on top of the record payload.
+        const double appendWordsPerSec =
+            commits * recordWords + batches * 1.0;
+        TrafficPattern steady;
+        steady.name = prefix + "-steady";
+        steady.readsPerSec = 0.0;
+        steady.writesPerSec = appendWordsPerSec;
+        steady.execTime = period;
+
+        // Checkpoint burst: scan the period's log back and write the
+        // snapshot, all inside the checkpoint window.
+        const double logWords = appendWordsPerSec * period;
+        TrafficPattern checkpoint;
+        checkpoint.name = prefix + "-checkpoint";
+        checkpoint.readsPerSec = logWords / window;
+        checkpoint.writesPerSec = snapshotWords / window;
+        checkpoint.execTime = window;
+
+        std::vector<TrafficPattern> patterns = {steady, checkpoint};
+        if (params.flag("recovery")) {
+            // Crash recovery: read the snapshot plus the whole tail
+            // log and re-apply it to the working set.
+            TrafficPattern recovery;
+            recovery.name = prefix + "-recovery";
+            recovery.readsPerSec = (logWords + snapshotWords) / window;
+            recovery.writesPerSec = snapshotWords / window;
+            recovery.execTime = window;
+            patterns.push_back(recovery);
+        }
+        return patterns;
+    }
+};
+
+} // namespace
+
+void
+registerWalWorkload(WorkloadRegistry &registry)
+{
+    registry.add(std::make_unique<WalWorkload>());
+}
+
+} // namespace workload
+} // namespace nvmexp

@@ -2,6 +2,7 @@
 
 #include <cstdlib>
 
+#include "../support/fixtures.hh"
 #include "core/config.hh"
 #include "core/parallel_sweep.hh"
 #include "util/logging.hh"
@@ -10,11 +11,11 @@
 namespace nvmexp {
 namespace {
 
-class ConfigTest : public ::testing::Test
+using testsupport::basicConfigJson;
+using testsupport::minimalConfigJson;
+
+class ConfigTest : public testsupport::QuietTest
 {
-  protected:
-    void SetUp() override { setQuiet(true); }
-    void TearDown() override { setQuiet(false); }
 };
 
 TEST_F(ConfigTest, ResolvesNamedCells)
@@ -46,30 +47,10 @@ TEST_F(ConfigTest, UnknownReferencesAreFatal)
                 ::testing::ExitedWithCode(1), "unknown cell");
 }
 
-namespace {
-
-const char *kBasicConfig = R"({
-    "experiment": "unit-test-sweep",
-    "cells": ["SRAM", "RRAM-Opt"],
-    "capacities_mib": [2, 8],
-    "targets": ["ReadEDP", "Area"],
-    "word_bits": 512,
-    "traffic": [
-        {"name": "a", "read_bytes_per_sec": 1e9,
-         "write_bytes_per_sec": 1e7},
-        {"name": "b", "reads": 1e6, "writes": 1e5, "exec_time": 0.5}
-    ],
-    "constraints": {"max_latency_load": 1.0,
-                    "min_lifetime_years": 1},
-    "output_csv": ""
-})";
-
-} // namespace
-
 TEST_F(ConfigTest, LoadsFullSchema)
 {
     ExperimentConfig config =
-        loadExperiment(JsonValue::parse(kBasicConfig));
+        loadExperiment(JsonValue::parse(basicConfigJson()));
     EXPECT_EQ(config.name, "unit-test-sweep");
     EXPECT_EQ(config.sweep.cells.size(), 2u);
     EXPECT_EQ(config.sweep.capacitiesBytes.size(), 2u);
@@ -131,7 +112,7 @@ TEST_F(ConfigTest, CustomCellsOverrideBaseParameters)
 TEST_F(ConfigTest, RunExperimentProducesDashboardRows)
 {
     ExperimentConfig config =
-        loadExperiment(JsonValue::parse(kBasicConfig));
+        loadExperiment(JsonValue::parse(basicConfigJson()));
     config.applyConstraints = false;
     Table table = runExperiment(config);
     // 2 cells x 2 capacities x 2 targets x 2 traffics.
@@ -142,7 +123,7 @@ TEST_F(ConfigTest, RunExperimentProducesDashboardRows)
 TEST_F(ConfigTest, ConstraintsFilterRows)
 {
     ExperimentConfig config =
-        loadExperiment(JsonValue::parse(kBasicConfig));
+        loadExperiment(JsonValue::parse(basicConfigJson()));
     Table filtered = runExperiment(config);
     config.applyConstraints = false;
     Table all = runExperiment(config);
@@ -153,12 +134,72 @@ TEST_F(ConfigTest, ShippedConfigFilesLoad)
 {
     for (const char *path : {"config/main_dnn_study.json",
                              "config/graph_scratchpad_study.json",
-                             "config/llc_replacement_study.json"}) {
+                             "config/llc_replacement_study.json",
+                             "config/kv_store_study.json",
+                             "config/wal_study.json",
+                             "config/intermittent_dnn_study.json"}) {
         std::string full = std::string(NVMEXP_SOURCE_DIR) + "/" + path;
         ExperimentConfig config = loadExperimentFile(full);
         EXPECT_FALSE(config.sweep.cells.empty()) << path;
-        EXPECT_FALSE(config.sweep.traffics.empty()) << path;
+        EXPECT_TRUE(!config.sweep.traffics.empty() ||
+                    !config.sweep.workloads.empty())
+            << path;
     }
+}
+
+TEST_F(ConfigTest, WorkloadKeysThreadThroughToTheSweep)
+{
+    // Both the "workloads" array and the singular "workload" object
+    // are accepted; specs are kept raw for the sweep engine to expand
+    // through the registry.
+    ExperimentConfig config = loadExperiment(JsonValue::parse(R"({
+        "cells": ["SRAM"],
+        "capacities_mib": [2],
+        "workloads": [
+            {"name": "kv-store", "zipf_skew": 0.8},
+            {"name": "wal"}
+        ],
+        "workload": {"name": "dnn", "network": "resnet26"}
+    })"));
+    ASSERT_EQ(config.sweep.workloads.size(), 3u);
+    EXPECT_TRUE(config.sweep.traffics.empty());
+    EXPECT_EQ(config.sweep.workloads[0].at("name").asString(),
+              "kv-store");
+    EXPECT_EQ(config.sweep.workloads[2].at("name").asString(), "dnn");
+
+    // The sweep expands them: 1 cell x 1 capacity x 1 target x
+    // (1 kv + 2 wal + 1 dnn) patterns.
+    auto results = runSweep(config.sweep);
+    EXPECT_EQ(results.size(), 4u);
+}
+
+TEST_F(ConfigTest, WorkloadErrorsAreFatalAtLoadTime)
+{
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("workloads": [{"name": "does-not-exist"}])"))),
+        ::testing::ExitedWithCode(1), "unknown workload");
+
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("workloads": [{"name": "kv-store", "zipf": 1}])"))),
+        ::testing::ExitedWithCode(1), "unknown parameter");
+
+    // A wrapper's nested spec is validated at load time too.
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("workloads": [{"name": "intermittent",
+                              "inner": {"name": "nope"}}])"))),
+        ::testing::ExitedWithCode(1), "unknown workload");
+}
+
+TEST_F(ConfigTest, ConfigWithoutTrafficOrWorkloadsIsFatal)
+{
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(R"({
+        "cells": ["SRAM"],
+        "capacities_mib": [2]
+    })")), ::testing::ExitedWithCode(1),
+                "traffic.*patterns or .*workloads");
 }
 
 TEST_F(ConfigTest, JobsKeyValidatedLikeTheCliFlag)
@@ -205,7 +246,7 @@ TEST_F(ConfigTest, StoreKeysThreadThroughToTheSweep)
     // loaded programmatically are unaffected by the environment.
     setDefaultSweepStoreDir("/tmp/nvmexp-default-store");
     ExperimentConfig plain =
-        loadExperiment(JsonValue::parse(kBasicConfig));
+        loadExperiment(JsonValue::parse(basicConfigJson()));
     EXPECT_TRUE(plain.sweep.outDir.empty());
     EXPECT_FALSE(plain.sweep.resume);
     EXPECT_EQ(defaultSweepStoreDir(), "/tmp/nvmexp-default-store");

@@ -3,6 +3,7 @@
 #include <string>
 #include <vector>
 
+#include "../support/fixtures.hh"
 #include "celldb/tentpole.hh"
 #include "core/parallel_sweep.hh"
 #include "core/sweep.hh"
@@ -11,24 +12,7 @@
 namespace nvmexp {
 namespace {
 
-SweepConfig
-smallSweep()
-{
-    CellCatalog catalog;
-    SweepConfig sweep;
-    sweep.cells = {catalog.optimistic(CellTech::STT),
-                   catalog.pessimistic(CellTech::STT),
-                   catalog.optimistic(CellTech::RRAM),
-                   CellCatalog::sram16()};
-    sweep.capacitiesBytes = {2.0 * 1024 * 1024, 8.0 * 1024 * 1024};
-    sweep.targets = {OptTarget::ReadEDP, OptTarget::Leakage};
-    sweep.traffics = {
-        TrafficPattern::fromByteRates("light", 1e9, 1e6, 512),
-        TrafficPattern::fromByteRates("heavy", 10e9, 1e8, 512),
-        TrafficPattern::fromByteRates("writeheavy", 2e9, 2e9, 512),
-    };
-    return sweep;
-}
+using testsupport::wideSweep;
 
 /** Exact (bitwise, via operator==) equality across every field that
  *  identifies an EvalResult and every metric it carries. */
@@ -61,7 +45,7 @@ expectIdentical(const std::vector<EvalResult> &lhs,
 
 TEST(ParallelSweep, OneAndManyThreadsProduceIdenticalOrderings)
 {
-    SweepConfig sweep = smallSweep();
+    SweepConfig sweep = wideSweep();
     auto serial = ParallelSweepRunner(1).run(sweep);
     ASSERT_EQ(serial.size(),
               4u * 2u * 2u * 3u);  // cells x caps x targets x traffics
@@ -73,7 +57,7 @@ TEST(ParallelSweep, OneAndManyThreadsProduceIdenticalOrderings)
 
 TEST(ParallelSweep, MatchesSerialRunSweepEntryPoint)
 {
-    SweepConfig sweep = smallSweep();
+    SweepConfig sweep = wideSweep();
     sweep.jobs = 1;
     auto serial = runSweep(sweep);
     sweep.jobs = 4;
@@ -82,7 +66,7 @@ TEST(ParallelSweep, MatchesSerialRunSweepEntryPoint)
 
 TEST(ParallelSweep, CharacterizeOrderingIsThreadCountInvariant)
 {
-    SweepConfig sweep = smallSweep();
+    SweepConfig sweep = wideSweep();
     auto serial = ParallelSweepRunner(1).characterize(sweep);
     auto parallel = ParallelSweepRunner(8).characterize(sweep);
     ASSERT_EQ(serial.size(), parallel.size());
@@ -100,7 +84,7 @@ TEST(ParallelSweep, SeededTrafficRunsAreDeterministic)
 {
     auto buildSweep = [](std::uint64_t seed) {
         Rng rng(seed);
-        SweepConfig sweep = smallSweep();
+        SweepConfig sweep = wideSweep();
         sweep.traffics.clear();
         for (int i = 0; i < 6; ++i) {
             sweep.traffics.push_back(TrafficPattern::fromByteRates(
@@ -126,7 +110,7 @@ TEST(ParallelSweep, SeededTrafficRunsAreDeterministic)
 
 TEST(ParallelSweep, EvaluateAllIsArrayMajor)
 {
-    SweepConfig sweep = smallSweep();
+    SweepConfig sweep = wideSweep();
     ParallelSweepRunner runner(4);
     auto arrays = runner.characterize(sweep);
     auto evals = runner.evaluateAll(arrays, sweep.traffics);

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "../support/fixtures.hh"
 #include "celldb/tentpole.hh"
 #include "core/sweep.hh"
 #include "util/random.hh"
@@ -7,21 +8,7 @@
 namespace nvmexp {
 namespace {
 
-SweepConfig
-smallSweep()
-{
-    CellCatalog catalog;
-    SweepConfig sweep;
-    sweep.cells = {catalog.optimistic(CellTech::STT),
-                   catalog.optimistic(CellTech::RRAM)};
-    sweep.capacitiesBytes = {2.0 * 1024 * 1024, 8.0 * 1024 * 1024};
-    sweep.targets = {OptTarget::ReadEDP, OptTarget::Area};
-    sweep.traffics = {
-        TrafficPattern::fromByteRates("light", 1e9, 1e6, 512),
-        TrafficPattern::fromByteRates("heavy", 10e9, 1e8, 512),
-    };
-    return sweep;
-}
+using testsupport::smallSweep;
 
 TEST(Sweep, CharacterizeCrossesCellsCapacitiesTargets)
 {

@@ -1,10 +1,12 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdint>
 #include <vector>
 
 #include "celldb/tentpole.hh"
 #include "fault/injector.hh"
+#include "util/thread_pool.hh"
 
 namespace nvmexp {
 namespace {
@@ -83,6 +85,71 @@ TEST(Injector, DeterministicUnderSeed)
     ia.inject({a.data(), a.size()});
     ib.inject({b.data(), b.size()});
     EXPECT_EQ(a, b);
+}
+
+TEST(Injector, SameSeedsIdenticalFaultMapsAcrossJobCounts)
+{
+    // Sweep studies run per-trial injectors from worker threads
+    // (mlcFaultStudy under ParallelSweepRunner): each injector owns
+    // its Rng, so the fault maps must be bit-identical however many
+    // threads interleave the trials.
+    CellCatalog catalog;
+    FaultModel model(catalog.optimistic(CellTech::FeFET).makeMlc());
+
+    auto runWith = [&](int jobs) {
+        std::vector<std::vector<std::int8_t>> images(16, zeros(8192));
+        ThreadPool pool(jobs);
+        parallelFor(pool, images.size(), [&](std::size_t i) {
+            FaultInjector injector(model, 0xBA5E + (std::uint64_t)i);
+            injector.inject({images[i].data(), images[i].size()});
+        });
+        return images;
+    };
+
+    auto serial = runWith(1);
+    for (int jobs : {2, 4, 8}) {
+        SCOPED_TRACE("jobs=" + std::to_string(jobs));
+        auto parallel = runWith(jobs);
+        for (std::size_t i = 0; i < serial.size(); ++i)
+            EXPECT_EQ(serial[i], parallel[i]) << "image " << i;
+    }
+    // The per-trial seeds actually differ (guards against an injector
+    // ignoring its seed: all-equal images would also pass the
+    // determinism check above).
+    EXPECT_NE(serial[0], serial[1]);
+}
+
+TEST(Injector, DistinctSeedsGiveStatisticallyDistinctInjections)
+{
+    FaultModel model(CellCatalog::sram16());
+    constexpr int kSeeds = 24;
+    constexpr double kBer = 5e-3;
+    std::vector<std::vector<std::int8_t>> images;
+    std::vector<std::size_t> counts;
+    for (int s = 0; s < kSeeds; ++s) {
+        auto data = zeros(1 << 14);
+        FaultInjector injector(model, 0x1000 + (std::uint64_t)s);
+        counts.push_back(
+            injector.injectUniform({data.data(), data.size()}, kBer));
+        images.push_back(std::move(data));
+    }
+
+    // Fault maps are pairwise distinct...
+    for (int a = 0; a < kSeeds; ++a)
+        for (int b = a + 1; b < kSeeds; ++b)
+            EXPECT_NE(images[a], images[b]) << a << " vs " << b;
+
+    // ...and the flip counts spread like independent Binomial draws:
+    // not all equal, each within 6 sigma of the expectation.
+    double expected = kBer * (double)images[0].size() * 8.0;
+    double sigma = std::sqrt(expected);
+    std::size_t distinct = 0;
+    for (int s = 0; s < kSeeds; ++s) {
+        EXPECT_NEAR((double)counts[s], expected, 6.0 * sigma) << s;
+        if (counts[s] != counts[0])
+            ++distinct;
+    }
+    EXPECT_GT(distinct, 0u);
 }
 
 TEST(Injector, MlcErrorsFlipOneBitPerCell)

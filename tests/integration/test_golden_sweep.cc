@@ -16,6 +16,7 @@
 #include <string>
 #include <vector>
 
+#include "../support/fixtures.hh"
 #include "../support/golden_compare.hh"
 #include "celldb/tentpole.hh"
 #include "core/parallel_sweep.hh"
@@ -25,6 +26,8 @@
 namespace nvmexp {
 namespace {
 
+using testsupport::referenceSweep;
+
 const char *kGoldenRelPath = "tests/data/golden_sweep.json";
 
 std::string
@@ -33,32 +36,8 @@ goldenPath()
     return std::string(NVMEXP_SOURCE_DIR) + "/" + kGoldenRelPath;
 }
 
-/** The committed reference sweep: 3 cells x 2 capacities x 2 targets
- *  x 2 traffics = 24 evaluation rows covering SRAM + two eNVM
- *  flavors, both bandwidth regimes, and a finite-lifetime cell. */
-SweepConfig
-referenceSweep()
+class GoldenSweep : public testsupport::QuietTest
 {
-    CellCatalog catalog;
-    SweepConfig config;
-    config.cells = {CellCatalog::sram16(),
-                    catalog.optimistic(CellTech::STT),
-                    catalog.pessimistic(CellTech::RRAM)};
-    config.capacitiesBytes = {1.0 * 1024 * 1024, 4.0 * 1024 * 1024};
-    config.targets = {OptTarget::ReadEDP, OptTarget::WriteLatency};
-    config.traffics = {
-        TrafficPattern::fromByteRates("dnn-like", 2e9, 2e7, 512),
-        TrafficPattern::fromCounts("bursty", 5e6, 5e5, 0.25),
-    };
-    config.jobs = 4;
-    return config;
-}
-
-class GoldenSweep : public ::testing::Test
-{
-  protected:
-    void SetUp() override { setQuiet(true); }
-    void TearDown() override { setQuiet(false); }
 };
 
 TEST_F(GoldenSweep, MetricsMatchTheCommittedReference)

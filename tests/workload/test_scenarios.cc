@@ -1,0 +1,299 @@
+/**
+ * @file
+ * Behavioural tests for the scenario generators: the legacy families
+ * must match their direct substrate APIs exactly (the refactor
+ * guarantee), and the new KV/WAL/intermittent generators must respond
+ * to their parameters in the physically sensible direction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "../support/fixtures.hh"
+#include "cachesim/streams.hh"
+#include "dnn/networks.hh"
+#include "graph/graph.hh"
+#include "graph/kernels.hh"
+#include "workload/workload.hh"
+
+namespace nvmexp {
+namespace {
+
+using workload::TrafficContext;
+using workload::trafficFromWorkloadJson;
+
+class ScenarioTest : public testsupport::QuietTest
+{
+  protected:
+    std::vector<TrafficPattern>
+    generate(const char *json, int wordBits = 512) const
+    {
+        TrafficContext context;
+        context.wordBits = wordBits;
+        return trafficFromWorkloadJson(JsonValue::parse(json), context);
+    }
+
+    TrafficPattern
+    one(const char *json, int wordBits = 512) const
+    {
+        auto patterns = generate(json, wordBits);
+        EXPECT_EQ(patterns.size(), 1u);
+        return patterns.front();
+    }
+};
+
+// ---------------------------------------------------------------- legacy
+
+TEST_F(ScenarioTest, DnnWorkloadMatchesDirectExtraction)
+{
+    DnnScenario scenario;
+    scenario.network = resnet26();
+    scenario.tasks = 3;
+    scenario.storage = DnnStorage::WeightsAndActivations;
+    scenario.framesPerSec = 30.0;
+    TrafficPattern direct = dnnTraffic(scenario);
+
+    TrafficPattern viaRegistry = one(
+        R"({"name": "dnn", "network": "resnet26", "tasks": 3,
+            "storage": "weights+activations", "fps": 30})");
+    EXPECT_EQ(viaRegistry.name, direct.name);
+    EXPECT_DOUBLE_EQ(viaRegistry.readsPerSec, direct.readsPerSec);
+    EXPECT_DOUBLE_EQ(viaRegistry.writesPerSec, direct.writesPerSec);
+    EXPECT_DOUBLE_EQ(viaRegistry.execTime, direct.execTime);
+}
+
+TEST_F(ScenarioTest, GraphWorkloadMatchesDirectKernelRun)
+{
+    Graph g = facebookLike();
+    GraphAccelModel accel;
+    accel.scratchWordBits = 64;
+    TrafficPattern direct =
+        kernelTraffic("Facebook-BFS", bfs(g, 0).stats, accel);
+
+    TrafficPattern viaRegistry = one(
+        R"({"name": "graph", "graph": "facebook", "kernel": "bfs"})",
+        64);
+    EXPECT_EQ(viaRegistry.name, direct.name);
+    EXPECT_DOUBLE_EQ(viaRegistry.readsPerSec, direct.readsPerSec);
+    EXPECT_DOUBLE_EQ(viaRegistry.writesPerSec, direct.writesPerSec);
+}
+
+TEST_F(ScenarioTest, GraphKernelsAndGuards)
+{
+    TrafficPattern pr = one(
+        R"({"name": "graph", "graph": "wikipedia",
+            "kernel": "pagerank", "iterations": 5})");
+    EXPECT_EQ(pr.name, "Wikipedia-PageRank");
+    EXPECT_GT(pr.readsPerSec, 0.0);
+
+    TrafficPattern cc = one(
+        R"({"name": "graph", "kernel": "components",
+            "pattern_name": "fb-cc"})");
+    EXPECT_EQ(cc.name, "fb-cc");
+
+    EXPECT_EXIT(generate(R"({"name": "graph", "source": 1e9})"),
+                ::testing::ExitedWithCode(1), "out of range");
+}
+
+TEST_F(ScenarioTest, LlcWorkloadMatchesDirectBenchmarkRun)
+{
+    Hierarchy::Config hconfig;  // 16 MiB LLC default, as the workload's
+    LlcTraffic direct = runBenchmark(profileByName("mcf"), 1'000'000,
+                                     200'000, hconfig);
+    TrafficPattern expected = llcTrafficPattern(direct);
+
+    TrafficPattern viaRegistry = one(
+        R"({"name": "llc", "benchmark": "mcf",
+            "instructions": 1e6, "warmup": 2e5})");
+    EXPECT_EQ(viaRegistry.name, expected.name);
+    EXPECT_DOUBLE_EQ(viaRegistry.readsPerSec, expected.readsPerSec);
+    EXPECT_DOUBLE_EQ(viaRegistry.writesPerSec, expected.writesPerSec);
+    EXPECT_DOUBLE_EQ(viaRegistry.execTime, expected.execTime);
+}
+
+TEST_F(ScenarioTest, LlcSuiteEmitsOnePatternPerProfile)
+{
+    auto patterns = generate(
+        R"({"name": "llc", "benchmark": "suite",
+            "instructions": 2e5, "warmup": 5e4})");
+    const auto &suite = specLikeSuite();
+    ASSERT_EQ(patterns.size(), suite.size());
+    for (std::size_t i = 0; i < suite.size(); ++i)
+        EXPECT_EQ(patterns[i].name, suite[i].name);
+}
+
+// ------------------------------------------------------------------- kv
+
+TEST_F(ScenarioTest, KvHigherSkewMeansFewerArrayReads)
+{
+    const char *fmt =
+        R"({"name": "kv-store", "zipf_skew": %s})";
+    char low[128], high[128];
+    std::snprintf(low, sizeof low, fmt, "0.5");
+    std::snprintf(high, sizeof high, fmt, "1.2");
+    TrafficPattern lowSkew = one(low);
+    TrafficPattern highSkew = one(high);
+    // More skew -> hotter hot set -> higher cache hit rate -> fewer
+    // reads reaching the array. Writes are write-through: unchanged.
+    EXPECT_LT(highSkew.readsPerSec, lowSkew.readsPerSec);
+    EXPECT_DOUBLE_EQ(highSkew.writesPerSec, lowSkew.writesPerSec);
+}
+
+TEST_F(ScenarioTest, KvCacheAbsorbsEverythingWhenItFits)
+{
+    // Cache large enough for every key: all GETs hit, only PUTs reach
+    // the array.
+    TrafficPattern all = one(
+        R"({"name": "kv-store", "key_count": 1000, "cache_mib": 16,
+            "get_fraction": 0.9, "ops_per_sec": 1e6})");
+    EXPECT_DOUBLE_EQ(all.readsPerSec, 0.0);
+    EXPECT_GT(all.writesPerSec, 0.0);
+
+    // No cache: every GET reads the array.
+    TrafficPattern none = one(
+        R"({"name": "kv-store", "key_count": 1000, "cache_mib": 0,
+            "get_fraction": 0.9, "ops_per_sec": 1e6})");
+    EXPECT_GT(none.readsPerSec, 0.0);
+}
+
+TEST_F(ScenarioTest, KvValueSizeScalesTraffic)
+{
+    TrafficPattern small = one(
+        R"({"name": "kv-store", "value_bytes": 48, "cache_mib": 0})");
+    TrafficPattern large = one(
+        R"({"name": "kv-store", "value_bytes": 4096, "cache_mib": 0})");
+    EXPECT_GT(large.readsPerSec, small.readsPerSec);
+    EXPECT_GT(large.writesPerSec, small.writesPerSec);
+    // Word width feeds the record-to-word conversion.
+    TrafficPattern narrow = one(
+        R"({"name": "kv-store", "value_bytes": 4096, "cache_mib": 0})",
+        64);
+    EXPECT_GT(narrow.readsPerSec, large.readsPerSec);
+}
+
+// ------------------------------------------------------------------ wal
+
+TEST_F(ScenarioTest, WalEmitsSteadyAndCheckpointPatterns)
+{
+    auto patterns = generate(R"({"name": "wal"})");
+    ASSERT_EQ(patterns.size(), 2u);
+    EXPECT_EQ(patterns[0].name, "wal-steady");
+    EXPECT_EQ(patterns[1].name, "wal-checkpoint");
+    // Steady state is append-only; the checkpoint burst re-reads the
+    // period's log, so it is read-dominated and much hotter.
+    EXPECT_DOUBLE_EQ(patterns[0].readsPerSec, 0.0);
+    EXPECT_GT(patterns[0].writesPerSec, 0.0);
+    EXPECT_GT(patterns[1].readsPerSec, patterns[0].writesPerSec);
+
+    auto withRecovery = generate(R"({"name": "wal", "recovery": true})");
+    ASSERT_EQ(withRecovery.size(), 3u);
+    EXPECT_EQ(withRecovery[2].name, "wal-recovery");
+    EXPECT_GT(withRecovery[2].readsPerSec,
+              withRecovery[1].readsPerSec);
+}
+
+TEST_F(ScenarioTest, WalCheckpointScanCoversTheLoggedWords)
+{
+    // With a 1 s window, checkpoint reads/s == words logged per
+    // period: the whole log is scanned back.
+    TrafficPattern steady = generate(
+        R"({"name": "wal", "checkpoint_period_sec": 10})")[0];
+    TrafficPattern checkpoint = generate(
+        R"({"name": "wal", "checkpoint_period_sec": 10})")[1];
+    EXPECT_DOUBLE_EQ(checkpoint.readsPerSec,
+                     steady.writesPerSec * 10.0);
+    // The burst window is clamped to the period.
+    auto clamped = generate(
+        R"({"name": "wal", "checkpoint_period_sec": 0.5,
+            "checkpoint_window_sec": 5})");
+    EXPECT_DOUBLE_EQ(clamped[1].execTime, 0.5);
+}
+
+// --------------------------------------------------------- intermittent
+
+TEST_F(ScenarioTest, IntermittentCatchUpCompressesRates)
+{
+    TrafficPattern inner = one(
+        R"({"name": "kv-store", "cache_mib": 0})");
+    TrafficPattern wrapped = one(
+        R"({"name": "intermittent", "duty_cycle": 0.25,
+            "inner": {"name": "kv-store", "cache_mib": 0}})");
+    // Catch-up at 25% duty: the array sees 4x rates while powered.
+    EXPECT_DOUBLE_EQ(wrapped.readsPerSec, inner.readsPerSec * 4.0);
+    EXPECT_DOUBLE_EQ(wrapped.writesPerSec, inner.writesPerSec * 4.0);
+    EXPECT_DOUBLE_EQ(wrapped.execTime, inner.execTime * 0.25);
+    EXPECT_EQ(wrapped.name.rfind("int-d0.25/", 0), 0u);
+}
+
+TEST_F(ScenarioTest, IntermittentThrottleAveragesRates)
+{
+    TrafficPattern inner = one(
+        R"({"name": "kv-store", "cache_mib": 0})");
+    TrafficPattern wrapped = one(
+        R"({"name": "intermittent", "duty_cycle": 0.25,
+            "mode": "throttle",
+            "inner": {"name": "kv-store", "cache_mib": 0}})");
+    EXPECT_DOUBLE_EQ(wrapped.readsPerSec, inner.readsPerSec * 0.25);
+    EXPECT_DOUBLE_EQ(wrapped.writesPerSec, inner.writesPerSec * 0.25);
+}
+
+TEST_F(ScenarioTest, IntermittentRestoreAndCheckpointAddTransferTraffic)
+{
+    TrafficPattern plain = one(
+        R"({"name": "intermittent", "duty_cycle": 0.5,
+            "period_sec": 2.0,
+            "inner": {"name": "kv-store", "cache_mib": 0}})");
+    TrafficPattern withState = one(
+        R"({"name": "intermittent", "duty_cycle": 0.5,
+            "period_sec": 2.0, "restore_mib": 1,
+            "checkpoint_mib": 1,
+            "inner": {"name": "kv-store", "cache_mib": 0}})");
+    // 1 MiB at 64 B/word = 16384 words per wake, over 1 s of on-time.
+    EXPECT_DOUBLE_EQ(withState.readsPerSec - plain.readsPerSec,
+                     16384.0);
+    EXPECT_DOUBLE_EQ(withState.writesPerSec - plain.writesPerSec,
+                     16384.0);
+}
+
+TEST_F(ScenarioTest, IntermittentFullDutyIsIdentityForRates)
+{
+    TrafficPattern inner = one(R"({"name": "kv-store"})");
+    TrafficPattern wrapped = one(
+        R"({"name": "intermittent", "duty_cycle": 1.0,
+            "inner": {"name": "kv-store"}})");
+    EXPECT_DOUBLE_EQ(wrapped.readsPerSec, inner.readsPerSec);
+    EXPECT_DOUBLE_EQ(wrapped.writesPerSec, inner.writesPerSec);
+}
+
+TEST_F(ScenarioTest, IntermittentWrapsMultiPatternAndNestedWorkloads)
+{
+    // Wrapping a two-pattern workload modulates both patterns.
+    auto wal = generate(
+        R"({"name": "intermittent",
+            "inner": {"name": "wal"}})");
+    ASSERT_EQ(wal.size(), 2u);
+
+    // Wrappers nest: duty cycles compose multiplicatively.
+    TrafficPattern nested = one(
+        R"({"name": "intermittent", "duty_cycle": 0.5,
+            "inner": {"name": "intermittent", "duty_cycle": 0.5,
+                      "inner": {"name": "kv-store",
+                                "cache_mib": 0}}})");
+    TrafficPattern base = one(
+        R"({"name": "kv-store", "cache_mib": 0})");
+    EXPECT_DOUBLE_EQ(nested.readsPerSec, base.readsPerSec * 4.0);
+}
+
+TEST_F(ScenarioTest, IntermittentMissingInnerIsFatal)
+{
+    EXPECT_EXIT(generate(R"({"name": "intermittent"})"),
+                ::testing::ExitedWithCode(1),
+                "missing required parameter 'inner'");
+    EXPECT_EXIT(
+        generate(R"({"name": "intermittent", "inner": {}})"),
+        ::testing::ExitedWithCode(1), "needs a \"name\" key");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -17,6 +17,7 @@
 #include "store/result_store.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
+#include "workload/workload.hh"
 
 using namespace nvmexp;
 
@@ -43,7 +44,28 @@ usage()
         "             overrides this\n"
         "  --resume   continue an interrupted sweep from DIR's\n"
         "             checkpoint journal (results are byte-identical\n"
-        "             to an uninterrupted run)\n";
+        "             to an uninterrupted run)\n"
+        "  --list-workloads\n"
+        "             print the registered workload generators and\n"
+        "             their parameter schemas, then exit\n";
+}
+
+/** `--list-workloads`: the registry is the single source of truth for
+ *  what a config's {"workloads": [...]} section may name. */
+void
+listWorkloads()
+{
+    auto &registry = workload::WorkloadRegistry::instance();
+    for (const auto &name : registry.names()) {
+        const workload::Workload &w = *registry.find(name);
+        std::cout << name << " — " << w.description() << "\n";
+        for (const auto &p : w.schema()) {
+            std::cout << "    " << p.key << " ("
+                      << workload::paramKindName(p.kind)
+                      << (p.required ? ", required" : "") << "): "
+                      << p.description << "\n";
+        }
+    }
 }
 
 } // namespace
@@ -83,6 +105,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[argi], "--resume") == 0) {
             resume = true;
             ++argi;
+        } else if (std::strcmp(argv[argi], "--list-workloads") == 0) {
+            listWorkloads();
+            return 0;
         } else if (std::strcmp(argv[argi], "--help") == 0 ||
                    std::strcmp(argv[argi], "-h") == 0) {
             usage();
@@ -126,7 +151,8 @@ main(int argc, char **argv)
                config.sweep.cells.size(), " cells x ",
                config.sweep.capacitiesBytes.size(), " capacities x ",
                config.sweep.targets.size(), " targets x ",
-               config.sweep.traffics.size(), " traffic patterns, ",
+               config.sweep.traffics.size(), " traffic patterns + ",
+               config.sweep.workloads.size(), " workloads, ",
                ThreadPool::resolveJobs(config.sweep.jobs), " jobs)");
         Table table = runExperiment(config);
         table.print(std::cout);
