@@ -1,0 +1,175 @@
+/**
+ * @file
+ * google-benchmark micro-benchmarks of the refine path: constraint
+ * filtering (legacy adapter vs declarative clauses, clause-count
+ * scaling), 2-D and N-D Pareto extraction, top-k ranking, and the
+ * full store-query pipeline.
+ *
+ * CI runs this with --benchmark_out=BENCH_query.json to seed the perf
+ * trajectory of the filter-and-refine stage; the workload is a
+ * synthetic-but-deterministic result population so runs are
+ * comparable across machines without a characterization sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "celldb/tentpole.hh"
+#include "metrics/constraints.hh"
+#include "metrics/refine.hh"
+#include "store/result_store.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+using namespace nvmexp;
+
+namespace {
+
+/**
+ * A deterministic population of evaluation rows spanning the value
+ * ranges real sweeps produce, built without running the (much slower)
+ * characterization pipeline so the benchmark isolates refine costs.
+ */
+std::vector<EvalResult>
+syntheticResults(std::size_t count)
+{
+    Rng rng(0xBE9C);
+    std::vector<EvalResult> results;
+    results.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        EvalResult r;
+        r.array.capacityBytes = 2.0 * 1024 * 1024;
+        r.array.readLatency = 1e-9 * (1.0 + rng.uniform() * 99.0);
+        r.array.writeLatency = r.array.readLatency *
+            (1.0 + rng.uniform() * 9.0);
+        r.array.readEnergy = 1e-12 * (1.0 + rng.uniform() * 999.0);
+        r.array.writeEnergy = r.array.readEnergy *
+            (1.0 + rng.uniform() * 9.0);
+        r.array.leakage = 1e-3 * rng.uniform();
+        r.array.areaM2 = 1e-7 * (1.0 + rng.uniform() * 9.0);
+        r.array.readBandwidth = 1e9 * (1.0 + rng.uniform() * 99.0);
+        r.array.writeBandwidth = r.array.readBandwidth / 4.0;
+        r.dynamicPower = 1e-3 * (1.0 + rng.uniform() * 499.0);
+        r.leakagePower = r.array.leakage;
+        r.totalPower = r.dynamicPower + r.leakagePower;
+        r.latencyLoad = rng.uniform() * 2.0;
+        r.slowdown = r.latencyLoad > 1.0 ? r.latencyLoad : 1.0;
+        r.meetsReadBandwidth = rng.uniform() < 0.9;
+        r.meetsWriteBandwidth = rng.uniform() < 0.9;
+        r.lifetimeSec = rng.uniform() < 0.2
+            ? std::numeric_limits<double>::infinity()
+            : 86400.0 * (1.0 + rng.uniform() * 3650.0);
+        results.push_back(r);
+    }
+    return results;
+}
+
+void
+BM_FilterLegacyAdapter(benchmark::State &state)
+{
+    auto results = syntheticResults((std::size_t)state.range(0));
+    Constraints constraints;
+    constraints.minLifetimeSec = 365.0 * 86400.0;
+    constraints.maxPowerWatts = 0.25;
+    for (auto _ : state) {
+        auto kept = filterResults(results, constraints);
+        benchmark::DoNotOptimize(kept);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            state.range(0));
+}
+BENCHMARK(BM_FilterLegacyAdapter)->Arg(1 << 10)->Arg(1 << 14);
+
+void
+BM_FilterConstraintSet(benchmark::State &state)
+{
+    auto results = syntheticResults(1 << 14);
+    // 1, 3, or 6 clauses: clause-count scaling of the refine path.
+    metrics::ConstraintSet set;
+    const char *clauses[] = {
+        "total_power<=0.25",      "latency_load<=1.0",
+        "meets_read_bw>=1",       "lifetime_years>=1",
+        "read_latency<=50e-9",    "area_mm2<=0.5",
+    };
+    for (int i = 0; i < state.range(0); ++i)
+        set.add(clauses[i]);
+    for (auto _ : state) {
+        auto kept = set.filter(results);
+        benchmark::DoNotOptimize(kept);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            (1 << 14));
+}
+BENCHMARK(BM_FilterConstraintSet)->Arg(1)->Arg(3)->Arg(6);
+
+void
+BM_Pareto2D(benchmark::State &state)
+{
+    auto results = syntheticResults((std::size_t)state.range(0));
+    for (auto _ : state) {
+        auto front = metrics::paretoByMetrics(
+            results, {"total_power", "latency_load"});
+        benchmark::DoNotOptimize(front);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            state.range(0));
+}
+BENCHMARK(BM_Pareto2D)->Arg(1 << 10)->Arg(1 << 14);
+
+void
+BM_Pareto3D(benchmark::State &state)
+{
+    auto results = syntheticResults((std::size_t)state.range(0));
+    for (auto _ : state) {
+        auto front = metrics::paretoByMetrics(
+            results,
+            {"total_power", "latency_load", "read_latency"});
+        benchmark::DoNotOptimize(front);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            state.range(0));
+}
+BENCHMARK(BM_Pareto3D)->Arg(1 << 10)->Arg(1 << 14);
+
+void
+BM_TopK(benchmark::State &state)
+{
+    auto results = syntheticResults(1 << 14);
+    for (auto _ : state) {
+        auto top = metrics::topByMetric(results, "read_edp",
+                                        (std::size_t)state.range(0));
+        benchmark::DoNotOptimize(top);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            (1 << 14));
+}
+BENCHMARK(BM_TopK)->Arg(10)->Arg(1 << 12);
+
+void
+BM_ApplyQueryPipeline(benchmark::State &state)
+{
+    auto results = syntheticResults((std::size_t)state.range(0));
+    store::StoreQuery query;
+    query.constraints.add("latency_load<=1.0");
+    query.constraints.add("lifetime_years>=1");
+    query.paretoMetrics = {"total_power", "read_latency"};
+    query.topMetric = "total_power";
+    query.topK = 10;
+    for (auto _ : state) {
+        auto refined = store::applyQuery(results, query);
+        benchmark::DoNotOptimize(refined);
+    }
+    state.SetItemsProcessed((std::int64_t)state.iterations() *
+                            state.range(0));
+}
+BENCHMARK(BM_ApplyQueryPipeline)->Arg(1 << 10)->Arg(1 << 14);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    setQuiet(true);
+    benchmark::Initialize(&argc, argv);
+    benchmark::RunSpecifiedBenchmarks();
+    return 0;
+}

@@ -12,6 +12,8 @@
 #include "cachesim/streams.hh"
 #include "celldb/tentpole.hh"
 #include "core/sweep.hh"
+#include "metrics/constraints.hh"
+#include "metrics/refine.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -37,10 +39,15 @@ main()
     sweep.traffics = {llcTrafficPattern(llc)};
     auto results = runSweep(sweep);
 
-    // Filter: must meet demand and last at least 3 years.
-    Constraints constraints;
-    constraints.minLifetimeSec = 3.0 * 365 * 86400;
-    auto eligible = filterResults(results, constraints);
+    // Filter: must meet demand and last at least 3 years — the same
+    // declarative clauses the CLI's --filter flag and a config's
+    // "constraints" array accept.
+    metrics::ConstraintSet constraints;
+    constraints.add("latency_load<=1.0");
+    constraints.add("meets_read_bw>=1");
+    constraints.add("meets_write_bw>=1");
+    constraints.add("lifetime_years>=3");
+    auto eligible = constraints.filter(results);
 
     Table table("16MB LLC candidates (viable, >=3yr lifetime)",
                 {"Cell", "Power[mW]", "LatencyLoad", "Lifetime[yr]"});
@@ -53,10 +60,8 @@ main()
     }
     table.print(std::cout);
 
-    auto front = paretoFront<EvalResult>(
-        eligible,
-        [](const EvalResult &e) { return e.totalPower; },
-        [](const EvalResult &e) { return e.latencyLoad; });
+    auto front = metrics::paretoByMetrics(
+        eligible, {"total_power", "latency_load"});
     std::cout << "Pareto-optimal (power x latency load):";
     for (const auto &ev : front)
         std::cout << " " << ev.array.cell.name;

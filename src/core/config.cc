@@ -2,6 +2,7 @@
 
 #include "celldb/tentpole.hh"
 #include "core/parallel_sweep.hh"
+#include "metrics/refine.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/workload.hh"
@@ -210,29 +211,58 @@ loadExperiment(const JsonValue &doc)
         fatal("config '", config.name,
               "': needs \"traffic\" patterns or \"workloads\"");
 
-    // Constraints.
+    // Constraints: either the declarative clause array
+    // (["total_power<0.5", {"metric": ..., "op": ..., "bound": ...}])
+    // or the legacy fixed-field object, adapted onto the same
+    // declarative layer. Both validate metric names at load time, so
+    // bad filters fail before any simulation runs.
     if (doc.has("constraints")) {
         const JsonValue &c = doc.at("constraints");
         config.applyConstraints = true;
-        config.constraints.maxLatencyLoad =
-            c.numberOr("max_latency_load", 1.0);
-        config.constraints.maxPowerWatts =
-            c.numberOr("max_power_w", -1.0);
-        config.constraints.maxAreaM2 =
-            c.numberOr("max_area_mm2", -1.0) > 0.0
-                ? c.at("max_area_mm2").asNumber() * 1e-6 : -1.0;
-        if (c.has("min_lifetime_years")) {
-            config.constraints.minLifetimeSec =
-                c.at("min_lifetime_years").asNumber() * 365.0 * 86400.0;
+        if (c.isArray()) {
+            config.constraints = metrics::ConstraintSet::fromJson(
+                c, "config '" + config.name + "'");
+        } else if (!c.isObject()) {
+            fatal("config '", config.name, "': \"constraints\" must "
+                  "be an array of clauses or a legacy fixed-field "
+                  "object");
+        } else {
+            Constraints legacy;
+            legacy.maxLatencyLoad = c.numberOr("max_latency_load", 1.0);
+            legacy.maxPowerWatts = c.numberOr("max_power_w", -1.0);
+            legacy.maxAreaM2 =
+                c.numberOr("max_area_mm2", -1.0) > 0.0
+                    ? c.at("max_area_mm2").asNumber() * 1e-6 : -1.0;
+            if (c.has("min_lifetime_years")) {
+                legacy.minLifetimeSec =
+                    c.at("min_lifetime_years").asNumber() * 365.0 *
+                    86400.0;
+            }
+            legacy.maxReadLatency =
+                c.numberOr("max_read_latency_ns", -1.0) > 0.0
+                    ? c.at("max_read_latency_ns").asNumber() * 1e-9
+                    : -1.0;
+            legacy.maxWriteLatency =
+                c.numberOr("max_write_latency_ns", -1.0) > 0.0
+                    ? c.at("max_write_latency_ns").asNumber() * 1e-9
+                    : -1.0;
+            legacy.requireBandwidth = c.boolOr("require_bandwidth",
+                                               true);
+            config.constraints =
+                metrics::ConstraintSet::fromLegacy(legacy);
         }
-        config.constraints.maxReadLatency =
-            c.numberOr("max_read_latency_ns", -1.0) > 0.0
-                ? c.at("max_read_latency_ns").asNumber() * 1e-9 : -1.0;
-        config.constraints.maxWriteLatency =
-            c.numberOr("max_write_latency_ns", -1.0) > 0.0
-                ? c.at("max_write_latency_ns").asNumber() * 1e-9 : -1.0;
-        config.constraints.requireBandwidth =
-            c.boolOr("require_bandwidth", true);
+    }
+
+    // Pareto front and top-k refinement over named metrics.
+    if (doc.has("pareto")) {
+        config.paretoMetrics = metrics::paretoMetricsFromJson(
+            doc.at("pareto"), "config '" + config.name + "'");
+    }
+    if (doc.has("top_k")) {
+        metrics::TopSpec top = metrics::topSpecFromJson(
+            doc.at("top_k"), "config '" + config.name + "'");
+        config.topMetric = top.metric;
+        config.topK = top.k;
     }
 
     config.outputCsv = doc.stringOr("output_csv", "");
@@ -250,7 +280,17 @@ runExperiment(const ExperimentConfig &config)
 {
     auto results = runSweep(config.sweep);
     if (config.applyConstraints)
-        results = filterResults(results, config.constraints);
+        results = config.constraints.filter(results);
+    if (!config.paretoMetrics.empty()) {
+        results = metrics::paretoByMetrics(
+            results, config.paretoMetrics,
+            "config '" + config.name + "'");
+    }
+    if (!config.topMetric.empty()) {
+        results = metrics::topByMetric(results, config.topMetric,
+                                       config.topK,
+                                       "config '" + config.name + "'");
+    }
 
     Table table(config.name,
                 {"Cell", "Capacity[MiB]", "Traffic", "ReadLat[ns]",

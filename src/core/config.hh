@@ -12,9 +12,12 @@
 #ifndef NVMEXP_CORE_CONFIG_HH
 #define NVMEXP_CORE_CONFIG_HH
 
+#include <cstddef>
 #include <string>
+#include <vector>
 
 #include "core/sweep.hh"
+#include "metrics/constraints.hh"
 #include "util/json.hh"
 #include "util/table.hh"
 
@@ -25,8 +28,22 @@ struct ExperimentConfig
 {
     std::string name = "experiment";
     SweepConfig sweep;
-    Constraints constraints;
+    /**
+     * Declarative refine pipeline (the paper's "filter and refine"
+     * stage), applied in order after the sweep: constraint clauses,
+     * then the Pareto front over `paretoMetrics` (when non-empty),
+     * then the `topK` best rows under `topMetric` (when set). The
+     * JSON "constraints" key accepts both the declarative clause
+     * array and the legacy fixed-field object (adapted via
+     * metrics::ConstraintSet::fromLegacy); "pareto" and "top_k" have
+     * no legacy form. The CLI's --filter/--pareto/--top flags layer
+     * onto the same fields.
+     */
+    metrics::ConstraintSet constraints;
     bool applyConstraints = false;
+    std::vector<std::string> paretoMetrics;
+    std::string topMetric;  ///< empty = no top-k stage
+    std::size_t topK = 0;
     std::string outputCsv;  ///< empty = don't write
 };
 

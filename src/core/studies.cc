@@ -9,6 +9,7 @@
 #include "dnn/networks.hh"
 #include "fault/fault_model.hh"
 #include "fault/injector.hh"
+#include "metrics/metric.hh"
 #include "util/logging.hh"
 #include "workload/workload.hh"
 
@@ -171,16 +172,24 @@ dnnContinuousPower()
                 spec.storage + "\", \"fps\": 60}",
             512);
         auto evals = runner.evaluateAll(arrays, {traffic});
+        // Row metrics come out of the registry — the same accessors
+        // the filter/Pareto/CLI vocabulary names, so study output and
+        // dashboard queries can never disagree on a definition.
+        const metrics::Metric &power = metrics::metric("total_power");
+        const metrics::Metric &load = metrics::metric("latency_load");
+        const metrics::Metric &density =
+            metrics::metric("density_mb_per_mm2");
+        const metrics::Metric &viable = metrics::metric("viable");
         for (std::size_t i = 0; i < arrays.size(); ++i) {
             const ArrayResult &array = arrays[i];
             const EvalResult &ev = evals[i];
             DnnPowerRow row;
             row.cell = array.cell.name;
             row.scenario = spec.label;
-            row.totalPowerW = ev.totalPower;
-            row.latencyLoad = ev.latencyLoad;
-            row.densityMbPerMm2 = array.densityMbPerMm2();
-            row.meetsFps = ev.viable();
+            row.totalPowerW = power.eval(ev);
+            row.latencyLoad = load.eval(ev);
+            row.densityMbPerMm2 = density.array(array);
+            row.meetsFps = viable.eval(ev) != 0.0;
             row.meetsAccuracy = accuracyOk(array.cell);
             rows.push_back(row);
         }
@@ -249,16 +258,23 @@ dnnIntermittentEnergy(const std::vector<double> &eventsPerDay)
 
 namespace {
 
-/** Winner among a flavor pool by a key (smaller is better). */
+/** Winner among a flavor pool by a key, folding the metric's
+ *  registry direction ("best" power is the smallest value, "best"
+ *  density the largest). */
 template <typename Row, typename Key, typename Pool>
 std::string
-winner(const std::vector<Row> &rows, Pool inPool, Key key)
+winner(const std::vector<Row> &rows, Pool inPool, Key key,
+       metrics::Direction direction)
 {
+    const bool minimize = direction == metrics::Direction::Minimize;
     const Row *best = nullptr;
     for (const auto &row : rows) {
         if (!inPool(row))
             continue;
-        if (!best || key(row) < key(*best))
+        double k = key(row);
+        if (std::isnan(k))  // an unordered key is never the winner
+            continue;
+        if (!best || (minimize ? k < key(*best) : k > key(*best)))
             best = &row;
     }
     return best ? best->cell : "none";
@@ -312,20 +328,27 @@ dnnUseCaseSummary()
         auto inAlt = [](const DnnPowerRow &r) {
             return isAlternativePool(r.cell);
         };
+        const auto powerDir = metrics::metric("total_power").direction;
+        const auto densityDir =
+            metrics::metric("density_mb_per_mm2").direction;
         UseCaseRow lowPower{"Continuous(60IPS)", spec.task, spec.storage,
                             "Low Power", "", ""};
         lowPower.optChoice = winner(eligible, inOpt,
-            [](const DnnPowerRow &r) { return r.totalPowerW; });
+            [](const DnnPowerRow &r) { return r.totalPowerW; },
+            powerDir);
         lowPower.altChoice = winner(eligible, inAlt,
-            [](const DnnPowerRow &r) { return r.totalPowerW; });
+            [](const DnnPowerRow &r) { return r.totalPowerW; },
+            powerDir);
         table.push_back(lowPower);
 
         UseCaseRow density{"Continuous(60IPS)", spec.task, spec.storage,
                            "High Density", "", ""};
         density.optChoice = winner(eligible, inOpt,
-            [](const DnnPowerRow &r) { return -r.densityMbPerMm2; });
+            [](const DnnPowerRow &r) { return r.densityMbPerMm2; },
+            densityDir);
         density.altChoice = winner(eligible, inAlt,
-            [](const DnnPowerRow &r) { return -r.densityMbPerMm2; });
+            [](const DnnPowerRow &r) { return r.densityMbPerMm2; },
+            densityDir);
         table.push_back(density);
     }
 
@@ -358,22 +381,30 @@ dnnUseCaseSummary()
         };
         UseCaseRow lowEnergy{"Intermittent(1IPS)", task, "Weights Only",
                              "Low Energy/Inf", "", ""};
+        // Daily energy is an IntermittentResult quantity with no
+        // EvalResult metric; it is minimized by definition.
         lowEnergy.optChoice = winner(eligible, inOpt,
-            [](const IntermittentRow &r) { return r.energyPerDay; });
+            [](const IntermittentRow &r) { return r.energyPerDay; },
+            metrics::Direction::Minimize);
         lowEnergy.altChoice = winner(eligible, inAlt,
-            [](const IntermittentRow &r) { return r.energyPerDay; });
+            [](const IntermittentRow &r) { return r.energyPerDay; },
+            metrics::Direction::Minimize);
         table.push_back(lowEnergy);
 
         UseCaseRow density{"Intermittent(1IPS)", task, "Weights Only",
                            "High Density", "", ""};
+        const auto densityDir =
+            metrics::metric("density_mb_per_mm2").direction;
         density.optChoice = winner(eligible, inOpt,
             [&](const IntermittentRow &r) {
-                return -cellDensity(r.cell);
-            });
+                return cellDensity(r.cell);
+            },
+            densityDir);
         density.altChoice = winner(eligible, inAlt,
             [&](const IntermittentRow &r) {
-                return -cellDensity(r.cell);
-            });
+                return cellDensity(r.cell);
+            },
+            densityDir);
         table.push_back(density);
     }
     return table;

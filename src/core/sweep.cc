@@ -1,8 +1,10 @@
 #include "core/sweep.hh"
 
+#include <cmath>
 #include <limits>
 
 #include "core/parallel_sweep.hh"
+#include "metrics/constraints.hh"
 
 namespace nvmexp {
 
@@ -21,46 +23,19 @@ runSweep(const SweepConfig &config)
 bool
 satisfies(const EvalResult &result, const Constraints &constraints)
 {
-    if (constraints.maxLatencyLoad > 0.0 &&
-        result.latencyLoad > constraints.maxLatencyLoad) {
-        return false;
-    }
-    if (constraints.maxPowerWatts > 0.0 &&
-        result.totalPower > constraints.maxPowerWatts) {
-        return false;
-    }
-    if (constraints.maxAreaM2 > 0.0 &&
-        result.array.areaM2 > constraints.maxAreaM2) {
-        return false;
-    }
-    if (constraints.minLifetimeSec > 0.0 &&
-        result.lifetimeSec < constraints.minLifetimeSec) {
-        return false;
-    }
-    if (constraints.maxReadLatency > 0.0 &&
-        result.array.readLatency > constraints.maxReadLatency) {
-        return false;
-    }
-    if (constraints.maxWriteLatency > 0.0 &&
-        result.array.writeLatency > constraints.maxWriteLatency) {
-        return false;
-    }
-    if (constraints.requireBandwidth &&
-        (!result.meetsReadBandwidth || !result.meetsWriteBandwidth)) {
-        return false;
-    }
-    return true;
+    // The legacy fixed-field struct is a thin adapter over the
+    // declarative layer: each enabled field becomes the equivalent
+    // (metric, op, bound) clause, and every comparison dispatches
+    // through the metric registry.
+    return metrics::ConstraintSet::fromLegacy(constraints)
+        .satisfied(result);
 }
 
 std::vector<EvalResult>
 filterResults(const std::vector<EvalResult> &in,
               const Constraints &constraints)
 {
-    std::vector<EvalResult> out;
-    for (const auto &result : in)
-        if (satisfies(result, constraints))
-            out.push_back(result);
-    return out;
+    return metrics::ConstraintSet::fromLegacy(constraints).filter(in);
 }
 
 const EvalResult *
@@ -71,6 +46,8 @@ bestBy(const std::vector<EvalResult> &results,
     double bestKey = std::numeric_limits<double>::infinity();
     for (const auto &result : results) {
         double k = key(result);
+        if (std::isnan(k))
+            continue;
         if (!best || k < bestKey) {
             best = &result;
             bestKey = k;

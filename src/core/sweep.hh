@@ -25,6 +25,7 @@
 #include "eval/engine.hh"
 #include "nvsim/array_model.hh"
 #include "util/json.hh"
+#include "util/logging.hh"
 
 namespace nvmexp {
 
@@ -152,7 +153,80 @@ paretoFront(const std::vector<T> &items,
     return front;
 }
 
-/** Pointer to the result minimizing key, or nullptr if empty. */
+/**
+ * N-dimensional Pareto front (minimize every key) over any result
+ * vector; the generalization the named-metric layer
+ * (metrics::paretoByMetrics) dispatches through.
+ *
+ * Two keys take the sorted O(n log n) fast path above and reproduce
+ * its front exactly. Other dimensionalities run a lexicographic-order
+ * dominance scan against the growing front: a dominator always
+ * precedes its victims in lexicographic key order, and dominance is
+ * transitive, so comparing each candidate against accepted front
+ * members alone is sufficient. Exact key-tuple duplicates do not
+ * dominate each other and are all kept; output preserves input order.
+ */
+template <typename T>
+std::vector<T>
+paretoFrontND(const std::vector<T> &items,
+              const std::vector<std::function<double(const T &)>> &keys)
+{
+    if (keys.empty())
+        panic("paretoFrontND needs at least one key");
+    if (keys.size() == 2)
+        return paretoFront(items, keys[0], keys[1]);
+
+    const std::size_t n = items.size();
+    const std::size_t d = keys.size();
+    std::vector<std::vector<double>> values(n,
+                                            std::vector<double>(d));
+    for (std::size_t i = 0; i < n; ++i)
+        for (std::size_t k = 0; k < d; ++k)
+            values[i][k] = keys[k](items[i]);
+
+    std::vector<std::size_t> order(n);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    std::sort(order.begin(), order.end(),
+              [&](std::size_t lhs, std::size_t rhs) {
+                  return values[lhs] < values[rhs];
+              });
+
+    std::vector<char> keep(n, 0);
+    std::vector<std::size_t> front;
+    for (std::size_t index : order) {
+        bool dominated = false;
+        for (std::size_t member : front) {
+            bool allLe = true;
+            bool oneLt = false;
+            for (std::size_t k = 0; k < d; ++k) {
+                if (values[member][k] > values[index][k]) {
+                    allLe = false;
+                    break;
+                }
+                if (values[member][k] < values[index][k])
+                    oneLt = true;
+            }
+            if (allLe && oneLt) {
+                dominated = true;
+                break;
+            }
+        }
+        if (!dominated) {
+            keep[index] = 1;
+            front.push_back(index);
+        }
+    }
+
+    std::vector<T> out;
+    for (std::size_t i = 0; i < n; ++i)
+        if (keep[i])
+            out.push_back(items[i]);
+    return out;
+}
+
+/** Pointer to the result minimizing key, or nullptr when empty or
+ *  every key is NaN. NaN-keyed results are skipped — an unordered key
+ *  must never be reported as "best". */
 const EvalResult *
 bestBy(const std::vector<EvalResult> &results,
        const std::function<double(const EvalResult &)> &key);

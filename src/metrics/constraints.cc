@@ -1,0 +1,245 @@
+#include "metrics/constraints.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace metrics {
+
+namespace {
+
+struct OpName
+{
+    const char *text;
+    ConstraintOp op;
+};
+
+/** Two-character operators first: "<=" must not parse as "<" + "=". */
+constexpr OpName kOpNames[] = {
+    {"<=", ConstraintOp::LE}, {">=", ConstraintOp::GE},
+    {"==", ConstraintOp::EQ}, {"!=", ConstraintOp::NE},
+    {"<", ConstraintOp::LT},  {">", ConstraintOp::GT},
+};
+
+std::string
+trim(const std::string &text)
+{
+    auto begin = text.find_first_not_of(" \t");
+    auto end = text.find_last_not_of(" \t");
+    if (begin == std::string::npos)
+        return "";
+    return text.substr(begin, end - begin + 1);
+}
+
+std::string
+withContext(const std::string &context)
+{
+    return context.empty() ? "constraint" : context + ": constraint";
+}
+
+} // namespace
+
+const char *
+constraintOpName(ConstraintOp op)
+{
+    switch (op) {
+      case ConstraintOp::LT: return "<";
+      case ConstraintOp::LE: return "<=";
+      case ConstraintOp::GT: return ">";
+      case ConstraintOp::GE: return ">=";
+      case ConstraintOp::EQ: return "==";
+      case ConstraintOp::NE: return "!=";
+      default: panic("bad ConstraintOp ", (int)op);
+    }
+}
+
+ConstraintOp
+constraintOpFromName(const std::string &name, const std::string &context)
+{
+    for (const auto &entry : kOpNames)
+        if (name == entry.text)
+            return entry.op;
+    fatal(withContext(context), ": operator '", name,
+          "' unknown (expected <, <=, >, >=, ==, or !=)");
+}
+
+bool
+ConstraintClause::holds(double value) const
+{
+    switch (op) {
+      case ConstraintOp::LT: return value < bound;
+      case ConstraintOp::LE: return value <= bound;
+      case ConstraintOp::GT: return value > bound;
+      case ConstraintOp::GE: return value >= bound;
+      case ConstraintOp::EQ: return value == bound;
+      case ConstraintOp::NE: return value != bound;
+      default: panic("bad ConstraintOp ", (int)op);
+    }
+}
+
+std::string
+ConstraintClause::text() const
+{
+    return metric + constraintOpName(op) + JsonValue::formatNumber(bound);
+}
+
+ConstraintClause
+ConstraintClause::parse(const std::string &input,
+                        const std::string &context)
+{
+    std::string clause = trim(input);
+    // Find the first operator character; longest form wins so
+    // "lifetime_years>=3" splits at ">=", not ">" + "=3".
+    std::size_t split = clause.find_first_of("<>=!");
+    if (split == std::string::npos || split == 0) {
+        fatal(withContext(context), " '", input,
+              "' malformed (expected <metric><op><bound>, e.g. "
+              "total_power<0.5)");
+    }
+    std::size_t opLen =
+        (split + 1 < clause.size() && clause[split + 1] == '=') ? 2 : 1;
+
+    ConstraintClause out;
+    out.metric = trim(clause.substr(0, split));
+    MetricRegistry::instance().require(out.metric, withContext(context));
+    out.op = constraintOpFromName(clause.substr(split, opLen), context);
+
+    std::string boundText = trim(clause.substr(split + opLen));
+    const char *begin = boundText.c_str();
+    char *end = nullptr;
+    out.bound = std::strtod(begin, &end);
+    if (boundText.empty() || end != begin + boundText.size() ||
+        std::isnan(out.bound)) {
+        fatal(withContext(context), " '", input, "': bound '",
+              boundText, "' is not a number");
+    }
+    return out;
+}
+
+JsonValue
+ConstraintClause::toJson() const
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("metric", JsonValue::makeString(metric));
+    v.set("op", JsonValue::makeString(constraintOpName(op)));
+    v.set("bound", JsonValue::makeNumber(bound));
+    return v;
+}
+
+ConstraintClause
+ConstraintClause::fromJson(const JsonValue &doc,
+                           const std::string &context)
+{
+    if (doc.isString())
+        return parse(doc.asString(), context);
+    if (!doc.isObject()) {
+        fatal(withContext(context),
+              " entries must be \"metric<bound\" strings or "
+              "{\"metric\", \"op\", \"bound\"} objects");
+    }
+    ConstraintClause out;
+    out.metric = doc.at("metric").asString();
+    MetricRegistry::instance().require(out.metric, withContext(context));
+    out.op = constraintOpFromName(doc.at("op").asString(), context);
+    if (!doc.at("bound").isNumber()) {
+        fatal(withContext(context), " on '", out.metric,
+              "': \"bound\" must be a number");
+    }
+    out.bound = doc.at("bound").asNumber();
+    if (std::isnan(out.bound)) {
+        fatal(withContext(context), " on '", out.metric,
+              "': \"bound\" must not be NaN");
+    }
+    return out;
+}
+
+void
+ConstraintSet::add(ConstraintClause clause)
+{
+    const Metric &m = metrics::metric(clause.metric);  // unknown fatal
+    clauses_.push_back(std::move(clause));
+    evalOrder_.emplace_back(clauses_.size() - 1, &m);
+    std::stable_sort(evalOrder_.begin(), evalOrder_.end(),
+                     [](const auto &lhs, const auto &rhs) {
+                         return lhs.second->cost < rhs.second->cost;
+                     });
+}
+
+void
+ConstraintSet::add(const std::string &text, const std::string &context)
+{
+    add(ConstraintClause::parse(text, context));
+}
+
+bool
+ConstraintSet::satisfied(const EvalResult &result) const
+{
+    for (const auto &[index, metric] : evalOrder_)
+        if (!clauses_[index].holds(metric->eval(result)))
+            return false;
+    return true;
+}
+
+std::vector<EvalResult>
+ConstraintSet::filter(const std::vector<EvalResult> &results) const
+{
+    std::vector<EvalResult> out;
+    out.reserve(results.size());
+    for (const auto &result : results)
+        if (satisfied(result))
+            out.push_back(result);
+    return out;
+}
+
+JsonValue
+ConstraintSet::toJson() const
+{
+    JsonValue v = JsonValue::makeArray();
+    for (const auto &clause : clauses_)
+        v.append(clause.toJson());
+    return v;
+}
+
+ConstraintSet
+ConstraintSet::fromJson(const JsonValue &doc, const std::string &context)
+{
+    ConstraintSet out;
+    for (const auto &entry : doc.asArray())
+        out.add(ConstraintClause::fromJson(entry, context));
+    return out;
+}
+
+ConstraintSet
+ConstraintSet::fromLegacy(const Constraints &legacy)
+{
+    ConstraintSet out;
+    if (legacy.maxLatencyLoad > 0.0) {
+        out.add({"latency_load", ConstraintOp::LE,
+                 legacy.maxLatencyLoad});
+    }
+    if (legacy.maxPowerWatts > 0.0)
+        out.add({"total_power", ConstraintOp::LE, legacy.maxPowerWatts});
+    if (legacy.maxAreaM2 > 0.0)
+        out.add({"area_m2", ConstraintOp::LE, legacy.maxAreaM2});
+    if (legacy.minLifetimeSec > 0.0) {
+        out.add({"lifetime_sec", ConstraintOp::GE,
+                 legacy.minLifetimeSec});
+    }
+    if (legacy.maxReadLatency > 0.0)
+        out.add({"read_latency", ConstraintOp::LE, legacy.maxReadLatency});
+    if (legacy.maxWriteLatency > 0.0) {
+        out.add({"write_latency", ConstraintOp::LE,
+                 legacy.maxWriteLatency});
+    }
+    if (legacy.requireBandwidth) {
+        out.add({"meets_read_bw", ConstraintOp::GE, 1.0});
+        out.add({"meets_write_bw", ConstraintOp::GE, 1.0});
+    }
+    return out;
+}
+
+} // namespace metrics
+} // namespace nvmexp

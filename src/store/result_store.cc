@@ -416,14 +416,61 @@ loadStats(const std::string &dir)
         JsonValue::parseFile(dir + "/stats.json"));
 }
 
+JsonValue
+StoreQuery::toJson() const
+{
+    if (!predicates.empty()) {
+        fatal("store query: programmatic predicates cannot be "
+              "serialized; express them as metric constraints");
+    }
+    JsonValue v = JsonValue::makeObject();
+    v.set("format", JsonValue::makeNumber(kFormatVersion));
+    if (!constraints.empty())
+        v.set("constraints", constraints.toJson());
+    if (!paretoMetrics.empty()) {
+        JsonValue pareto = JsonValue::makeArray();
+        for (const auto &name : paretoMetrics)
+            pareto.append(JsonValue::makeString(name));
+        v.set("pareto", std::move(pareto));
+    }
+    if (!topMetric.empty()) {
+        JsonValue top = JsonValue::makeObject();
+        top.set("metric", JsonValue::makeString(topMetric));
+        top.set("k", JsonValue::makeNumber((double)topK));
+        v.set("top_k", std::move(top));
+    }
+    return v;
+}
+
+StoreQuery
+StoreQuery::fromJson(const JsonValue &doc)
+{
+    StoreQuery query;
+    if (doc.has("constraints")) {
+        query.constraints = metrics::ConstraintSet::fromJson(
+            doc.at("constraints"), "store query");
+    }
+    if (doc.has("pareto")) {
+        query.paretoMetrics = metrics::paretoMetricsFromJson(
+            doc.at("pareto"), "store query");
+    }
+    if (doc.has("top_k")) {
+        metrics::TopSpec top = metrics::topSpecFromJson(
+            doc.at("top_k"), "store query");
+        query.topMetric = top.metric;
+        query.topK = top.k;
+    }
+    return query;
+}
+
 std::vector<EvalResult>
 applyQuery(const std::vector<EvalResult> &results,
            const StoreQuery &query)
 {
     std::vector<EvalResult> out;
+    out.reserve(results.size());
     for (const auto &result : results) {
-        if (query.applyConstraints &&
-            !satisfies(result, query.constraints))
+        if (!query.constraints.satisfied(result))
             continue;
         bool keep = true;
         for (const auto &predicate : query.predicates) {
@@ -435,8 +482,12 @@ applyQuery(const std::vector<EvalResult> &results,
         if (keep)
             out.push_back(result);
     }
-    if (query.paretoX && query.paretoY)
-        out = paretoFront<EvalResult>(out, query.paretoX, query.paretoY);
+    if (!query.paretoMetrics.empty())
+        out = metrics::paretoByMetrics(out, query.paretoMetrics,
+                                       "store query");
+    if (!query.topMetric.empty())
+        out = metrics::topByMetric(out, query.topMetric, query.topK,
+                                   "store query");
     return out;
 }
 

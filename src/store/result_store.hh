@@ -43,6 +43,8 @@
 #include <vector>
 
 #include "core/sweep.hh"
+#include "metrics/constraints.hh"
+#include "metrics/refine.hh"
 #include "store/serialize.hh"
 
 namespace nvmexp {
@@ -145,20 +147,36 @@ StoreStats loadStats(const std::string &dir);
 /**
  * Offline "filter and refine": the dashboard interaction (paper
  * Fig. 2) over a persisted store instead of a live sweep.
+ *
+ * Queries are expressed over the named-metric vocabulary
+ * (src/metrics), so everything except the programmatic `predicates`
+ * escape hatch serializes losslessly: a query can be written to a
+ * store (query.json), read back, and re-applied with identical
+ * results. Stages apply in order: constraints -> predicates -> Pareto
+ * -> top-k.
  */
 struct StoreQuery
 {
-    /** Applied first when applyConstraints is set. */
-    Constraints constraints;
-    bool applyConstraints = false;
+    /** Declarative (metric, op, bound) clauses, ANDed; applied
+     *  first. */
+    metrics::ConstraintSet constraints;
 
-    /** Arbitrary metric predicates, ANDed. */
+    /** Arbitrary programmatic predicates, ANDed (not serialized). */
     std::vector<std::function<bool(const EvalResult &)>> predicates;
 
-    /** When both set, reduce to the 2-D Pareto front minimizing
-     *  (paretoX, paretoY). */
-    std::function<double(const EvalResult &)> paretoX;
-    std::function<double(const EvalResult &)> paretoY;
+    /** When non-empty, reduce to the N-D Pareto front over these
+     *  metric names (direction-folded per the registry). */
+    std::vector<std::string> paretoMetrics;
+
+    /** When topMetric is non-empty, keep the topK best rows under it
+     *  (direction-aware, best first). */
+    std::string topMetric;
+    std::size_t topK = 0;
+
+    /** Lossless serialization of the declarative parts; fatal if
+     *  `predicates` are present (they cannot be serialized). */
+    JsonValue toJson() const;
+    static StoreQuery fromJson(const JsonValue &doc);
 };
 
 /** Apply a query to in-memory results (input order preserved). */

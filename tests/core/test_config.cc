@@ -60,8 +60,14 @@ TEST_F(ConfigTest, LoadsFullSchema)
     EXPECT_EQ(config.sweep.traffics.size(), 2u);
     EXPECT_DOUBLE_EQ(config.sweep.traffics[1].readsPerSec, 2e6);
     EXPECT_TRUE(config.applyConstraints);
-    EXPECT_NEAR(config.constraints.minLifetimeSec, 365.0 * 86400.0,
-                1.0);
+    // The legacy fixed-field object adapts onto declarative clauses:
+    // latency load ceiling, lifetime floor, and the two bandwidth
+    // requirements requireBandwidth implies.
+    ASSERT_EQ(config.constraints.size(), 4u);
+    const auto &lifetime = config.constraints.clauses()[1];
+    EXPECT_EQ(lifetime.metric, "lifetime_sec");
+    EXPECT_EQ(lifetime.op, metrics::ConstraintOp::GE);
+    EXPECT_NEAR(lifetime.bound, 365.0 * 86400.0, 1.0);
 }
 
 TEST_F(ConfigTest, StudySetExpands)
@@ -135,6 +141,7 @@ TEST_F(ConfigTest, ShippedConfigFilesLoad)
     for (const char *path : {"config/main_dnn_study.json",
                              "config/graph_scratchpad_study.json",
                              "config/llc_replacement_study.json",
+                             "config/llc_refine_study.json",
                              "config/kv_store_study.json",
                              "config/wal_study.json",
                              "config/intermittent_dnn_study.json"}) {
@@ -273,6 +280,104 @@ TEST_F(ConfigTest, BadConfigsAreFatal)
         "targets": ["FastestEver"],
         "traffic": [{"name": "t", "reads": 1}]
     })")), ::testing::ExitedWithCode(1), "unknown optimization");
+}
+
+TEST_F(ConfigTest, DeclarativeConstraintArrayLoads)
+{
+    ExperimentConfig config = loadExperiment(
+        JsonValue::parse(minimalConfigJson(R"("constraints": [
+            "total_power<0.5",
+            {"metric": "lifetime_years", "op": ">=", "bound": 3}
+        ])")));
+    EXPECT_TRUE(config.applyConstraints);
+    ASSERT_EQ(config.constraints.size(), 2u);
+    EXPECT_EQ(config.constraints.clauses()[0].text(),
+              "total_power<0.5");
+    EXPECT_EQ(config.constraints.clauses()[1].metric,
+              "lifetime_years");
+    EXPECT_EQ(config.constraints.clauses()[1].op,
+              metrics::ConstraintOp::GE);
+}
+
+TEST_F(ConfigTest, ParetoAndTopKeysLoad)
+{
+    ExperimentConfig config = loadExperiment(
+        JsonValue::parse(minimalConfigJson(
+            R"("pareto": ["total_power", "latency_load",
+                          "read_latency"],
+               "top_k": {"metric": "read_edp", "k": 4})")));
+    ASSERT_EQ(config.paretoMetrics.size(), 3u);
+    EXPECT_EQ(config.paretoMetrics[2], "read_latency");
+    EXPECT_EQ(config.topMetric, "read_edp");
+    EXPECT_EQ(config.topK, 4u);
+}
+
+TEST_F(ConfigTest, RunExperimentAppliesParetoAndTopK)
+{
+    // Unrefined baseline: 2 cells x 2 capacities x 2 targets x 2
+    // traffics = 16 rows.
+    ExperimentConfig config =
+        loadExperiment(JsonValue::parse(basicConfigJson()));
+    config.applyConstraints = false;
+    Table all = runExperiment(config);
+
+    config.paretoMetrics = {"total_power", "read_latency"};
+    Table front = runExperiment(config);
+    EXPECT_LT(front.numRows(), all.numRows());
+    EXPECT_GE(front.numRows(), 1u);
+
+    config.paretoMetrics.clear();
+    config.topMetric = "total_power";
+    config.topK = 3;
+    Table top = runExperiment(config);
+    EXPECT_EQ(top.numRows(), 3u);
+}
+
+TEST_F(ConfigTest, RefineKeyErrorPathsAreFatalAtLoadTime)
+{
+    // Unknown metric in each of the three keys.
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                    R"("constraints": ["warp_factor<1"])"))),
+                ::testing::ExitedWithCode(1),
+                "'warp_factor' unknown");
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                    R"("pareto": ["total_power", "warp_factor"])"))),
+                ::testing::ExitedWithCode(1),
+                "'warp_factor' unknown");
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                    R"("top_k": {"metric": "warp_factor", "k": 3})"))),
+                ::testing::ExitedWithCode(1),
+                "'warp_factor' unknown");
+
+    // Bad operator and malformed bound carry the config context.
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                    R"("constraints": [{"metric": "total_power",
+                        "op": "~", "bound": 1}])"))),
+                ::testing::ExitedWithCode(1), "operator '~' unknown");
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                    R"("constraints": ["total_power<fast"])"))),
+                ::testing::ExitedWithCode(1), "not a number");
+
+    // top_k needs a positive integer k.
+    for (const char *k : {"0", "-2", "2.5"}) {
+        EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                        std::string(R"("top_k": {"metric":
+                            "total_power", "k": )") + k + "}"))),
+                    ::testing::ExitedWithCode(1), "positive integer")
+            << k;
+    }
+
+    // An empty pareto list is rejected.
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                    R"("pareto": [])"))),
+                ::testing::ExitedWithCode(1), "at least one metric");
+
+    // "constraints" must be the clause array or the legacy object —
+    // a bare string must not silently load as the default filter.
+    EXPECT_EXIT(loadExperiment(JsonValue::parse(minimalConfigJson(
+                    R"("constraints": "total_power<0.5")"))),
+                ::testing::ExitedWithCode(1),
+                "array of clauses or a legacy");
 }
 
 } // namespace

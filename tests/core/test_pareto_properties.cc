@@ -4,7 +4,10 @@
 #include <set>
 #include <vector>
 
+#include "../support/fixtures.hh"
 #include "core/sweep.hh"
+#include "metrics/refine.hh"
+#include "store/serialize.hh"
 #include "util/random.hh"
 
 namespace nvmexp {
@@ -122,6 +125,165 @@ TEST(ParetoProperties, OutputPreservesInputOrder)
         for (std::size_t i = 1; i < front.size(); ++i)
             EXPECT_LT(front[i - 1].id, front[i].id) << trial;
     }
+}
+
+// ---------------------------------------------------------------------
+// N-dimensional generalization (paretoFrontND / paretoByMetrics).
+
+struct NdPoint
+{
+    std::vector<double> keys;
+    int id = 0;
+};
+
+std::vector<std::function<double(const NdPoint &)>>
+ndKeys(std::size_t d)
+{
+    std::vector<std::function<double(const NdPoint &)>> keys;
+    for (std::size_t k = 0; k < d; ++k)
+        keys.push_back([k](const NdPoint &p) { return p.keys[k]; });
+    return keys;
+}
+
+std::vector<NdPoint>
+randomNdPoints(Rng &rng, int count, std::size_t d)
+{
+    std::vector<NdPoint> points;
+    points.reserve(count);
+    for (int i = 0; i < count; ++i) {
+        NdPoint p;
+        for (std::size_t k = 0; k < d; ++k)
+            p.keys.push_back((double)rng.range(6));
+        p.id = i;
+        points.push_back(p);
+    }
+    return points;
+}
+
+std::multiset<int>
+ndIds(const std::vector<NdPoint> &points)
+{
+    std::multiset<int> out;
+    for (const auto &p : points)
+        out.insert(p.id);
+    return out;
+}
+
+bool
+ndDominates(const NdPoint &x, const NdPoint &y)
+{
+    bool oneLt = false;
+    for (std::size_t k = 0; k < x.keys.size(); ++k) {
+        if (x.keys[k] > y.keys[k])
+            return false;
+        if (x.keys[k] < y.keys[k])
+            oneLt = true;
+    }
+    return oneLt;
+}
+
+TEST(ParetoNdProperties, MatchesBruteForceDominanceWithTies)
+{
+    Rng rng(5);
+    for (std::size_t d : {1u, 3u, 4u}) {
+        for (int trial = 0; trial < 40; ++trial) {
+            auto points = randomNdPoints(rng, 1 + (int)rng.range(60), d);
+            auto front = paretoFrontND<NdPoint>(points, ndKeys(d));
+
+            std::multiset<int> expected;
+            for (const auto &candidate : points) {
+                bool dominated = false;
+                for (const auto &p : points)
+                    if (ndDominates(p, candidate)) {
+                        dominated = true;
+                        break;
+                    }
+                if (!dominated)
+                    expected.insert(candidate.id);
+            }
+            EXPECT_EQ(ndIds(front), expected) << d << "-D " << trial;
+        }
+    }
+}
+
+TEST(ParetoNdProperties, PermutationInvariantAndOrderPreserving)
+{
+    Rng rng(6);
+    for (int trial = 0; trial < 40; ++trial) {
+        auto points = randomNdPoints(rng, 2 + (int)rng.range(60), 3);
+        auto front = paretoFrontND<NdPoint>(points, ndKeys(3));
+        for (std::size_t i = 1; i < front.size(); ++i)
+            EXPECT_LT(front[i - 1].id, front[i].id) << trial;
+
+        auto shuffled = points;
+        std::shuffle(shuffled.begin(), shuffled.end(), rng);
+        EXPECT_EQ(ndIds(paretoFrontND<NdPoint>(shuffled, ndKeys(3))),
+                  ndIds(front))
+            << trial;
+    }
+}
+
+TEST(ParetoNdProperties, TwoKeysReproduceTheLegacy2DFrontExactly)
+{
+    Rng rng(7);
+    for (int trial = 0; trial < 60; ++trial) {
+        auto points = randomNdPoints(rng, 1 + (int)rng.range(80), 2);
+        auto legacy = paretoFront<NdPoint>(
+            points, [](const NdPoint &p) { return p.keys[0]; },
+            [](const NdPoint &p) { return p.keys[1]; });
+        auto nd = paretoFrontND<NdPoint>(points, ndKeys(2));
+        ASSERT_EQ(nd.size(), legacy.size()) << trial;
+        for (std::size_t i = 0; i < nd.size(); ++i)
+            EXPECT_EQ(nd[i].id, legacy[i].id) << trial;
+    }
+}
+
+/** The golden-sweep acceptance check: on the reference sweep the
+ *  golden-file tier pins, the N-D front over two named metrics is
+ *  element-for-element identical to the legacy 2-D front over the
+ *  same accessors. */
+TEST(ParetoNdProperties, TwoMetricFrontMatchesLegacyOnGoldenSweep)
+{
+    setQuiet(true);
+    auto results = runSweep(testsupport::referenceSweep());
+    setQuiet(false);
+    ASSERT_EQ(results.size(), 24u);
+
+    const struct
+    {
+        const char *x;
+        const char *y;
+        std::function<double(const EvalResult &)> keyX;
+        std::function<double(const EvalResult &)> keyY;
+    } cases[] = {
+        {"total_power", "latency_load",
+         [](const EvalResult &r) { return r.totalPower; },
+         [](const EvalResult &r) { return r.latencyLoad; }},
+        {"read_latency", "total_power",
+         [](const EvalResult &r) { return r.array.readLatency; },
+         [](const EvalResult &r) { return r.totalPower; }},
+    };
+    for (const auto &c : cases) {
+        auto named = metrics::paretoByMetrics(results, {c.x, c.y});
+        auto legacy = paretoFront<EvalResult>(results, c.keyX, c.keyY);
+        ASSERT_EQ(named.size(), legacy.size()) << c.x << "/" << c.y;
+        for (std::size_t i = 0; i < named.size(); ++i)
+            EXPECT_TRUE(store::identical(named[i], legacy[i]))
+                << c.x << "/" << c.y << " item " << i;
+    }
+
+    // A maximize metric folds its direction: Pareto over
+    // (total_power, density) keeps the high-density frontier.
+    auto mixed = metrics::paretoByMetrics(
+        results, {"total_power", "density_mb_per_mm2"});
+    auto folded = paretoFront<EvalResult>(
+        results, [](const EvalResult &r) { return r.totalPower; },
+        [](const EvalResult &r) {
+            return -r.array.densityMbPerMm2();
+        });
+    ASSERT_EQ(mixed.size(), folded.size());
+    for (std::size_t i = 0; i < mixed.size(); ++i)
+        EXPECT_TRUE(store::identical(mixed[i], folded[i])) << i;
 }
 
 } // namespace

@@ -145,5 +145,37 @@ TEST(BestBy, FindsMinimum)
               nullptr);
 }
 
+TEST(BestBy, SkipsNanKeys)
+{
+    auto results = runSweep(smallSweep());
+    ASSERT_GE(results.size(), 2u);
+    const double nan = std::numeric_limits<double>::quiet_NaN();
+
+    // A NaN key on the first result must not be selected as "best"
+    // (the old `!best` short-circuit did exactly that).
+    const EvalResult *first = &results.front();
+    const EvalResult *best = bestBy(
+        results, [&](const EvalResult &r) {
+            return &r == first ? nan : r.totalPower;
+        });
+    ASSERT_NE(best, nullptr);
+    EXPECT_NE(best, first);
+    for (const auto &r : results)
+        if (&r != first)
+            EXPECT_LE(best->totalPower, r.totalPower);
+
+    // All-NaN keys: nothing is rankable.
+    EXPECT_EQ(bestBy(results,
+                     [&](const EvalResult &) { return nan; }),
+              nullptr);
+
+    // +inf keys stay selectable (e.g. unlimited lifetimes).
+    const EvalResult *inf = bestBy(
+        results, [](const EvalResult &) {
+            return std::numeric_limits<double>::infinity();
+        });
+    EXPECT_EQ(inf, &results.front());
+}
+
 } // namespace
 } // namespace nvmexp

@@ -11,6 +11,8 @@
 #include "cachesim/streams.hh"
 #include "celldb/tentpole.hh"
 #include "core/sweep.hh"
+#include "metrics/constraints.hh"
+#include "metrics/refine.hh"
 #include "dnn/inference.hh"
 #include "dnn/networks.hh"
 #include "fault/injector.hh"
@@ -67,14 +69,23 @@ TEST_F(EndToEndTest, DnnTrafficThroughSweepAndFilters)
     auto results = runSweep(sweep);
     ASSERT_EQ(results.size(), 12u);
 
+    // Default legacy constraints and their declarative equivalent
+    // agree row-for-row...
     Constraints c;
     auto viable = filterResults(results, c);
     EXPECT_GE(viable.size(), 8u);  // most cells sustain weights@60FPS
+    metrics::ConstraintSet declarative;
+    declarative.add("latency_load<=1.0");
+    declarative.add("meets_read_bw>=1");
+    declarative.add("meets_write_bw>=1");
+    EXPECT_EQ(declarative.filter(results).size(), viable.size());
 
+    // ...and the named-metric best matches the hand-written lambda.
     const EvalResult *lowest = bestBy(
         viable, [](const EvalResult &r) { return r.totalPower; });
     ASSERT_NE(lowest, nullptr);
     EXPECT_NE(lowest->array.cell.name, "SRAM");
+    EXPECT_EQ(metrics::bestByMetric(viable, "total_power"), lowest);
 }
 
 TEST_F(EndToEndTest, GraphKernelToLifetimeProjection)

@@ -1,0 +1,257 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "../support/fixtures.hh"
+#include "metrics/constraints.hh"
+#include "util/random.hh"
+
+namespace nvmexp {
+namespace {
+
+using metrics::ConstraintClause;
+using metrics::ConstraintOp;
+using metrics::ConstraintSet;
+
+class ConstraintsTest : public testsupport::QuietTest
+{
+};
+
+const std::vector<EvalResult> &
+sweepResults()
+{
+    static const std::vector<EvalResult> results = [] {
+        setQuiet(true);
+        auto r = runSweep(testsupport::wideSweep());
+        setQuiet(false);
+        return r;
+    }();
+    return results;
+}
+
+TEST_F(ConstraintsTest, ParsesEveryOperator)
+{
+    struct Case
+    {
+        const char *text;
+        ConstraintOp op;
+        double bound;
+    };
+    const Case cases[] = {
+        {"total_power<0.5", ConstraintOp::LT, 0.5},
+        {"total_power<=0.5", ConstraintOp::LE, 0.5},
+        {"lifetime_years>3", ConstraintOp::GT, 3.0},
+        {"lifetime_years>=3", ConstraintOp::GE, 3.0},
+        {"viable==1", ConstraintOp::EQ, 1.0},
+        {"viable!=0", ConstraintOp::NE, 0.0},
+    };
+    for (const auto &c : cases) {
+        ConstraintClause clause = ConstraintClause::parse(c.text);
+        EXPECT_EQ(clause.op, c.op) << c.text;
+        EXPECT_DOUBLE_EQ(clause.bound, c.bound) << c.text;
+        EXPECT_EQ(clause.text(), c.text);
+    }
+}
+
+TEST_F(ConstraintsTest, ParseToleratesWhitespaceAndScientificBounds)
+{
+    ConstraintClause clause =
+        ConstraintClause::parse("  read_latency <= 5e-9 ");
+    EXPECT_EQ(clause.metric, "read_latency");
+    EXPECT_EQ(clause.op, ConstraintOp::LE);
+    EXPECT_DOUBLE_EQ(clause.bound, 5e-9);
+
+    // Infinity bounds are legal (e.g. unlimited-endurance selection).
+    ConstraintClause inf =
+        ConstraintClause::parse("lifetime_sec>=Infinity");
+    EXPECT_TRUE(std::isinf(inf.bound));
+}
+
+TEST_F(ConstraintsTest, HoldsAppliesIeeeComparisons)
+{
+    ConstraintClause le{"total_power", ConstraintOp::LE, 1.0};
+    EXPECT_TRUE(le.holds(1.0));
+    EXPECT_TRUE(le.holds(0.5));
+    EXPECT_FALSE(le.holds(1.5));
+    // NaN metric values fail every clause except !=.
+    double nan = std::numeric_limits<double>::quiet_NaN();
+    EXPECT_FALSE(le.holds(nan));
+    ConstraintClause ne{"total_power", ConstraintOp::NE, 1.0};
+    EXPECT_TRUE(ne.holds(nan));
+}
+
+TEST_F(ConstraintsTest, SatisfiedIsVacuouslyTrueWhenEmpty)
+{
+    ConstraintSet empty;
+    EXPECT_TRUE(empty.empty());
+    EXPECT_TRUE(empty.satisfied(sweepResults().front()));
+    EXPECT_EQ(empty.filter(sweepResults()).size(),
+              sweepResults().size());
+}
+
+TEST_F(ConstraintsTest, FilterMatchesPerRowSatisfied)
+{
+    ConstraintSet set;
+    set.add("latency_load<=1.0");
+    set.add("lifetime_years>=1");
+    auto kept = set.filter(sweepResults());
+    std::size_t expected = 0;
+    for (const auto &r : sweepResults())
+        if (set.satisfied(r))
+            ++expected;
+    EXPECT_EQ(kept.size(), expected);
+    EXPECT_LT(kept.size(), sweepResults().size());
+    EXPECT_FALSE(kept.empty());
+}
+
+TEST_F(ConstraintsTest, CheapestFirstOrderingNeverChangesTheOutcome)
+{
+    // Same clauses in both declared orders: derived-metric clause
+    // first vs last. Evaluation is cost-ordered internally; the
+    // per-row verdicts must be identical either way.
+    ConstraintSet derivedFirst;
+    derivedFirst.add("lifetime_years>=1");   // cost 1 (derived)
+    derivedFirst.add("total_power<=0.2");    // cost 0 (field)
+    ConstraintSet fieldFirst;
+    fieldFirst.add("total_power<=0.2");
+    fieldFirst.add("lifetime_years>=1");
+    for (const auto &r : sweepResults())
+        EXPECT_EQ(derivedFirst.satisfied(r), fieldFirst.satisfied(r));
+    // Declared order is preserved for serialization.
+    EXPECT_EQ(derivedFirst.clauses()[0].metric, "lifetime_years");
+    EXPECT_EQ(derivedFirst.toJson().dump(-1).find("lifetime_years") <
+                  derivedFirst.toJson().dump(-1).find("total_power"),
+              true);
+}
+
+/** The pre-refactor fixed-field filter, kept verbatim as the
+ *  reference the fromLegacy adapter must reproduce exactly. */
+bool
+legacyReferenceSatisfies(const EvalResult &result,
+                         const Constraints &constraints)
+{
+    if (constraints.maxLatencyLoad > 0.0 &&
+        result.latencyLoad > constraints.maxLatencyLoad)
+        return false;
+    if (constraints.maxPowerWatts > 0.0 &&
+        result.totalPower > constraints.maxPowerWatts)
+        return false;
+    if (constraints.maxAreaM2 > 0.0 &&
+        result.array.areaM2 > constraints.maxAreaM2)
+        return false;
+    if (constraints.minLifetimeSec > 0.0 &&
+        result.lifetimeSec < constraints.minLifetimeSec)
+        return false;
+    if (constraints.maxReadLatency > 0.0 &&
+        result.array.readLatency > constraints.maxReadLatency)
+        return false;
+    if (constraints.maxWriteLatency > 0.0 &&
+        result.array.writeLatency > constraints.maxWriteLatency)
+        return false;
+    if (constraints.requireBandwidth &&
+        (!result.meetsReadBandwidth || !result.meetsWriteBandwidth))
+        return false;
+    return true;
+}
+
+TEST_F(ConstraintsTest, FromLegacyReproducesTheFixedFieldFilter)
+{
+    const auto &results = sweepResults();
+    Rng rng(0xC0415);
+    for (int round = 0; round < 50; ++round) {
+        Constraints legacy;
+        legacy.maxLatencyLoad = rng.uniform() < 0.3
+            ? -1.0 : rng.uniform() * 2.0;
+        legacy.maxPowerWatts = rng.uniform() < 0.3
+            ? -1.0 : rng.uniform() * 0.5;
+        legacy.maxAreaM2 = rng.uniform() < 0.5
+            ? -1.0 : rng.uniform() * 1e-5;
+        legacy.minLifetimeSec = rng.uniform() < 0.5
+            ? -1.0 : rng.uniform() * 10.0 * 365.0 * 86400.0;
+        legacy.maxReadLatency = rng.uniform() < 0.5
+            ? -1.0 : rng.uniform() * 100e-9;
+        legacy.maxWriteLatency = rng.uniform() < 0.5
+            ? -1.0 : rng.uniform() * 500e-9;
+        legacy.requireBandwidth = rng.uniform() < 0.5;
+
+        ConstraintSet declarative = ConstraintSet::fromLegacy(legacy);
+        for (const auto &r : results) {
+            EXPECT_EQ(declarative.satisfied(r),
+                      legacyReferenceSatisfies(r, legacy))
+                << "round " << round;
+            // And the production adapter path agrees too.
+            EXPECT_EQ(satisfies(r, legacy),
+                      legacyReferenceSatisfies(r, legacy))
+                << "round " << round;
+        }
+    }
+}
+
+TEST_F(ConstraintsTest, JsonRoundTripIsLossless)
+{
+    ConstraintSet set;
+    set.add("total_power<0.5");
+    set.add(ConstraintClause{"lifetime_sec", ConstraintOp::GE,
+                             3.0 * 365.0 * 86400.0});
+    std::string dumped = set.toJson().dump(-1);
+    ConstraintSet reloaded =
+        ConstraintSet::fromJson(JsonValue::parse(dumped));
+    EXPECT_EQ(reloaded.toJson().dump(-1), dumped);
+    ASSERT_EQ(reloaded.size(), 2u);
+    EXPECT_EQ(reloaded.clauses()[0].text(), "total_power<0.5");
+
+    // String entries are accepted alongside object entries.
+    ConstraintSet fromStrings = ConstraintSet::fromJson(
+        JsonValue::parse(R"(["total_power<0.5",
+            {"metric": "viable", "op": "==", "bound": 1}])"));
+    EXPECT_EQ(fromStrings.size(), 2u);
+}
+
+using ConstraintsDeathTest = ConstraintsTest;
+
+TEST_F(ConstraintsDeathTest, UnknownMetricIsFatalWithContext)
+{
+    EXPECT_EXIT(ConstraintClause::parse("warp_factor<0.5", "--filter"),
+                ::testing::ExitedWithCode(1),
+                "--filter.*'warp_factor' unknown");
+}
+
+TEST_F(ConstraintsDeathTest, BadOperatorIsFatal)
+{
+    EXPECT_EXIT(metrics::constraintOpFromName("=<"),
+                ::testing::ExitedWithCode(1), "operator '=<' unknown");
+    EXPECT_EXIT(ConstraintClause::fromJson(JsonValue::parse(
+                    R"({"metric": "total_power", "op": "~",
+                        "bound": 1})")),
+                ::testing::ExitedWithCode(1), "operator '~' unknown");
+}
+
+TEST_F(ConstraintsDeathTest, MalformedClausesAreFatal)
+{
+    EXPECT_EXIT(ConstraintClause::parse("total_power"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(ConstraintClause::parse("<0.5"),
+                ::testing::ExitedWithCode(1), "malformed");
+    EXPECT_EXIT(ConstraintClause::parse(""),
+                ::testing::ExitedWithCode(1), "malformed");
+}
+
+TEST_F(ConstraintsDeathTest, MalformedBoundsAreFatal)
+{
+    EXPECT_EXIT(ConstraintClause::parse("total_power<abc"),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(ConstraintClause::parse("total_power<"),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(ConstraintClause::parse("total_power<0.5x"),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(ConstraintClause::parse("total_power<NaN"),
+                ::testing::ExitedWithCode(1), "not a number");
+    EXPECT_EXIT(ConstraintClause::fromJson(JsonValue::parse(
+                    R"({"metric": "total_power", "op": "<",
+                        "bound": "high"})")),
+                ::testing::ExitedWithCode(1), "must be a number");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+
+#include "../support/fixtures.hh"
+#include "metrics/refine.hh"
+
+namespace nvmexp {
+namespace {
+
+class RefineTest : public testsupport::QuietTest
+{
+};
+
+const std::vector<EvalResult> &
+sweepResults()
+{
+    static const std::vector<EvalResult> results = [] {
+        setQuiet(true);
+        auto r = runSweep(testsupport::wideSweep());
+        setQuiet(false);
+        return r;
+    }();
+    return results;
+}
+
+TEST_F(RefineTest, BestByMetricFoldsDirection)
+{
+    const auto &results = sweepResults();
+    const EvalResult *lowestPower =
+        metrics::bestByMetric(results, "total_power");
+    ASSERT_NE(lowestPower, nullptr);
+    for (const auto &r : results)
+        EXPECT_LE(lowestPower->totalPower, r.totalPower);
+
+    // Maximize metric: "best" density is the largest.
+    const EvalResult *densest =
+        metrics::bestByMetric(results, "density_mb_per_mm2");
+    ASSERT_NE(densest, nullptr);
+    for (const auto &r : results)
+        EXPECT_GE(densest->array.densityMbPerMm2(),
+                  r.array.densityMbPerMm2());
+
+    EXPECT_EQ(metrics::bestByMetric({}, "total_power"), nullptr);
+}
+
+TEST_F(RefineTest, TopByMetricIsStableAndDirectionAware)
+{
+    const auto &results = sweepResults();
+    auto top = metrics::topByMetric(results, "total_power", 5);
+    ASSERT_EQ(top.size(), 5u);
+    for (std::size_t i = 1; i < top.size(); ++i)
+        EXPECT_LE(top[i - 1].totalPower, top[i].totalPower);
+    EXPECT_DOUBLE_EQ(
+        top[0].totalPower,
+        metrics::bestByMetric(results, "total_power")->totalPower);
+
+    // Maximize metric: best-first means descending values.
+    auto dense = metrics::topByMetric(results, "density_mb_per_mm2", 3);
+    ASSERT_EQ(dense.size(), 3u);
+    for (std::size_t i = 1; i < dense.size(); ++i)
+        EXPECT_GE(dense[i - 1].array.densityMbPerMm2(),
+                  dense[i].array.densityMbPerMm2());
+
+    // k larger than the row count returns everything, still sorted.
+    auto all = metrics::topByMetric(results, "total_power", 1u << 20);
+    EXPECT_EQ(all.size(), results.size());
+}
+
+TEST_F(RefineTest, TopByMetricKeepsInputOrderOnTies)
+{
+    // Duplicate the same row: stable ranking must preserve input
+    // order among equal keys, which we can observe via traffic names.
+    std::vector<EvalResult> rows;
+    const auto &results = sweepResults();
+    rows.push_back(results[0]);
+    rows.push_back(results[0]);
+    rows[0].traffic.name = "first";
+    rows[1].traffic.name = "second";
+    auto top = metrics::topByMetric(rows, "total_power", 2);
+    ASSERT_EQ(top.size(), 2u);
+    EXPECT_EQ(top[0].traffic.name, "first");
+    EXPECT_EQ(top[1].traffic.name, "second");
+}
+
+TEST_F(RefineTest, ParetoByMetricsMatchesTemplateFront)
+{
+    const auto &results = sweepResults();
+    auto named = metrics::paretoByMetrics(
+        results, {"total_power", "latency_load"});
+    auto legacy = paretoFront<EvalResult>(
+        results, [](const EvalResult &r) { return r.totalPower; },
+        [](const EvalResult &r) { return r.latencyLoad; });
+    ASSERT_EQ(named.size(), legacy.size());
+    for (std::size_t i = 0; i < named.size(); ++i) {
+        EXPECT_DOUBLE_EQ(named[i].totalPower,
+                         legacy[i].totalPower);
+        EXPECT_EQ(named[i].traffic.name, legacy[i].traffic.name);
+    }
+
+    // 3-D: every survivor is non-dominated under folded directions.
+    auto front3 = metrics::paretoByMetrics(
+        results, {"total_power", "latency_load", "read_latency"});
+    EXPECT_FALSE(front3.empty());
+    EXPECT_GE(front3.size(), named.size());
+}
+
+TEST_F(RefineTest, ParetoByMetricsDropsNanRows)
+{
+    // A registered metric that is NaN for one marked row: NaN keys
+    // can neither dominate nor be dominated, so the row must be
+    // dropped from the front (pre-fix it was unconditionally kept).
+    static const bool registered = [] {
+        metrics::Metric m;
+        m.name = "test_nan_power";
+        m.unit = "W";
+        m.description = "total_power, NaN for rows named 'nan-row'";
+        m.eval = [](const EvalResult &r) {
+            return r.traffic.name == "nan-row"
+                ? std::numeric_limits<double>::quiet_NaN()
+                : r.totalPower;
+        };
+        metrics::MetricRegistry::instance().add(std::move(m));
+        return true;
+    }();
+    ASSERT_TRUE(registered);
+
+    auto rows = sweepResults();
+    rows[0].traffic.name = "nan-row";
+    auto front = metrics::paretoByMetrics(
+        rows, {"test_nan_power", "latency_load", "read_latency"});
+    EXPECT_FALSE(front.empty());
+    for (const auto &r : front)
+        EXPECT_NE(r.traffic.name, "nan-row");
+
+    // NaN-free rows produce the same front with or without the guard.
+    auto clean = sweepResults();
+    auto direct = metrics::paretoByMetrics(
+        clean, {"total_power", "latency_load"});
+    auto viaNanAware = metrics::paretoByMetrics(
+        clean, {"test_nan_power", "latency_load"});
+    EXPECT_EQ(direct.size(), viaNanAware.size());
+}
+
+using RefineDeathTest = RefineTest;
+
+TEST_F(RefineDeathTest, UnknownMetricsAreFatalWithContext)
+{
+    EXPECT_EXIT(metrics::bestByMetric(sweepResults(), "warp"),
+                ::testing::ExitedWithCode(1), "best-by.*'warp'");
+    EXPECT_EXIT(metrics::topByMetric(sweepResults(), "warp", 3),
+                ::testing::ExitedWithCode(1), "top-k.*'warp'");
+    EXPECT_EXIT(
+        metrics::paretoByMetrics(sweepResults(), {"total_power",
+                                                  "warp"}),
+        ::testing::ExitedWithCode(1), "pareto.*'warp'");
+    EXPECT_EXIT(metrics::paretoByMetrics(sweepResults(), {}),
+                ::testing::ExitedWithCode(1), "at least one metric");
+    // k=0 is rejected on the programmatic path too (the JSON/CLI
+    // parsers already refuse it), never silently returning {}.
+    EXPECT_EXIT(metrics::topByMetric(sweepResults(), "total_power", 0),
+                ::testing::ExitedWithCode(1), "positive count");
+}
+
+} // namespace
+} // namespace nvmexp

@@ -299,24 +299,73 @@ TEST_F(ResultStoreTest, QueryStoreFiltersAndExtractsPareto)
     for (const auto &r : hot)
         EXPECT_EQ(r.traffic.name, "hot");
 
-    // Constraints route through satisfies().
+    // Declarative constraint clauses filter rows.
     store::StoreQuery constrained;
-    constrained.applyConstraints = true;
-    constrained.constraints.maxPowerWatts = 1e-15;
+    constrained.constraints.add("total_power<1e-15");
     EXPECT_TRUE(store::queryStore(config.outDir, constrained).empty());
 
-    // Pareto extraction matches paretoFront over the same keys.
+    // Named-metric Pareto extraction matches paretoFront over the
+    // same accessors.
     store::StoreQuery pareto;
-    pareto.paretoX = [](const EvalResult &r) { return r.totalPower; };
-    pareto.paretoY = [](const EvalResult &r) {
-        return r.array.readLatency;
-    };
+    pareto.paretoMetrics = {"total_power", "read_latency"};
     auto front = store::queryStore(config.outDir, pareto);
     auto expected = paretoFront<EvalResult>(
-        results, pareto.paretoX, pareto.paretoY);
+        results, [](const EvalResult &r) { return r.totalPower; },
+        [](const EvalResult &r) { return r.array.readLatency; });
     ASSERT_EQ(front.size(), expected.size());
     for (std::size_t i = 0; i < front.size(); ++i)
         EXPECT_TRUE(store::identical(front[i], expected[i]));
+
+    // Top-k keeps the k best rows under a metric, best first.
+    store::StoreQuery top;
+    top.topMetric = "total_power";
+    top.topK = 3;
+    auto best = store::queryStore(config.outDir, top);
+    ASSERT_EQ(best.size(), 3u);
+    EXPECT_LE(best[0].totalPower, best[1].totalPower);
+    EXPECT_LE(best[1].totalPower, best[2].totalPower);
+    for (const auto &r : results)
+        EXPECT_GE(r.totalPower, best[0].totalPower);
+}
+
+TEST_F(ResultStoreTest, StoreQuerySerializesLosslessly)
+{
+    store::StoreQuery query;
+    query.constraints.add("total_power<=0.25");
+    query.constraints.add("lifetime_years>=3");
+    query.paretoMetrics = {"total_power", "latency_load",
+                           "read_latency"};
+    query.topMetric = "read_edp";
+    query.topK = 7;
+
+    // dump -> parse -> dump is byte-stable, and the reloaded query
+    // behaves identically.
+    std::string dumped = query.toJson().dump();
+    store::StoreQuery reloaded =
+        store::StoreQuery::fromJson(JsonValue::parse(dumped));
+    EXPECT_EQ(reloaded.toJson().dump(), dumped);
+    ASSERT_EQ(reloaded.constraints.size(), 2u);
+    EXPECT_EQ(reloaded.constraints.clauses()[0].text(),
+              "total_power<=0.25");
+    EXPECT_EQ(reloaded.paretoMetrics, query.paretoMetrics);
+    EXPECT_EQ(reloaded.topMetric, "read_edp");
+    EXPECT_EQ(reloaded.topK, 7u);
+
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("query-roundtrip");
+    auto results = runSweep(config);
+    auto direct = store::applyQuery(results, query);
+    auto viaJson = store::applyQuery(results, reloaded);
+    ASSERT_EQ(direct.size(), viaJson.size());
+    for (std::size_t i = 0; i < direct.size(); ++i)
+        EXPECT_TRUE(store::identical(direct[i], viaJson[i]));
+
+    // Programmatic predicates are the one non-serializable part.
+    store::StoreQuery withPredicate;
+    withPredicate.predicates.push_back(
+        [](const EvalResult &) { return true; });
+    EXPECT_EXIT(withPredicate.toJson(), ::testing::ExitedWithCode(1),
+                "cannot be serialized");
 }
 
 TEST_F(ResultStoreTest, CharacterizationKeySeparatesDesignPoints)

@@ -14,6 +14,9 @@
 
 #include "core/config.hh"
 #include "core/parallel_sweep.hh"
+#include "metrics/constraints.hh"
+#include "metrics/metric.hh"
+#include "metrics/refine.hh"
 #include "store/result_store.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -28,6 +31,8 @@ usage()
 {
     std::cout <<
         "usage: nvmexplorer_cli [-q] [--jobs N] [--out DIR] [--resume]\n"
+        "                       [--filter EXPR]... [--pareto METRICS]\n"
+        "                       [--top K METRIC]\n"
         "                       <config.json> [more configs...]\n"
         "\n"
         "Runs the design sweep(s) described by the JSON config(s) and\n"
@@ -45,9 +50,38 @@ usage()
         "  --resume   continue an interrupted sweep from DIR's\n"
         "             checkpoint journal (results are byte-identical\n"
         "             to an uninterrupted run)\n"
+        "  --filter 'METRIC<BOUND'\n"
+        "             keep only rows satisfying the clause (repeatable,\n"
+        "             ANDed; operators < <= > >= == !=); appended to a\n"
+        "             config's own \"constraints\"\n"
+        "  --pareto METRIC,METRIC[,METRIC...]\n"
+        "             reduce to the N-D Pareto front over the named\n"
+        "             metrics (overrides a config's \"pareto\" key)\n"
+        "  --top K METRIC\n"
+        "             keep the K best rows under the metric (overrides\n"
+        "             a config's \"top_k\" key)\n"
+        "  --list-metrics\n"
+        "             print the metric vocabulary --filter/--pareto/\n"
+        "             --top and \"constraints\"/\"pareto\"/\"top_k\"\n"
+        "             config keys accept, then exit\n"
         "  --list-workloads\n"
         "             print the registered workload generators and\n"
         "             their parameter schemas, then exit\n";
+}
+
+/** `--list-metrics`: the registry is the single source of truth for
+ *  the names --filter/--pareto/--top and the "constraints"/"pareto"/
+ *  "top_k" config keys accept. */
+void
+listMetrics()
+{
+    auto &registry = metrics::MetricRegistry::instance();
+    for (const auto &name : registry.names()) {
+        const metrics::Metric &m = *registry.find(name);
+        std::cout << name << " [" << m.unit << "] ("
+                  << metrics::directionName(m.direction) << "): "
+                  << m.description << "\n";
+    }
 }
 
 /** `--list-workloads`: the registry is the single source of truth for
@@ -76,11 +110,56 @@ main(int argc, char **argv)
     int argi = 1;
     std::string outDir;
     bool resume = false;
+    // Refine flags, validated eagerly so a typo'd metric name fails
+    // before any simulation runs.
+    metrics::ConstraintSet cliFilter;
+    std::vector<std::string> cliPareto;
+    std::string cliTopMetric;
+    std::size_t cliTopK = 0;
     while (argi < argc && argv[argi][0] == '-' &&
            std::strcmp(argv[argi], "-") != 0) {
         if (std::strcmp(argv[argi], "-q") == 0) {
             setQuiet(true);
             ++argi;
+        } else if (std::strcmp(argv[argi], "--filter") == 0) {
+            if (argi + 1 >= argc)
+                fatal("--filter needs a 'metric<bound' clause");
+            cliFilter.add(argv[argi + 1], "--filter");
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--pareto") == 0) {
+            if (argi + 1 >= argc)
+                fatal("--pareto needs a comma-separated metric list");
+            std::string list = argv[argi + 1];
+            cliPareto.clear();
+            for (std::size_t begin = 0; begin <= list.size();) {
+                std::size_t comma = list.find(',', begin);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string name = list.substr(begin, comma - begin);
+                if (name.empty())
+                    fatal("--pareto: empty metric name in '", list, "'");
+                metrics::MetricRegistry::instance().require(name,
+                                                            "--pareto");
+                cliPareto.push_back(name);
+                begin = comma + 1;
+            }
+            argi += 2;
+        } else if (std::strcmp(argv[argi], "--top") == 0) {
+            if (argi + 2 >= argc)
+                fatal("--top needs a count and a metric name");
+            errno = 0;
+            char *end = nullptr;
+            long k = std::strtol(argv[argi + 1], &end, 10);
+            if (end == argv[argi + 1] || *end != '\0' || errno != 0 ||
+                k < 1) {
+                fatal("--top: '", argv[argi + 1],
+                      "' must be a positive integer");
+            }
+            cliTopMetric = argv[argi + 2];
+            metrics::MetricRegistry::instance().require(cliTopMetric,
+                                                        "--top");
+            cliTopK = (std::size_t)k;
+            argi += 3;
         } else if (std::strcmp(argv[argi], "--jobs") == 0 ||
                    std::strcmp(argv[argi], "-j") == 0) {
             if (argi + 1 >= argc)
@@ -105,6 +184,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[argi], "--resume") == 0) {
             resume = true;
             ++argi;
+        } else if (std::strcmp(argv[argi], "--list-metrics") == 0) {
+            listMetrics();
+            return 0;
         } else if (std::strcmp(argv[argi], "--list-workloads") == 0) {
             listWorkloads();
             return 0;
@@ -147,6 +229,19 @@ main(int argc, char **argv)
             fatal("--resume needs a store: pass --out or set "
                   "\"out_dir\" in the config");
         }
+        // Refine flags layer onto the config's own pipeline: --filter
+        // clauses are ANDed after the config's constraints, while
+        // --pareto/--top override the corresponding keys outright.
+        for (const auto &clause : cliFilter.clauses())
+            config.constraints.add(clause);
+        if (!cliFilter.empty())
+            config.applyConstraints = true;
+        if (!cliPareto.empty())
+            config.paretoMetrics = cliPareto;
+        if (!cliTopMetric.empty()) {
+            config.topMetric = cliTopMetric;
+            config.topK = cliTopK;
+        }
         inform("running experiment '", config.name, "' (",
                config.sweep.cells.size(), " cells x ",
                config.sweep.capacitiesBytes.size(), " capacities x ",
@@ -159,6 +254,21 @@ main(int argc, char **argv)
         if (!config.outputCsv.empty())
             inform("wrote ", config.outputCsv);
         if (!config.sweep.outDir.empty()) {
+            // Persist the refine pipeline next to the results it was
+            // applied to: query.json round-trips through
+            // StoreQuery::fromJson, so the exact dashboard view can
+            // be reproduced offline from the store alone.
+            if (config.applyConstraints ||
+                !config.paretoMetrics.empty() ||
+                !config.topMetric.empty()) {
+                store::StoreQuery query;
+                query.constraints = config.constraints;
+                query.paretoMetrics = config.paretoMetrics;
+                query.topMetric = config.topMetric;
+                query.topK = config.topK;
+                query.toJson().writeFile(config.sweep.outDir +
+                                         "/query.json");
+            }
             store::StoreStats stats =
                 store::loadStats(config.sweep.outDir);
             inform("result store '", config.sweep.outDir,
