@@ -105,6 +105,85 @@ trafficFromJson(const JsonValue &spec, int wordBits)
           "' needs byte rates or access counts");
 }
 
+/**
+ * Parse the "reliability"/"ecc" block into the sweep's reliability
+ * axis. Accepted forms:
+ *
+ *   "ecc": "secded-72-64"                       one scheme, no scrub
+ *   "reliability": {"ecc": "none", ...}         one spec
+ *   "reliability": {"ecc": ["none", "secded-72-64"],
+ *                   "scrub_interval_sec": [0, 86400]}
+ *
+ * Array-valued keys sweep like cells/capacities: the axis is the
+ * cross product of schemes x scrub intervals, scheme-major. Scheme
+ * names and scrub intervals are validated here, so a typo fails
+ * before any simulation runs.
+ */
+std::vector<reliability::ReliabilitySpec>
+reliabilityFromJson(const JsonValue &block, const std::string &context)
+{
+    std::vector<std::string> schemes;
+    std::vector<double> scrubs;
+
+    if (block.isString()) {
+        schemes.push_back(block.asString());
+    } else if (block.isObject()) {
+        for (const auto &key : block.memberNames()) {
+            if (key != "ecc" && key != "scrub_interval_sec") {
+                fatal(context, ": reliability block has unknown key '",
+                      key, "' (expected \"ecc\" and/or "
+                      "\"scrub_interval_sec\")");
+            }
+        }
+        if (block.has("ecc")) {
+            const JsonValue &ecc = block.at("ecc");
+            if (ecc.isArray()) {
+                for (const auto &entry : ecc.asArray())
+                    schemes.push_back(entry.asString());
+                if (schemes.empty())
+                    fatal(context, ": reliability \"ecc\" list is "
+                          "empty");
+            } else {
+                schemes.push_back(ecc.asString());
+            }
+        }
+        if (block.has("scrub_interval_sec")) {
+            const JsonValue &scrub = block.at("scrub_interval_sec");
+            if (scrub.isArray()) {
+                for (const auto &entry : scrub.asArray())
+                    scrubs.push_back(entry.asNumber());
+                if (scrubs.empty())
+                    fatal(context, ": reliability "
+                          "\"scrub_interval_sec\" list is empty");
+            } else {
+                scrubs.push_back(scrub.asNumber());
+            }
+        }
+    } else {
+        fatal(context, ": \"reliability\"/\"ecc\" must be a scheme "
+              "name or an object with \"ecc\"/\"scrub_interval_sec\"");
+    }
+
+    if (schemes.empty())
+        schemes.push_back("none");
+    if (scrubs.empty())
+        scrubs.push_back(0.0);
+
+    std::vector<reliability::ReliabilitySpec> specs;
+    specs.reserve(schemes.size() * scrubs.size());
+    for (const auto &scheme : schemes) {
+        for (double scrub : scrubs) {
+            reliability::ReliabilitySpec spec;
+            spec.ecc = scheme;
+            spec.scrubIntervalSec = scrub;
+            // Constructing the evaluator validates scheme + interval.
+            reliability::ReliabilityEvaluator(spec, context);
+            specs.push_back(std::move(spec));
+        }
+    }
+    return specs;
+}
+
 } // namespace
 
 ExperimentConfig
@@ -211,6 +290,20 @@ loadExperiment(const JsonValue &doc)
         fatal("config '", config.name,
               "': needs \"traffic\" patterns or \"workloads\"");
 
+    // Reliability axis: a "reliability" object or an "ecc" shorthand
+    // (one scheme name, or the same object shape). Either promotes
+    // reliability columns into the dashboard table.
+    if (doc.has("reliability") && doc.has("ecc")) {
+        fatal("config '", config.name, "': give either \"reliability\" "
+              "or the \"ecc\" shorthand, not both");
+    }
+    if (doc.has("reliability") || doc.has("ecc")) {
+        config.sweep.reliability = reliabilityFromJson(
+            doc.at(doc.has("reliability") ? "reliability" : "ecc"),
+            "config '" + config.name + "'");
+        config.showReliability = true;
+    }
+
     // Constraints: either the declarative clause array
     // (["total_power<0.5", {"metric": ..., "op": ..., "bound": ...}])
     // or the legacy fixed-field object, adapted onto the same
@@ -292,10 +385,16 @@ runExperiment(const ExperimentConfig &config)
                                        "config '" + config.name + "'");
     }
 
-    Table table(config.name,
-                {"Cell", "Capacity[MiB]", "Traffic", "ReadLat[ns]",
-                 "WriteLat[ns]", "Power[mW]", "LatencyLoad",
-                 "Lifetime[yr]", "Density[Mb/mm2]", "Viable"});
+    std::vector<std::string> columns =
+        {"Cell", "Capacity[MiB]", "Traffic", "ReadLat[ns]",
+         "WriteLat[ns]", "Power[mW]", "LatencyLoad",
+         "Lifetime[yr]", "Density[Mb/mm2]", "Viable"};
+    if (config.showReliability) {
+        columns.insert(columns.end(),
+                       {"ECC", "Scrub[s]", "RawBER", "UncorrWord",
+                        "EffDens[Mb/mm2]"});
+    }
+    Table table(config.name, columns);
     for (const auto &ev : results) {
         table.row()
             .add(ev.array.cell.name)
@@ -308,6 +407,14 @@ runExperiment(const ExperimentConfig &config)
             .add(ev.lifetimeYears())
             .add(ev.array.densityMbPerMm2())
             .add(ev.viable() ? "yes" : "no");
+        if (config.showReliability) {
+            table.add(ev.reliability.scheme)
+                .add(ev.reliability.scrubIntervalSec)
+                .add(ev.reliability.rawBer)
+                .add(ev.reliability.uncorrectableWordRate)
+                .add(ev.array.densityMbPerMm2() /
+                     ev.reliability.eccOverhead);
+        }
     }
     if (!config.outputCsv.empty())
         table.writeCsv(config.outputCsv);

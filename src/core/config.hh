@@ -44,6 +44,10 @@ struct ExperimentConfig
     std::vector<std::string> paretoMetrics;
     std::string topMetric;  ///< empty = no top-k stage
     std::size_t topK = 0;
+    /** Config had a "reliability"/"ecc" block: the dashboard table
+     *  grows ECC/failure-rate columns. Off by default so sweeps
+     *  without a reliability axis print exactly as before. */
+    bool showReliability = false;
     std::string outputCsv;  ///< empty = don't write
 };
 

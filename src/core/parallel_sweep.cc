@@ -32,6 +32,25 @@ expandWorkloadSpecs(const SweepConfig &config, SweepConfig &storage)
     return storage;
 }
 
+/**
+ * Resolve a sweep's reliability axis: one evaluator per spec, or the
+ * single implicit {ecc: "none", scrub 0} default when the sweep has
+ * none. Validation (unknown scheme, bad scrub interval) fires here
+ * for programmatic SweepConfigs; config files validate at load.
+ */
+std::vector<reliability::ReliabilityEvaluator>
+reliabilityEvaluators(
+    const std::vector<reliability::ReliabilitySpec> &specs)
+{
+    std::vector<reliability::ReliabilityEvaluator> evaluators;
+    evaluators.reserve(std::max<std::size_t>(1, specs.size()));
+    if (specs.empty())
+        evaluators.emplace_back(reliability::ReliabilitySpec{});
+    for (const auto &spec : specs)
+        evaluators.emplace_back(spec);
+    return evaluators;
+}
+
 int sweepJobsDefault = 1;
 std::string sweepStoreDirDefault;
 bool sweepStoreDirSet = false;
@@ -227,11 +246,27 @@ ParallelSweepRunner::evaluateAll(
     const std::vector<ArrayResult> &arrays,
     const std::vector<TrafficPattern> &traffics) const
 {
-    std::vector<EvalResult> results(arrays.size() * traffics.size());
+    return evaluateAll(arrays, traffics, {});
+}
+
+std::vector<EvalResult>
+ParallelSweepRunner::evaluateAll(
+    const std::vector<ArrayResult> &arrays,
+    const std::vector<TrafficPattern> &traffics,
+    const std::vector<reliability::ReliabilitySpec> &specs) const
+{
+    auto evaluators = reliabilityEvaluators(specs);
+    const std::size_t nspecs = evaluators.size();
+    std::vector<EvalResult> results(arrays.size() * traffics.size() *
+                                    nspecs);
     shard(results.size(), [&](std::size_t idx) {
-        const ArrayResult &array = arrays[idx / traffics.size()];
-        const TrafficPattern &traffic = traffics[idx % traffics.size()];
+        const ArrayResult &array =
+            arrays[idx / (traffics.size() * nspecs)];
+        const TrafficPattern &traffic =
+            traffics[(idx / nspecs) % traffics.size()];
         results[idx] = evaluate(array, traffic);
+        results[idx].reliability =
+            evaluators[idx % nspecs].evaluate(array);
     });
     return results;
 }
@@ -251,12 +286,14 @@ ParallelSweepRunner::run(const SweepConfig &rawConfig) const
     lastStoreStats_ = store::StoreStats{};
     if (config.outDir.empty())
         return evaluateAll(characterizeWithStore(config, nullptr),
-                           config.traffics);
+                           config.traffics, config.reliability);
 
     store::ResultStore resultStore(config.outDir);
     auto arrays = characterizeWithStore(config, &resultStore);
 
-    std::size_t slots = arrays.size() * config.traffics.size();
+    auto evaluators = reliabilityEvaluators(config.reliability);
+    const std::size_t nspecs = evaluators.size();
+    std::size_t slots = arrays.size() * config.traffics.size() * nspecs;
     auto done = resultStore.openCheckpoint(
         store::sweepFingerprint(config), slots, config.resume);
 
@@ -273,10 +310,12 @@ ParallelSweepRunner::run(const SweepConfig &rawConfig) const
         if (!todo[idx])
             return;
         const ArrayResult &array =
-            arrays[idx / config.traffics.size()];
+            arrays[idx / (config.traffics.size() * nspecs)];
         const TrafficPattern &traffic =
-            config.traffics[idx % config.traffics.size()];
+            config.traffics[(idx / nspecs) % config.traffics.size()];
         results[idx] = evaluate(array, traffic);
+        results[idx].reliability =
+            evaluators[idx % nspecs].evaluate(array);
         resultStore.checkpointSlot(idx, results[idx]);
     });
     resultStore.closeCheckpoint();

@@ -73,10 +73,21 @@ class ParallelSweepRunner
     }
 
     /** Evaluate the full arrays x traffics cross product, array-major
-     *  (the order the serial study loops produce). */
+     *  (the order the serial study loops produce), annotated with the
+     *  default {ecc: "none"} reliability numbers. */
     std::vector<EvalResult>
     evaluateAll(const std::vector<ArrayResult> &arrays,
                 const std::vector<TrafficPattern> &traffics) const;
+
+    /** Evaluate arrays x traffics x reliability specs (spec
+     *  innermost), each row annotated with its spec's failure rates
+     *  and overhead. An empty spec list means the implicit default
+     *  spec, reproducing the two-argument overload exactly. */
+    std::vector<EvalResult>
+    evaluateAll(const std::vector<ArrayResult> &arrays,
+                const std::vector<TrafficPattern> &traffics,
+                const std::vector<reliability::ReliabilitySpec> &specs)
+        const;
 
     /** Optimize one array per cell at a fixed capacity/word width,
      *  results in cell order. */

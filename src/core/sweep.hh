@@ -45,6 +45,14 @@ struct SweepConfig
      * or plugged-in — through one registry.
      */
     std::vector<JsonValue> workloads;
+    /**
+     * Reliability sweep axis (config "reliability"/"ecc" block): each
+     * spec crosses the full (array, traffic) product, annotating every
+     * result with its ECC scheme's failure rates and overhead. Empty
+     * means one implicit {ecc: "none", scrub 0} spec — the result rows
+     * are then identical to a sweep with no reliability axis at all.
+     */
+    std::vector<reliability::ReliabilitySpec> reliability;
     int wordBits = 512;
     int nodeNm = 22;       ///< eNVM implementation node
     int sramNodeNm = 16;   ///< SRAM baseline node

@@ -17,6 +17,7 @@
 
 #include "eval/traffic.hh"
 #include "nvsim/array_model.hh"
+#include "reliability/reliability.hh"
 
 namespace nvmexp {
 
@@ -43,6 +44,15 @@ struct EvalResult
 
     bool meetsReadBandwidth = true;
     bool meetsWriteBandwidth = true;
+
+    /**
+     * Reliability numbers for this configuration under the sweep's
+     * ReliabilitySpec (scheme "none", no scrubbing, when the sweep
+     * has no reliability axis). Annotated by the sweep engine —
+     * evaluate() itself leaves the defaults, since reliability is a
+     * property of (array, spec), not of traffic.
+     */
+    reliability::ReliabilityResult reliability;
 
     /** Projected array lifetime under this write rate [s];
      *  +inf for unlimited-endurance cells or zero write traffic. */

@@ -163,6 +163,7 @@ SecDedCodec::EncodedImage
 SecDedCodec::encode(std::span<const std::int8_t> data)
 {
     EncodedImage image;
+    image.dataBytes = data.size();
     std::size_t words = (data.size() + 7) / 8;
     image.payload.reserve(words);
     image.check.reserve(words);
@@ -203,14 +204,42 @@ SecDedCodec::decode(const EncodedImage &image, std::span<std::int8_t> out)
 }
 
 double
+binomialTailAtLeast(int n, int k, double p)
+{
+    if (n < 0)
+        fatal("binomial tail: n must be non-negative, got ", n);
+    if (p < 0.0 || p > 1.0)
+        fatal("binomial tail: p must lie in [0, 1], got ", p);
+    if (k <= 0)
+        return 1.0;
+    if (k > n || p == 0.0)
+        return 0.0;
+    if (p == 1.0)
+        return 1.0;
+    // First tail term P(X == k) in log space (p^k underflows a plain
+    // product long before the tail itself does), then the exact term
+    // recurrence up to n. n is a codeword size (<~100), so the sum is
+    // short and forward-stable.
+    double q = 1.0 - p;
+    double logTerm = std::lgamma((double)n + 1.0) -
+        std::lgamma((double)k + 1.0) -
+        std::lgamma((double)(n - k) + 1.0) +
+        (double)k * std::log(p) + (double)(n - k) * std::log1p(-p);
+    double term = std::exp(logTerm);
+    double sum = term;
+    for (int j = k; j < n; ++j) {
+        term *= (double)(n - j) / (double)(j + 1) * (p / q);
+        sum += term;
+    }
+    return std::min(1.0, sum);
+}
+
+double
 secDedWordFailureRate(double rawBer)
 {
     if (rawBer < 0.0 || rawBer > 1.0)
         fatal("raw BER must lie in [0, 1]");
-    double q = 1.0 - rawBer;
-    double none = std::pow(q, 72.0);
-    double one = 72.0 * rawBer * std::pow(q, 71.0);
-    return std::max(0.0, 1.0 - none - one);
+    return binomialTailAtLeast(72, 2, rawBer);
 }
 
 double

@@ -59,11 +59,20 @@ class SecDedCodec
     {
         std::vector<std::uint64_t> payload;
         std::vector<std::uint8_t> check;
+        /** Bytes of original data (encode() pads the trailing word
+         *  with zeros; decode() needs the real size to report
+         *  overhead honestly). */
+        std::size_t dataBytes = 0;
 
-        /** Storage overhead ratio: stored bits / data bits. */
+        /** Storage overhead ratio: stored bits / data bits, from the
+         *  actual stored and data bit counts — a non-multiple-of-8
+         *  buffer pays for its padded trailing word. */
         double overhead() const
         {
-            return payload.empty() ? 1.0 : 72.0 / 64.0;
+            if (payload.empty() || dataBytes == 0)
+                return 1.0;
+            return (double)(payload.size() * (std::size_t)kCodeBits) /
+                (double)(dataBytes * 8);
         }
     };
 
@@ -84,6 +93,15 @@ class SecDedCodec
     static ImageStats decode(const EncodedImage &image,
                              std::span<std::int8_t> out);
 };
+
+/**
+ * P(Binomial(n, p) >= k): probability at least k of n independent
+ * bits are in error at per-bit rate p — the analytical core of every
+ * block-code failure model. Summed from the k-th term upward (first
+ * term in log space), so tiny tails (1e-30 and below) come out exact
+ * instead of vanishing in a 1-sum cancellation.
+ */
+double binomialTailAtLeast(int n, int k, double p);
 
 /**
  * Analytical SEC-DED effectiveness: probability a 72-bit codeword has

@@ -22,19 +22,30 @@ FaultInjector::sparseTrials(std::size_t n, double p, Visit visit)
             visit(i);
         return n;
     }
-    // Geometric skip sampling: distance to the next success.
+    // Geometric skip sampling: distance to the next success. The
+    // running index is a std::size_t — a double accumulator loses
+    // exactness past 2^53 bits — and each per-draw skip is bounded
+    // against the remaining range before it is added, so the loop
+    // terminates without ever overflowing.
     std::size_t hits = 0;
     double logq = std::log1p(-p);
-    double idx = 0.0;
+    std::size_t pos = 0;
     while (true) {
         double u = rng_.uniform();
         while (u <= 0.0)
             u = rng_.uniform();
-        idx += std::floor(std::log(u) / logq) + 1.0;
-        if (idx > (double)n)
+        double skip = std::floor(std::log(u) / logq);
+        // Bounded before adding (draw-for-draw identical to the old
+        // float accumulator, including the final draw after a hit on
+        // the last index, where n - pos == 0).
+        if (skip >= (double)(n - pos))
             break;
-        visit((std::size_t)(idx - 1.0));
+        pos += (std::size_t)skip;
+        if (pos >= n)  // double-rounding guard for n near/past 2^53
+            break;
+        visit(pos);
         ++hits;
+        ++pos;
     }
     return hits;
 }
@@ -46,9 +57,12 @@ FaultInjector::inject(std::span<std::int8_t> data)
     if (rate <= 0.0 || data.empty())
         return 0;
 
+    if (model_.levels() != 2 && model_.levels() != 4) {
+        fatal("FaultInjector supports SLC (2-level) and 2-bit MLC "
+              "(4-level) storage; cell has ", model_.levels(),
+              " levels");
+    }
     int bitsPerCell = model_.levels() == 2 ? 1 : 2;
-    if (model_.levels() > 4)
-        fatal("FaultInjector supports SLC and 2-bit MLC storage");
 
     std::size_t flipped = 0;
     if (bitsPerCell == 1) {

@@ -98,6 +98,46 @@ registerBuiltins(MetricRegistry &registry)
         D::Maximize, 1,
         [](const EvalResult &r) { return r.viable() ? 1.0 : 0.0; }));
 
+    // Reliability metrics: annotated onto every EvalResult by the
+    // sweep engine from its ReliabilitySpec (scheme "none", no
+    // scrubbing, for sweeps without a reliability axis), so they are
+    // always resolvable in --filter/--pareto/--top and store queries.
+    registry.add(evalMetric("raw_ber", "1",
+        "raw per-bit error rate of the cell's fault model",
+        D::Minimize, 0,
+        [](const EvalResult &r) { return r.reliability.rawBer; }));
+    registry.add(evalMetric("scrubbed_ber", "1",
+        "per-bit error probability at the end of a scrub interval "
+        "(raw BER + retention drift)", D::Minimize, 0,
+        [](const EvalResult &r) { return r.reliability.scrubbedBer; }));
+    registry.add(evalMetric("uncorrectable_word_rate", "1",
+        "probability a codeword exceeds the ECC scheme's correction "
+        "strength", D::Minimize, 0,
+        [](const EvalResult &r) {
+            return r.reliability.uncorrectableWordRate;
+        }));
+    registry.add(evalMetric("uncorrectable_image_rate", "1",
+        "probability any codeword of the full array is uncorrectable",
+        D::Minimize, 0,
+        [](const EvalResult &r) {
+            return r.reliability.uncorrectableImageRate;
+        }));
+    registry.add(evalMetric("ecc_overhead", "1",
+        "ECC storage overhead: stored bits / data bits", D::Minimize, 0,
+        [](const EvalResult &r) { return r.reliability.eccOverhead; }));
+    registry.add(evalMetric("effective_capacity_mib", "MiB",
+        "data capacity after ECC code overhead", D::Maximize, 1,
+        [](const EvalResult &r) {
+            return r.array.capacityBytes / r.reliability.eccOverhead /
+                (1024.0 * 1024.0);
+        }));
+    registry.add(evalMetric("effective_density_mb_per_mm2", "Mb/mm^2",
+        "storage density after ECC code overhead", D::Maximize, 1,
+        [](const EvalResult &r) {
+            return r.array.densityMbPerMm2() /
+                r.reliability.eccOverhead;
+        }));
+
     // Array-characterization metrics, lifted through `.array`.
     registry.add(arrayMetric("read_latency", "s",
         "full read access latency", D::Minimize, 0,

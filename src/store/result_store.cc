@@ -112,6 +112,19 @@ sweepFingerprint(const SweepConfig &config)
     for (const auto &traffic : config.traffics)
         traffics.append(toJson(traffic));
     v.set("traffics", std::move(traffics));
+    // The reliability axis changes slot count and row annotations, so
+    // it guards checkpoint reuse like any other sweep dimension. An
+    // empty axis fingerprints as its implicit single default spec —
+    // spelling out {ecc: "none"} and omitting the block are the same
+    // sweep.
+    JsonValue rel = JsonValue::makeArray();
+    if (config.reliability.empty()) {
+        rel.append(reliability::ReliabilitySpec{}.toJson());
+    } else {
+        for (const auto &spec : config.reliability)
+            rel.append(spec.toJson());
+    }
+    v.set("reliability", std::move(rel));
     v.set("word_bits", JsonValue::makeNumber(config.wordBits));
     v.set("node_nm", JsonValue::makeNumber(config.nodeNm));
     v.set("sram_node_nm", JsonValue::makeNumber(config.sramNodeNm));
@@ -364,7 +377,9 @@ ResultStore::writeResults(const std::vector<EvalResult> &results)
            "write_energy_j,leakage_w,area_m2,read_bandwidth_bps,"
            "write_bandwidth_bps,dynamic_power_w,total_power_w,"
            "latency_load,lifetime_sec,meets_read_bw,meets_write_bw,"
-           "viable\n";
+           "viable,ecc_scheme,scrub_interval_sec,raw_ber,scrubbed_ber,"
+           "uncorrectable_word_rate,uncorrectable_image_rate,"
+           "ecc_overhead\n";
     auto num = [](double v) { return JsonValue::formatNumber(v); };
     for (const auto &r : results) {
         csv << Table::csvEscape(r.array.cell.name) << ','
@@ -383,7 +398,14 @@ ResultStore::writeResults(const std::vector<EvalResult> &results)
             << num(r.latencyLoad) << ',' << num(r.lifetimeSec) << ','
             << (r.meetsReadBandwidth ? 1 : 0) << ','
             << (r.meetsWriteBandwidth ? 1 : 0) << ','
-            << (r.viable() ? 1 : 0) << '\n';
+            << (r.viable() ? 1 : 0) << ','
+            << Table::csvEscape(r.reliability.scheme) << ','
+            << num(r.reliability.scrubIntervalSec) << ','
+            << num(r.reliability.rawBer) << ','
+            << num(r.reliability.scrubbedBer) << ','
+            << num(r.reliability.uncorrectableWordRate) << ','
+            << num(r.reliability.uncorrectableImageRate) << ','
+            << num(r.reliability.eccOverhead) << '\n';
     }
     if (!csv.flush())
         fatal("result store: failed writing '", path, "'");

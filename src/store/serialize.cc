@@ -170,6 +170,39 @@ organizationFromJson(const JsonValue &doc)
 }
 
 JsonValue
+toJson(const reliability::ReliabilityResult &rel)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("scheme", JsonValue::makeString(rel.scheme));
+    v.set("scrub_interval_sec",
+          JsonValue::makeNumber(rel.scrubIntervalSec));
+    v.set("raw_ber", JsonValue::makeNumber(rel.rawBer));
+    v.set("scrubbed_ber", JsonValue::makeNumber(rel.scrubbedBer));
+    v.set("uncorrectable_word_rate",
+          JsonValue::makeNumber(rel.uncorrectableWordRate));
+    v.set("uncorrectable_image_rate",
+          JsonValue::makeNumber(rel.uncorrectableImageRate));
+    v.set("ecc_overhead", JsonValue::makeNumber(rel.eccOverhead));
+    return v;
+}
+
+reliability::ReliabilityResult
+reliabilityResultFromJson(const JsonValue &doc)
+{
+    reliability::ReliabilityResult rel;
+    rel.scheme = doc.at("scheme").asString();
+    rel.scrubIntervalSec = doc.at("scrub_interval_sec").asNumber();
+    rel.rawBer = doc.at("raw_ber").asNumber();
+    rel.scrubbedBer = doc.at("scrubbed_ber").asNumber();
+    rel.uncorrectableWordRate =
+        doc.at("uncorrectable_word_rate").asNumber();
+    rel.uncorrectableImageRate =
+        doc.at("uncorrectable_image_rate").asNumber();
+    rel.eccOverhead = doc.at("ecc_overhead").asNumber();
+    return rel;
+}
+
+JsonValue
 toJson(const ArrayResult &array)
 {
     JsonValue v = JsonValue::makeObject();
@@ -230,6 +263,7 @@ toJson(const EvalResult &result)
           JsonValue::makeBool(result.meetsReadBandwidth));
     v.set("meets_write_bandwidth",
           JsonValue::makeBool(result.meetsWriteBandwidth));
+    v.set("reliability", toJson(result.reliability));
     v.set("lifetime_sec", JsonValue::makeNumber(result.lifetimeSec));
     return v;
 }
@@ -251,6 +285,8 @@ evalResultFromJson(const JsonValue &doc)
         doc.at("meets_read_bandwidth").asBool();
     result.meetsWriteBandwidth =
         doc.at("meets_write_bandwidth").asBool();
+    result.reliability =
+        reliabilityResultFromJson(doc.at("reliability"));
     result.lifetimeSec = doc.at("lifetime_sec").asNumber();
     return result;
 }

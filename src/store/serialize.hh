@@ -23,8 +23,10 @@ namespace nvmexp {
 namespace store {
 
 /** Bumped whenever an encoding changes shape; embedded in every
- *  artifact and in cache keys so stale entries never deserialize. */
-constexpr int kFormatVersion = 1;
+ *  artifact and in cache keys so stale entries never deserialize.
+ *  v2: EvalResult grew the "reliability" block (ECC scheme, failure
+ *  rates, overhead) and sweep fingerprints the reliability axis. */
+constexpr int kFormatVersion = 2;
 
 JsonValue toJson(const MemCell &cell);
 MemCell cellFromJson(const JsonValue &doc);
@@ -34,6 +36,10 @@ TrafficPattern trafficFromJson(const JsonValue &doc);
 
 JsonValue toJson(const Organization &org);
 Organization organizationFromJson(const JsonValue &doc);
+
+JsonValue toJson(const reliability::ReliabilityResult &rel);
+reliability::ReliabilityResult
+reliabilityResultFromJson(const JsonValue &doc);
 
 JsonValue toJson(const ArrayResult &array);
 ArrayResult arrayResultFromJson(const JsonValue &doc);

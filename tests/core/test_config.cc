@@ -200,6 +200,61 @@ TEST_F(ConfigTest, WorkloadErrorsAreFatalAtLoadTime)
         ::testing::ExitedWithCode(1), "unknown workload");
 }
 
+TEST_F(ConfigTest, ReliabilityBlockThreadsThroughToTheSweep)
+{
+    // Array-valued keys sweep: schemes x scrub intervals,
+    // scheme-major, and the dashboard grows reliability columns.
+    ExperimentConfig config =
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("reliability": {"ecc": ["none", "secded-72-64"],
+                               "scrub_interval_sec": [0, 3600]})")));
+    EXPECT_TRUE(config.showReliability);
+    ASSERT_EQ(config.sweep.reliability.size(), 4u);
+    EXPECT_EQ(config.sweep.reliability[0].ecc, "none");
+    EXPECT_EQ(config.sweep.reliability[0].scrubIntervalSec, 0.0);
+    EXPECT_EQ(config.sweep.reliability[1].scrubIntervalSec, 3600.0);
+    EXPECT_EQ(config.sweep.reliability[2].ecc, "secded-72-64");
+
+    // The "ecc" shorthand: one scheme name.
+    ExperimentConfig shorthand =
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("ecc": "secded-72-64")")));
+    EXPECT_TRUE(shorthand.showReliability);
+    ASSERT_EQ(shorthand.sweep.reliability.size(), 1u);
+    EXPECT_EQ(shorthand.sweep.reliability[0].ecc, "secded-72-64");
+    EXPECT_EQ(shorthand.sweep.reliability[0].scrubIntervalSec, 0.0);
+
+    // No block at all: no axis, no extra columns.
+    ExperimentConfig bare =
+        loadExperiment(JsonValue::parse(minimalConfigJson("")));
+    EXPECT_FALSE(bare.showReliability);
+    EXPECT_TRUE(bare.sweep.reliability.empty());
+}
+
+TEST_F(ConfigTest, ReliabilityErrorsAreFatalAtLoadTime)
+{
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("reliability": {"ecc": "raid-z"})"))),
+        ::testing::ExitedWithCode(1), "'raid-z' unknown");
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("reliability": {"scrub_interval_sec": -5})"))),
+        ::testing::ExitedWithCode(1), "scrub interval");
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("reliability": {"ecc": []})"))),
+        ::testing::ExitedWithCode(1), "empty");
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("reliability": {"scheme": "none"})"))),
+        ::testing::ExitedWithCode(1), "unknown key 'scheme'");
+    EXPECT_EXIT(
+        loadExperiment(JsonValue::parse(minimalConfigJson(
+            R"("reliability": {"ecc": "none"}, "ecc": "none")"))),
+        ::testing::ExitedWithCode(1), "not both");
+}
+
 TEST_F(ConfigTest, ConfigWithoutTrafficOrWorkloadsIsFatal)
 {
     EXPECT_EXIT(loadExperiment(JsonValue::parse(R"({

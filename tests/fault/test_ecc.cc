@@ -1,10 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstring>
+#include <vector>
 
 #include "celldb/tentpole.hh"
 #include "fault/ecc.hh"
 #include "fault/fault_model.hh"
+#include "fault/injector.hh"
 #include "util/random.hh"
 
 namespace nvmexp {
@@ -100,6 +103,84 @@ TEST(SecDed, ImageSurvivesScatteredSingleErrors)
                                    (image.payload.size() % 8 ? 1 : 0));
     EXPECT_EQ(out, data);
 }
+
+TEST(SecDed, OverheadComesFromRealStoredAndDataBitCounts)
+{
+    // A non-multiple-of-8 buffer pays for its padded trailing word;
+    // the old hardcoded 72/64 under-reported it.
+    struct Case { std::size_t bytes; double overhead; };
+    for (const auto &c : std::initializer_list<Case>{
+             {0, 1.0},
+             {1, 72.0 / 8.0},
+             {7, 72.0 / 56.0},
+             {8, 72.0 / 64.0},
+             {9, 144.0 / 72.0}}) {
+        std::vector<std::int8_t> data(c.bytes, 0x3C);
+        auto image = SecDedCodec::encode({data.data(), data.size()});
+        EXPECT_EQ(image.dataBytes, c.bytes);
+        EXPECT_DOUBLE_EQ(image.overhead(), c.overhead) << c.bytes;
+    }
+    // A default-constructed (empty) image reports no overhead.
+    EXPECT_DOUBLE_EQ(SecDedCodec::EncodedImage{}.overhead(), 1.0);
+}
+
+/**
+ * The reliability evaluator's analytical word-failure model against
+ * the concrete machinery it summarizes: encode an image, corrupt all
+ * 72 bits per codeword with FaultInjector::injectUniform, decode, and
+ * count words that are flagged uncorrectable or deliver wrong data.
+ * Distinct-bit error patterns of weight >= 2 are exactly the words
+ * binomialTailAtLeast(72, 2, ber) predicts (weight-2 always flags,
+ * odd weights >= 3 miscorrect into a data mismatch), so observed and
+ * analytical counts must agree within sampling noise across the
+ * SLC..MLC raw-BER range.
+ */
+class SecDedMonteCarlo : public ::testing::TestWithParam<double>
+{
+};
+
+TEST_P(SecDedMonteCarlo, AgreesWithAnalyticalWordFailureRate)
+{
+    const double ber = GetParam();
+    constexpr std::size_t kWords = 1 << 16;
+    std::vector<std::int8_t> data(kWords * 8);
+    Rng fill(0xECC0 + (std::uint64_t)(1.0 / ber));
+    for (auto &b : data)
+        b = (std::int8_t)fill();
+    auto image = SecDedCodec::encode({data.data(), data.size()});
+
+    FaultModel model(CellCatalog::sram16());
+    FaultInjector injector(model, 0xC0DE);
+    injector.injectUniform(
+        {reinterpret_cast<std::int8_t *>(image.payload.data()),
+         image.payload.size() * 8},
+        ber);
+    injector.injectUniform(
+        {reinterpret_cast<std::int8_t *>(image.check.data()),
+         image.check.size()},
+        ber);
+
+    std::size_t failures = 0;
+    for (std::size_t w = 0; w < kWords; ++w) {
+        auto r = SecDedCodec::decodeWord(image.payload[w],
+                                         image.check[w]);
+        std::uint64_t original = 0;
+        std::memcpy(&original, data.data() + w * 8, 8);
+        if (r.outcome == SecDedCodec::Outcome::Uncorrectable ||
+            r.data != original) {
+            ++failures;
+        }
+    }
+
+    double expected =
+        (double)kWords * binomialTailAtLeast(72, 2, ber);
+    EXPECT_NEAR((double)failures, expected,
+                6.0 * std::sqrt(expected + 1.0) + 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(SlcToMlcBerRange, SecDedMonteCarlo,
+                         ::testing::Values(1e-9, 1e-6, 1e-4, 1e-3,
+                                           3e-3, 1e-2));
 
 TEST(SecDed, AnalyticalFailureRateMatchesMonteCarlo)
 {

@@ -184,6 +184,66 @@ TEST(Injector, FullBerFlipsEverything)
         EXPECT_EQ((std::uint8_t)b, 0xFF);
 }
 
+TEST(InjectorDeath, NonSlcMlcLevelCountsAreFatalWithContext)
+{
+    // A 3-bit cell stores 8 levels; the injector's cell-count math
+    // only covers SLC (2) and 2-bit MLC (4). It used to treat every
+    // non-2-level cell as 2-bit MLC, silently corrupting the mapping
+    // for anything else — now any other level count dies with the
+    // count in the message.
+    CellCatalog catalog;
+    MemCell cell = catalog.optimistic(CellTech::RRAM).makeMlc(3);
+    FaultModel model(cell);
+    ASSERT_EQ(model.levels(), 8);
+    FaultInjector injector(model, 11);
+    auto data = zeros(64);
+    EXPECT_EXIT(injector.inject({data.data(), data.size()}),
+                ::testing::ExitedWithCode(1), "8 levels");
+}
+
+/**
+ * Regression for the sparse-trial index arithmetic: the production
+ * geometric-skip loop (now integer-indexed) must visit exactly the
+ * bits the original float-accumulator formulation visited for the
+ * same seed — the refactor changed the arithmetic, not the stream.
+ */
+TEST(Injector, SparseTrialsMatchFloatReferenceHitForHit)
+{
+    FaultModel model(CellCatalog::sram16());
+    for (std::uint64_t seed : {1ull, 42ull, 0xFEEDull}) {
+        for (double ber : {0.5, 0.05, 0.004}) {
+            SCOPED_TRACE("seed=" + std::to_string(seed) +
+                         " ber=" + std::to_string(ber));
+            constexpr std::size_t kBytes = 512;
+            auto data = zeros(kBytes);
+            FaultInjector injector(model, seed);
+            std::size_t flips =
+                injector.injectUniform({data.data(), data.size()}, ber);
+
+            // Reference: the pre-refactor double-accumulator skip
+            // sampling, exact at this small n.
+            auto reference = zeros(kBytes);
+            Rng rng(seed);
+            double logq = std::log1p(-ber);
+            double idx = 0.0;
+            std::size_t refFlips = 0;
+            while (true) {
+                double u = rng.uniform();
+                while (u <= 0.0)
+                    u = rng.uniform();
+                idx += std::floor(std::log(u) / logq) + 1.0;
+                if (idx > (double)(kBytes * 8))
+                    break;
+                std::size_t bit = (std::size_t)(idx - 1.0);
+                reference[bit / 8] ^= (std::int8_t)(1 << (bit % 8));
+                ++refFlips;
+            }
+            EXPECT_EQ(flips, refFlips);
+            EXPECT_EQ(data, reference);
+        }
+    }
+}
+
 TEST(InjectorDeath, RejectsBadBer)
 {
     FaultModel model(CellCatalog::sram16());

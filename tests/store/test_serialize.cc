@@ -94,6 +94,13 @@ randomEvalResult(Rng &rng)
     r.meetsReadBandwidth = rng.bernoulli(0.5);
     r.meetsWriteBandwidth = rng.bernoulli(0.5);
     r.lifetimeSec = randomDouble(rng);
+    r.reliability.scheme = "scheme-" + std::to_string(rng.range(100));
+    r.reliability.scrubIntervalSec = randomDouble(rng);
+    r.reliability.rawBer = randomDouble(rng);
+    r.reliability.scrubbedBer = randomDouble(rng);
+    r.reliability.uncorrectableWordRate = randomDouble(rng);
+    r.reliability.uncorrectableImageRate = randomDouble(rng);
+    r.reliability.eccOverhead = randomDouble(rng);
     return r;
 }
 
@@ -124,6 +131,12 @@ TEST(StoreSerialize, RandomizedEvalResultRoundTripsExactly)
         EXPECT_EQ(original.lifetimeSec, restored.lifetimeSec);
         EXPECT_EQ(original.meetsWriteBandwidth,
                   restored.meetsWriteBandwidth);
+        EXPECT_EQ(original.reliability.scheme,
+                  restored.reliability.scheme);
+        EXPECT_EQ(original.reliability.uncorrectableWordRate,
+                  restored.reliability.uncorrectableWordRate);
+        EXPECT_EQ(original.reliability.eccOverhead,
+                  restored.reliability.eccOverhead);
     }
 }
 

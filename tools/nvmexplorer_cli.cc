@@ -17,6 +17,7 @@
 #include "metrics/constraints.hh"
 #include "metrics/metric.hh"
 #include "metrics/refine.hh"
+#include "reliability/reliability.hh"
 #include "store/result_store.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -66,7 +67,11 @@ usage()
         "             config keys accept, then exit\n"
         "  --list-workloads\n"
         "             print the registered workload generators and\n"
-        "             their parameter schemas, then exit\n";
+        "             their parameter schemas, then exit\n"
+        "  --list-ecc\n"
+        "             print the ECC schemes a config's\n"
+        "             \"reliability\"/\"ecc\" block accepts, then\n"
+        "             exit\n";
 }
 
 /** `--list-metrics`: the registry is the single source of truth for
@@ -99,6 +104,19 @@ listWorkloads()
                       << (p.required ? ", required" : "") << "): "
                       << p.description << "\n";
         }
+    }
+}
+
+/** `--list-ecc`: the scheme vocabulary the "reliability"/"ecc" config
+ *  block accepts; the reliability metrics derive from these. */
+void
+listEcc()
+{
+    for (const auto &scheme : reliability::eccSchemes()) {
+        std::cout << scheme.name << " [" << scheme.codeBits << ","
+                  << scheme.dataBits << "] corrects "
+                  << scheme.correctable << ": " << scheme.description
+                  << "\n";
     }
 }
 
@@ -189,6 +207,9 @@ main(int argc, char **argv)
             return 0;
         } else if (std::strcmp(argv[argi], "--list-workloads") == 0) {
             listWorkloads();
+            return 0;
+        } else if (std::strcmp(argv[argi], "--list-ecc") == 0) {
+            listEcc();
             return 0;
         } else if (std::strcmp(argv[argi], "--help") == 0 ||
                    std::strcmp(argv[argi], "-h") == 0) {
