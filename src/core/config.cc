@@ -1,7 +1,9 @@
 #include "core/config.hh"
 
 #include "celldb/tentpole.hh"
+#include "core/dashboard.hh"
 #include "core/parallel_sweep.hh"
+#include "metrics/metric.hh"
 #include "metrics/refine.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -30,9 +32,11 @@ resolveCellReference(const std::string &reference)
     } else if (auto pos = base.rfind("-Opt");
                pos != std::string::npos && pos + 4 == base.size()) {
         cell = catalog.optimistic(techFromName(base.substr(0, pos)));
-    } else if (auto pos = base.rfind("-Pess");
-               pos != std::string::npos && pos + 5 == base.size()) {
-        cell = catalog.pessimistic(techFromName(base.substr(0, pos)));
+    } else if (auto pessPos = base.rfind("-Pess");
+               pessPos != std::string::npos &&
+               pessPos + 5 == base.size()) {
+        cell = catalog.pessimistic(
+            techFromName(base.substr(0, pessPos)));
     } else {
         fatal("unknown cell reference '", reference,
               "' (expected SRAM, <Tech>-Opt, <Tech>-Pess, RRAM-Ref, "
@@ -385,35 +389,40 @@ runExperiment(const ExperimentConfig &config)
                                        "config '" + config.name + "'");
     }
 
-    std::vector<std::string> columns =
-        {"Cell", "Capacity[MiB]", "Traffic", "ReadLat[ns]",
-         "WriteLat[ns]", "Power[mW]", "LatencyLoad",
-         "Lifetime[yr]", "Density[Mb/mm2]", "Viable"};
-    if (config.showReliability) {
-        columns.insert(columns.end(),
-                       {"ECC", "Scrub[s]", "RawBER", "UncorrWord",
-                        "EffDens[Mb/mm2]"});
+    // The table is driven by the dashboard schema (core/dashboard.hh):
+    // metric-backed columns evaluate their registry metric at display
+    // scale; identity columns print the strings naming the design
+    // point. Reliability columns appear only with show_reliability.
+    std::vector<const DashboardColumn *> active;
+    std::vector<std::string> headers;
+    for (const auto &column : dashboardColumns()) {
+        if (column.reliability && !config.showReliability)
+            continue;
+        active.push_back(&column);
+        headers.push_back(column.header);
     }
-    Table table(config.name, columns);
+    Table table(config.name, headers);
     for (const auto &ev : results) {
-        table.row()
-            .add(ev.array.cell.name)
-            .add(ev.array.capacityBytes / (1024.0 * 1024.0))
-            .add(ev.traffic.name)
-            .add(ev.array.readLatency * 1e9)
-            .add(ev.array.writeLatency * 1e9)
-            .add(ev.totalPower * 1e3)
-            .add(ev.latencyLoad)
-            .add(ev.lifetimeYears())
-            .add(ev.array.densityMbPerMm2())
-            .add(ev.viable() ? "yes" : "no");
-        if (config.showReliability) {
-            table.add(ev.reliability.scheme)
-                .add(ev.reliability.scrubIntervalSec)
-                .add(ev.reliability.rawBer)
-                .add(ev.reliability.uncorrectableWordRate)
-                .add(ev.array.densityMbPerMm2() /
-                     ev.reliability.eccOverhead);
+        table.row();
+        for (const DashboardColumn *column : active) {
+            if (!column->metric.empty()) {
+                const auto &m = metrics::MetricRegistry::instance()
+                    .require(column->metric, "dashboard schema");
+                table.add(m.eval(ev) * column->scale);
+            } else if (column->header == "Cell") {
+                table.add(ev.array.cell.name);
+            } else if (column->header == "Traffic") {
+                table.add(ev.traffic.name);
+            } else if (column->header == "Viable") {
+                table.add(ev.viable() ? "yes" : "no");
+            } else if (column->header == "ECC") {
+                table.add(ev.reliability.scheme);
+            } else if (column->header == "Scrub[s]") {
+                table.add(ev.reliability.scrubIntervalSec);
+            } else {
+                panic("dashboard schema: identity column '",
+                      column->header, "' has no accessor");
+            }
         }
     }
     if (!config.outputCsv.empty())

@@ -1,0 +1,31 @@
+#include "core/dashboard.hh"
+
+namespace nvmexp {
+
+const std::vector<DashboardColumn> &
+dashboardColumns()
+{
+    // Scales convert the registry's SI-leaning units to the display
+    // units in the headers (s -> ns, W -> mW). Values must match what
+    // the table always printed; the golden experiment tests pin this.
+    static const std::vector<DashboardColumn> columns = {
+        {"Cell", "", 1.0, false},
+        {"Capacity[MiB]", "capacity_mib", 1.0, false},
+        {"Traffic", "", 1.0, false},
+        {"ReadLat[ns]", "read_latency", 1e9, false},
+        {"WriteLat[ns]", "write_latency", 1e9, false},
+        {"Power[mW]", "total_power", 1e3, false},
+        {"LatencyLoad", "latency_load", 1.0, false},
+        {"Lifetime[yr]", "lifetime_years", 1.0, false},
+        {"Density[Mb/mm2]", "density_mb_per_mm2", 1.0, false},
+        {"Viable", "", 1.0, false},
+        {"ECC", "", 1.0, true},
+        {"Scrub[s]", "", 1.0, true},
+        {"RawBER", "raw_ber", 1.0, true},
+        {"UncorrWord", "uncorrectable_word_rate", 1.0, true},
+        {"EffDens[Mb/mm2]", "effective_density_mb_per_mm2", 1.0, true},
+    };
+    return columns;
+}
+
+} // namespace nvmexp

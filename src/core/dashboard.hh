@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Dashboard table schema: the column vocabulary of runExperiment's
+ * summary table, single-sourced so the printed headers, the row
+ * values, and the metric registry cannot drift apart.
+ *
+ * Most columns are backed by a registry metric plus a display scale
+ * (e.g. ReadLat[ns] = read_latency * 1e9). Identity columns — Cell,
+ * Traffic, Viable, ECC — print strings that name the design point
+ * rather than a measured number; Scrub[s] is the reliability sweep
+ * axis itself. nvmexplorer_lint cross-checks that every metric-backed
+ * column references a registered metric.
+ */
+
+#ifndef NVMEXP_CORE_DASHBOARD_HH
+#define NVMEXP_CORE_DASHBOARD_HH
+
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+
+/** One dashboard column: header, backing metric, display scale. */
+struct DashboardColumn
+{
+    std::string header;  ///< printed column header
+    std::string metric;  ///< registry key, or "" for identity columns
+    double scale = 1.0;  ///< display scale applied to the metric value
+    bool reliability = false;  ///< only shown with show_reliability
+};
+
+/** The dashboard schema, in column order (reliability columns last). */
+const std::vector<DashboardColumn> &dashboardColumns();
+
+} // namespace nvmexp
+
+#endif // NVMEXP_CORE_DASHBOARD_HH

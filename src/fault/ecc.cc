@@ -7,9 +7,24 @@
 
 #include "util/logging.hh"
 
+// glibc's lgamma() writes the process-global `signgam` — a data race
+// when sweep workers evaluate reliability concurrently. lgamma_r is
+// the reentrant form (same computation, sign via out-param); strict
+// -std=c++20 hides its <math.h> declaration, so declare it directly.
+extern "C" double lgamma_r(double x, int *sign);
+
 namespace nvmexp {
 
 namespace {
+
+/** Thread-safe log-gamma with lgamma()'s values (our arguments are
+ *  all >= 1, so the discarded sign is always positive). */
+double
+logGammaThreadSafe(double x)
+{
+    int sign = 0;
+    return ::lgamma_r(x, &sign);
+}
 
 /**
  * Codeword layout: positions 1..71 in standard Hamming order with
@@ -221,9 +236,9 @@ binomialTailAtLeast(int n, int k, double p)
     // recurrence up to n. n is a codeword size (<~100), so the sum is
     // short and forward-stable.
     double q = 1.0 - p;
-    double logTerm = std::lgamma((double)n + 1.0) -
-        std::lgamma((double)k + 1.0) -
-        std::lgamma((double)(n - k) + 1.0) +
+    double logTerm = logGammaThreadSafe((double)n + 1.0) -
+        logGammaThreadSafe((double)k + 1.0) -
+        logGammaThreadSafe((double)(n - k) + 1.0) +
         (double)k * std::log(p) + (double)(n - k) * std::log1p(-p);
     double term = std::exp(logTerm);
     double sum = term;

@@ -7,6 +7,7 @@
 #include <filesystem>
 #include <sstream>
 
+#include "metrics/metric.hh"
 #include "util/logging.hh"
 #include "util/table.hh"
 
@@ -363,6 +364,77 @@ ResultStore::closeCheckpoint()
         checkpoint_.close();
 }
 
+const std::vector<CsvColumn> &
+resultCsvColumns()
+{
+    // Identity columns (empty metric) name the design point; every
+    // other column evaluates its registry metric, which keeps the
+    // header vocabulary, the row values, and --filter/--pareto keys
+    // in one system. Headers keep their unit suffixes for external
+    // dashboard compatibility.
+    static const std::vector<CsvColumn> columns = {
+        {"cell", ""},
+        {"tech", ""},
+        {"traffic", ""},
+        {"capacity_bytes", ""},
+        {"word_bits", ""},
+        {"node_nm", ""},
+        {"read_latency_s", "read_latency"},
+        {"write_latency_s", "write_latency"},
+        {"read_energy_j", "read_energy"},
+        {"write_energy_j", "write_energy"},
+        {"leakage_w", "leakage"},
+        {"area_m2", "area_m2"},
+        {"read_bandwidth_bps", "read_bandwidth"},
+        {"write_bandwidth_bps", "write_bandwidth"},
+        {"dynamic_power_w", "dynamic_power"},
+        {"total_power_w", "total_power"},
+        {"latency_load", "latency_load"},
+        {"lifetime_sec", "lifetime_sec"},
+        {"meets_read_bw", "meets_read_bw"},
+        {"meets_write_bw", "meets_write_bw"},
+        {"viable", "viable"},
+        {"ecc_scheme", ""},
+        {"scrub_interval_sec", ""},
+        {"raw_ber", "raw_ber"},
+        {"scrubbed_ber", "scrubbed_ber"},
+        {"uncorrectable_word_rate", "uncorrectable_word_rate"},
+        {"uncorrectable_image_rate", "uncorrectable_image_rate"},
+        {"ecc_overhead", "ecc_overhead"},
+    };
+    return columns;
+}
+
+namespace {
+
+/** Value of one identity (non-metric) CSV column. Unknown headers are
+ *  a programming error: the schema and this accessor ship together. */
+std::string
+identityCsvValue(const std::string &header, const EvalResult &r)
+{
+    auto num = [](double v) { return JsonValue::formatNumber(v); };
+    if (header == "cell")
+        return Table::csvEscape(r.array.cell.name);
+    if (header == "tech")
+        return techName(r.array.cell.tech);
+    if (header == "traffic")
+        return Table::csvEscape(r.traffic.name);
+    if (header == "capacity_bytes")
+        return num(r.array.capacityBytes);
+    if (header == "word_bits")
+        return num(r.array.wordBits);
+    if (header == "node_nm")
+        return num(r.array.nodeNm);
+    if (header == "ecc_scheme")
+        return Table::csvEscape(r.reliability.scheme);
+    if (header == "scrub_interval_sec")
+        return num(r.reliability.scrubIntervalSec);
+    panic("results.csv schema: identity column '", header,
+          "' has no accessor");
+}
+
+} // namespace
+
 void
 ResultStore::writeResults(const std::vector<EvalResult> &results)
 {
@@ -372,40 +444,29 @@ ResultStore::writeResults(const std::vector<EvalResult> &results)
     std::ofstream csv(path);
     if (!csv)
         fatal("result store: cannot write '", path, "'");
-    csv << "cell,tech,traffic,capacity_bytes,word_bits,node_nm,"
-           "read_latency_s,write_latency_s,read_energy_j,"
-           "write_energy_j,leakage_w,area_m2,read_bandwidth_bps,"
-           "write_bandwidth_bps,dynamic_power_w,total_power_w,"
-           "latency_load,lifetime_sec,meets_read_bw,meets_write_bw,"
-           "viable,ecc_scheme,scrub_interval_sec,raw_ber,scrubbed_ber,"
-           "uncorrectable_word_rate,uncorrectable_image_rate,"
-           "ecc_overhead\n";
-    auto num = [](double v) { return JsonValue::formatNumber(v); };
+
+    const auto &columns = resultCsvColumns();
+    // Resolve the metric-backed columns once, not per row.
+    std::vector<const metrics::Metric *> accessors(columns.size(),
+                                                   nullptr);
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        if (!columns[c].metric.empty())
+            accessors[c] = &metrics::MetricRegistry::instance().require(
+                columns[c].metric, "results.csv schema");
+    for (std::size_t c = 0; c < columns.size(); ++c)
+        csv << (c ? "," : "") << columns[c].header;
+    csv << '\n';
     for (const auto &r : results) {
-        csv << Table::csvEscape(r.array.cell.name) << ','
-            << techName(r.array.cell.tech) << ','
-            << Table::csvEscape(r.traffic.name) << ','
-            << num(r.array.capacityBytes) << ',' << r.array.wordBits
-            << ',' << r.array.nodeNm << ','
-            << num(r.array.readLatency) << ','
-            << num(r.array.writeLatency) << ','
-            << num(r.array.readEnergy) << ','
-            << num(r.array.writeEnergy) << ',' << num(r.array.leakage)
-            << ',' << num(r.array.areaM2) << ','
-            << num(r.array.readBandwidth) << ','
-            << num(r.array.writeBandwidth) << ','
-            << num(r.dynamicPower) << ',' << num(r.totalPower) << ','
-            << num(r.latencyLoad) << ',' << num(r.lifetimeSec) << ','
-            << (r.meetsReadBandwidth ? 1 : 0) << ','
-            << (r.meetsWriteBandwidth ? 1 : 0) << ','
-            << (r.viable() ? 1 : 0) << ','
-            << Table::csvEscape(r.reliability.scheme) << ','
-            << num(r.reliability.scrubIntervalSec) << ','
-            << num(r.reliability.rawBer) << ','
-            << num(r.reliability.scrubbedBer) << ','
-            << num(r.reliability.uncorrectableWordRate) << ','
-            << num(r.reliability.uncorrectableImageRate) << ','
-            << num(r.reliability.eccOverhead) << '\n';
+        for (std::size_t c = 0; c < columns.size(); ++c) {
+            if (c)
+                csv << ',';
+            if (accessors[c]) {
+                csv << JsonValue::formatNumber(accessors[c]->eval(r));
+            } else {
+                csv << identityCsvValue(columns[c].header, r);
+            }
+        }
+        csv << '\n';
     }
     if (!csv.flush())
         fatal("result store: failed writing '", path, "'");

@@ -138,6 +138,24 @@ class ResultStore
     std::ofstream checkpoint_;
 };
 
+/**
+ * One results.csv column: the header name plus the registry metric
+ * backing it. Identity columns — the strings and sweep-axis keys that
+ * name the design point (cell, tech, traffic, capacity_bytes,
+ * word_bits, node_nm, ecc_scheme, scrub_interval_sec) — carry an
+ * empty metric. Every other column's value is produced by evaluating
+ * the named metric, so the CSV schema cannot drift from the registry;
+ * nvmexplorer_lint cross-checks exactly this list.
+ */
+struct CsvColumn
+{
+    std::string header;  ///< results.csv header cell
+    std::string metric;  ///< registry key, or "" for identity columns
+};
+
+/** The results.csv schema, in column order. */
+const std::vector<CsvColumn> &resultCsvColumns();
+
 /** Load a store's serialized results; fatal() if absent/corrupt. */
 std::vector<EvalResult> loadResults(const std::string &dir);
 

@@ -11,6 +11,10 @@ namespace {
 
 bool quietFlag = false;
 
+/** Thread-local so a lint thread's guard never changes how a
+ *  concurrent sweep worker's fatal() behaves. */
+thread_local bool fatalThrowsFlag = false;
+
 /**
  * Serialize fatal() exits: sweep workers run on a thread pool, so a
  * fatal can fire on a worker while siblings are still executing.
@@ -42,6 +46,22 @@ exitOnce(int code)
 
 } // namespace
 
+ScopedFatalThrows::ScopedFatalThrows() : previous_(fatalThrowsFlag)
+{
+    fatalThrowsFlag = true;
+}
+
+ScopedFatalThrows::~ScopedFatalThrows()
+{
+    fatalThrowsFlag = previous_;
+}
+
+bool
+fatalThrows()
+{
+    return fatalThrowsFlag;
+}
+
 void
 setQuiet(bool quiet)
 {
@@ -67,6 +87,8 @@ logMessage(LogLevel level, const std::string &msg)
             std::fprintf(stderr, "warn: %s\n", msg.c_str());
         break;
       case LogLevel::Fatal:
+        if (fatalThrowsFlag)
+            throw FatalError(msg);
         std::fprintf(stderr, "fatal: %s\n", msg.c_str());
         exitOnce(1);
       case LogLevel::Panic:

@@ -14,6 +14,7 @@
 #define NVMEXP_UTIL_LOGGING_HH
 
 #include <sstream>
+#include <stdexcept>
 #include <string>
 
 namespace nvmexp {
@@ -32,6 +33,38 @@ void setQuiet(bool quiet);
 
 /** @return true when Inform/Warn output is suppressed. */
 bool isQuiet();
+
+/**
+ * What fatal() raises while a ScopedFatalThrows guard is active on the
+ * calling thread. Carries the formatted message; nothing is printed.
+ */
+class FatalError : public std::runtime_error
+{
+  public:
+    using std::runtime_error::runtime_error;
+};
+
+/**
+ * RAII guard: while alive, fatal() on this thread throws FatalError
+ * instead of printing and exiting. Batch validators (nvmexplorer_lint)
+ * use this to turn per-file fatals into collected diagnostics; the
+ * thread-local scope keeps sweep workers' fail-fast behavior intact.
+ */
+class ScopedFatalThrows
+{
+  public:
+    ScopedFatalThrows();
+    ~ScopedFatalThrows();
+
+    ScopedFatalThrows(const ScopedFatalThrows &) = delete;
+    ScopedFatalThrows &operator=(const ScopedFatalThrows &) = delete;
+
+  private:
+    bool previous_;
+};
+
+/** @return true when fatal() throws on this thread (guard active). */
+bool fatalThrows();
 
 namespace detail {
 

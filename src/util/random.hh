@@ -62,7 +62,8 @@ class Rng
     double
     uniform()
     {
-        return (operator()() >> 11) * 0x1.0p-53;
+        // The shifted value fits in 53 bits, so the cast is exact.
+        return (double)(operator()() >> 11) * 0x1.0p-53;
     }
 
     /** Uniform integer in [0, bound). @pre bound > 0 */

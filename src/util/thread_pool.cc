@@ -3,7 +3,19 @@
 #include <atomic>
 #include <utility>
 
+#include "util/logging.hh"
+
 namespace nvmexp {
+
+namespace {
+
+/** Set by workerLoop on entry: which pool this thread drains for.
+ *  Lets submit() distinguish follow-up work spawned by a running task
+ *  (safe during shutdown) from an outside thread racing the
+ *  destructor, without touching the joinable std::thread objects. */
+thread_local const ThreadPool *tlsWorkerPool = nullptr;
+
+} // namespace
 
 int
 ThreadPool::hardwareThreads()
@@ -24,11 +36,26 @@ ThreadPool::ThreadPool(int threads)
 {
     int n = resolveJobs(threads);
     workers_.reserve((std::size_t)n);
-    for (int i = 0; i < n; ++i)
-        workers_.emplace_back([this] { workerLoop(); });
+    try {
+        for (int i = 0; i < n; ++i)
+            workers_.emplace_back([this] { workerLoop(); });
+    } catch (...) {
+        // Thread creation can fail (EAGAIN under OS thread limits).
+        // Without this join the member destructor would run on
+        // joinable threads and std::terminate; instead shut down the
+        // workers that did start and surface the original error.
+        joinWorkers();
+        throw;
+    }
 }
 
 ThreadPool::~ThreadPool()
+{
+    joinWorkers();
+}
+
+void
+ThreadPool::joinWorkers()
 {
     {
         std::unique_lock<std::mutex> lock(mutex_);
@@ -39,15 +66,34 @@ ThreadPool::~ThreadPool()
         worker.join();
 }
 
-void
+bool
 ThreadPool::submit(std::function<void()> task)
 {
     {
         std::unique_lock<std::mutex> lock(mutex_);
+        // Once shutdown has begun, only tasks submitted from a worker
+        // (follow-up work spawned by a task the drain is executing)
+        // are guaranteed a live worker to run them: the submitting
+        // worker cannot exit before its current task returns. An
+        // outside thread racing the destructor gets its task refused
+        // instead of silently parked on a queue no worker will ever
+        // drain again.
+        if (stopping_ && !onWorkerThread()) {
+            warn("thread pool: task submitted during shutdown from a "
+                 "non-worker thread; refused");
+            return false;
+        }
         queue_.push_back(std::move(task));
         ++inFlight_;
     }
     workReady_.notify_one();
+    return true;
+}
+
+bool
+ThreadPool::onWorkerThread() const
+{
+    return tlsWorkerPool == this;
 }
 
 void
@@ -60,6 +106,7 @@ ThreadPool::wait()
 void
 ThreadPool::workerLoop()
 {
+    tlsWorkerPool = this;
     for (;;) {
         std::function<void()> task;
         {

@@ -35,8 +35,19 @@ class ThreadPool
     ThreadPool(const ThreadPool &) = delete;
     ThreadPool &operator=(const ThreadPool &) = delete;
 
-    /** Enqueue a task; runs on some worker at some point. */
-    void submit(std::function<void()> task);
+    /**
+     * Enqueue a task; runs on some worker at some point.
+     *
+     * During shutdown the queue keeps draining, and tasks submitted
+     * from a worker thread (follow-up work spawned by a running task)
+     * are still accepted and guaranteed to execute before the
+     * destructor returns. A submit from any other thread once
+     * shutdown has begun is refused (returns false): no worker is
+     * guaranteed to still be around to run it.
+     *
+     * @return true when the task was enqueued.
+     */
+    bool submit(std::function<void()> task);
 
     /** Block until every submitted task has finished. */
     void wait();
@@ -66,6 +77,14 @@ class ThreadPool
 
   private:
     void workerLoop();
+
+    /** Stop accepting outside work, drain the queue, join. Shared by
+     *  the destructor and the constructor's failure path (a partially
+     *  constructed pool must still join the threads it started). */
+    void joinWorkers();
+
+    /** @return true when called from one of this pool's workers. */
+    bool onWorkerThread() const;
 
     std::vector<std::thread> workers_;
     std::deque<std::function<void()>> queue_;

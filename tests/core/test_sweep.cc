@@ -160,9 +160,11 @@ TEST(BestBy, SkipsNanKeys)
         });
     ASSERT_NE(best, nullptr);
     EXPECT_NE(best, first);
-    for (const auto &r : results)
-        if (&r != first)
+    for (const auto &r : results) {
+        if (&r != first) {
             EXPECT_LE(best->totalPower, r.totalPower);
+        }
+    }
 
     // All-NaN keys: nothing is rankable.
     EXPECT_EQ(bestBy(results,

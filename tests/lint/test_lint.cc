@@ -1,0 +1,265 @@
+/**
+ * @file
+ * Error-path tests for nvmexplorer_lint: every seeded-bad artifact
+ * must produce a diagnostic naming the file and the offending key,
+ * and the shipped repo artifacts must lint clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "../support/fixtures.hh"
+#include "lint.hh"
+
+namespace nvmexp {
+namespace lint {
+namespace {
+
+namespace fs = std::filesystem;
+
+class LintTest : public testsupport::QuietTest
+{
+  protected:
+    void SetUp() override
+    {
+        testsupport::QuietTest::SetUp();
+        dir_ = fs::temp_directory_path() /
+            ("nvmexp-lint-" +
+             std::to_string(::testing::UnitTest::GetInstance()
+                                ->random_seed()) +
+             "-" + ::testing::UnitTest::GetInstance()
+                       ->current_test_info()
+                       ->name());
+        fs::create_directories(dir_);
+    }
+
+    void TearDown() override
+    {
+        fs::remove_all(dir_);
+        testsupport::QuietTest::TearDown();
+    }
+
+    /** Write `text` under the temp dir and return its path. */
+    std::string
+    write(const std::string &name, const std::string &text)
+    {
+        fs::path path = dir_ / name;
+        fs::create_directories(path.parent_path());
+        std::ofstream out(path);
+        out << text;
+        out.close();
+        return path.string();
+    }
+
+    /** The one diagnostic expected for `path`, keyed `key`. */
+    static void
+    expectOneDiagnostic(const LintReport &report,
+                        const std::string &path, const std::string &key)
+    {
+        ASSERT_EQ(report.diagnostics.size(), 1u)
+            << "expected exactly one diagnostic for key '" << key << "'";
+        EXPECT_EQ(report.diagnostics[0].file, path);
+        EXPECT_EQ(report.diagnostics[0].key, key);
+        EXPECT_FALSE(report.diagnostics[0].message.empty());
+    }
+
+    /** A minimal valid config, as a mutable skeleton for seeding one
+     *  defect at a time. */
+    static std::string
+    validConfig(const std::string &extra)
+    {
+        return std::string("{\n"
+                           "  \"experiment\": \"lint-fixture\",\n"
+                           "  \"cells\": [\"SRAM\"],\n"
+                           "  \"capacities_mib\": [1],\n"
+                           "  \"traffic\": [{\"name\": \"t\",\n"
+                           "    \"read_bytes_per_sec\": 1e9,\n"
+                           "    \"write_bytes_per_sec\": 1e8}]") +
+            (extra.empty() ? "" : ",\n" + extra) + "\n}\n";
+    }
+
+    fs::path dir_;
+};
+
+TEST_F(LintTest, ValidConfigIsClean)
+{
+    auto path = write("ok.json", validConfig(""));
+    LintReport report = lintConfigFile(path);
+    EXPECT_TRUE(report.clean()) << report.diagnostics.size();
+}
+
+TEST_F(LintTest, ShippedRepoArtifactsLintClean)
+{
+    LintReport report = lintTree(NVMEXP_SOURCE_DIR);
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+    // Registries + every shipped config + both golden files.
+    EXPECT_GE(report.checked, 10u);
+}
+
+TEST_F(LintTest, UnknownMetricInParetoIsDiagnosed)
+{
+    auto path = write("pareto.json",
+                      validConfig("  \"pareto\": [\"total_powerz\"]"));
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "pareto");
+    EXPECT_NE(report.diagnostics[0].message.find("total_powerz"),
+              std::string::npos);
+}
+
+TEST_F(LintTest, UnknownMetricInTopKIsDiagnosed)
+{
+    auto path = write(
+        "topk.json",
+        validConfig("  \"top_k\": {\"metric\": \"nope\", \"k\": 3}"));
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "top_k");
+}
+
+TEST_F(LintTest, MalformedConstraintClauseIsDiagnosed)
+{
+    auto path = write(
+        "clause.json",
+        validConfig("  \"constraints\": [\"total_power<=0.5\","
+                    " \"total_power<<1\"]"));
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "constraints[1]");
+}
+
+TEST_F(LintTest, UnknownConstraintMetricIsDiagnosed)
+{
+    auto path = write(
+        "cmetric.json",
+        validConfig("  \"constraints\": [{\"metric\": \"watts\","
+                    " \"op\": \"<\", \"bound\": 1}]"));
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "constraints[0]");
+    EXPECT_NE(report.diagnostics[0].message.find("watts"),
+              std::string::npos);
+}
+
+TEST_F(LintTest, UnknownWorkloadIsDiagnosed)
+{
+    auto path = write(
+        "workload.json",
+        validConfig("  \"workloads\": [{\"name\": \"no-such\"}]"));
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "workloads[0]");
+}
+
+TEST_F(LintTest, UnknownEccSchemeIsDiagnosed)
+{
+    auto path = write("ecc.json",
+                      validConfig("  \"ecc\": \"secded-999\""));
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "ecc");
+    EXPECT_NE(report.diagnostics[0].message.find("secded-999"),
+              std::string::npos);
+}
+
+TEST_F(LintTest, UnknownTopLevelKeyIsDiagnosed)
+{
+    auto path = write("typo.json",
+                      validConfig("  \"trafic\": []"));
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "trafic");
+}
+
+TEST_F(LintTest, UnparseableConfigIsDiagnosed)
+{
+    auto path = write("broken.json", "{ not json");
+    LintReport report = lintConfigFile(path);
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].file, path);
+    EXPECT_EQ(report.diagnostics[0].key, "");
+}
+
+TEST_F(LintTest, UnknownCellIsDiagnosedByFullLoad)
+{
+    auto path = write(
+        "cell.json",
+        "{\n  \"experiment\": \"x\",\n  \"cells\": [\"NoSuchCell\"],\n"
+        "  \"capacities_mib\": [1],\n"
+        "  \"traffic\": [{\"name\": \"t\",\n"
+        "    \"read_bytes_per_sec\": 1e9,\n"
+        "    \"write_bytes_per_sec\": 1e8}]\n}\n");
+    LintReport report = lintConfigFile(path);
+    expectOneDiagnostic(report, path, "load");
+}
+
+TEST_F(LintTest, StaleGoldenFormatVersionIsDiagnosed)
+{
+    auto path = write("golden.json",
+                      "{\"format\": 1, \"results\": []}");
+    LintReport report = lintGoldenFile(path);
+    expectOneDiagnostic(report, path, "format");
+    EXPECT_NE(report.diagnostics[0].message.find("stale"),
+              std::string::npos);
+}
+
+TEST_F(LintTest, GoldenWithoutResultsIsDiagnosed)
+{
+    auto path = write("golden2.json", "{\"format\": 2}");
+    LintReport report = lintGoldenFile(path);
+    expectOneDiagnostic(report, path, "results");
+}
+
+TEST_F(LintTest, StaleStoreCheckpointFormatIsDiagnosed)
+{
+    write("store/checkpoint.jsonl",
+          "{\"format\":1,\"fingerprint\":\"abc\",\"slots\":4}\n");
+    LintReport report = lintStoreDir((dir_ / "store").string());
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].key, "format");
+}
+
+TEST_F(LintTest, CheckpointWithoutFingerprintIsDiagnosed)
+{
+    write("store/checkpoint.jsonl", "{\"format\":2,\"slots\":4}\n");
+    LintReport report = lintStoreDir((dir_ / "store").string());
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].key, "fingerprint");
+}
+
+TEST_F(LintTest, UnparseableCheckpointHeaderIsDiagnosed)
+{
+    write("store/checkpoint.jsonl", "not json at all\n");
+    LintReport report = lintStoreDir((dir_ / "store").string());
+    ASSERT_EQ(report.diagnostics.size(), 1u);
+    EXPECT_EQ(report.diagnostics[0].key, "header");
+}
+
+TEST_F(LintTest, FreshStoreDirectoryLintsClean)
+{
+    auto sweep = testsupport::smallSweep();
+    sweep.outDir = (dir_ / "store").string();
+    runSweep(sweep);
+    LintReport report = lintStoreDir(sweep.outDir);
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+}
+
+TEST_F(LintTest, RegistriesAreConsistent)
+{
+    LintReport report = lintRegistries();
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+}
+
+TEST_F(LintTest, MultipleDefectsYieldMultipleDiagnostics)
+{
+    auto path = write(
+        "multi.json",
+        validConfig("  \"pareto\": [\"nope\"],\n"
+                    "  \"ecc\": \"bad-scheme\",\n"
+                    "  \"extra_key\": 1"));
+    LintReport report = lintConfigFile(path);
+    EXPECT_EQ(report.diagnostics.size(), 3u);
+}
+
+} // namespace
+} // namespace lint
+} // namespace nvmexp

@@ -79,8 +79,11 @@ randomDocument(Rng &rng, int depth)
     JsonValue object = JsonValue::makeObject();
     std::size_t n = rng.range(5);
     for (std::size_t i = 0; i < n; ++i) {
-        object.set("k" + std::to_string(rng.range(8)),
-                   randomDocument(rng, depth - 1));
+        // Built without operator+ to dodge GCC 12's -Wrestrict false
+        // positive (PR105651) on inlined string concatenation.
+        std::string key = "k";
+        key += std::to_string(rng.range(8));
+        object.set(key, randomDocument(rng, depth - 1));
     }
     return object;
 }

@@ -1,0 +1,482 @@
+#include "lint.hh"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <ostream>
+#include <set>
+#include <sstream>
+
+#include "core/config.hh"
+#include "core/dashboard.hh"
+#include "metrics/constraints.hh"
+#include "metrics/metric.hh"
+#include "metrics/refine.hh"
+#include "reliability/reliability.hh"
+#include "store/result_store.hh"
+#include "store/serialize.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+#include "workload/workload.hh"
+
+namespace nvmexp {
+namespace lint {
+
+namespace fs = std::filesystem;
+
+void
+LintReport::add(std::string file, std::string key, std::string message)
+{
+    diagnostics.push_back(
+        {std::move(file), std::move(key), std::move(message)});
+}
+
+void
+LintReport::merge(const LintReport &other)
+{
+    diagnostics.insert(diagnostics.end(), other.diagnostics.begin(),
+                       other.diagnostics.end());
+    checked += other.checked;
+}
+
+void
+LintReport::print(std::ostream &out) const
+{
+    for (const auto &d : diagnostics) {
+        out << d.file << ": ";
+        if (!d.key.empty())
+            out << "[" << d.key << "] ";
+        out << d.message << "\n";
+    }
+}
+
+namespace {
+
+/** Run `fn` with fatal() converted to FatalError; on failure, record
+ *  a (file, key) diagnostic. @return whether `fn` succeeded. */
+template <typename Fn>
+bool
+guarded(LintReport &report, const std::string &file,
+        const std::string &key, Fn &&fn)
+{
+    ScopedFatalThrows guard;
+    try {
+        fn();
+        return true;
+    } catch (const FatalError &e) {
+        report.add(file, key, e.what());
+        return false;
+    }
+}
+
+/** Top-level config keys loadExperiment() consumes. Anything else in
+ *  a config is dead weight at best and a typo'd axis at worst —
+ *  loadExperiment() silently ignores it, so the lint flags it. */
+const std::set<std::string> &
+knownConfigKeys()
+{
+    static const std::set<std::string> keys = {
+        "experiment",  "cells",       "capacities_mib",
+        "word_bits",   "node_nm",     "sram_node_nm",
+        "jobs",        "out_dir",     "resume",
+        "targets",     "traffic",     "workloads",
+        "workload",    "reliability", "ecc",
+        "constraints", "pareto",      "top_k",
+        "output_csv",
+    };
+    return keys;
+}
+
+std::string
+joined(const std::vector<std::string> &names)
+{
+    std::ostringstream out;
+    for (std::size_t i = 0; i < names.size(); ++i)
+        out << (i ? " " : "") << names[i];
+    return out.str();
+}
+
+/** ECC scheme names referenced by a config's "ecc"/"reliability"
+ *  section, across all accepted shapes (lenient: malformed shapes
+ *  yield nothing here and are reported by the full load instead). */
+std::vector<std::string>
+referencedEccSchemes(const JsonValue &block)
+{
+    std::vector<std::string> names;
+    if (block.isString()) {
+        names.push_back(block.asString());
+    } else if (block.isObject() && block.has("ecc")) {
+        const JsonValue &ecc = block.at("ecc");
+        if (ecc.isString()) {
+            names.push_back(ecc.asString());
+        } else if (ecc.isArray()) {
+            for (const auto &entry : ecc.asArray())
+                if (entry.isString())
+                    names.push_back(entry.asString());
+        }
+    }
+    return names;
+}
+
+void
+checkEccNames(LintReport &report, const std::string &path,
+              const std::string &key, const JsonValue &block)
+{
+    for (const auto &name : referencedEccSchemes(block)) {
+        if (reliability::findEccScheme(name))
+            continue;
+        std::vector<std::string> known;
+        for (const auto &scheme : reliability::eccSchemes())
+            known.push_back(scheme.name);
+        report.add(path, key,
+                   "ECC scheme '" + name + "' unknown (known schemes: " +
+                       joined(known) + ")");
+    }
+}
+
+/** Per-section checks with precise keys, so one bad config yields one
+ *  diagnostic per problem instead of stopping at the first fatal. */
+void
+checkConfigSections(LintReport &report, const std::string &path,
+                    const JsonValue &doc)
+{
+    for (const auto &key : doc.memberNames()) {
+        if (!knownConfigKeys().count(key)) {
+            report.add(path, key,
+                       "unknown top-level key (known keys: " +
+                           joined({knownConfigKeys().begin(),
+                                   knownConfigKeys().end()}) +
+                           ")");
+        }
+    }
+
+    if (doc.has("constraints") && doc.at("constraints").isArray()) {
+        const auto &clauses = doc.at("constraints").asArray();
+        for (std::size_t i = 0; i < clauses.size(); ++i) {
+            std::string key = "constraints[" + std::to_string(i) + "]";
+            guarded(report, path, key, [&] {
+                metrics::ConstraintClause::fromJson(clauses[i], key);
+            });
+        }
+    }
+
+    if (doc.has("pareto")) {
+        guarded(report, path, "pareto", [&] {
+            metrics::paretoMetricsFromJson(doc.at("pareto"), "pareto");
+        });
+    }
+
+    if (doc.has("top_k")) {
+        guarded(report, path, "top_k", [&] {
+            metrics::topSpecFromJson(doc.at("top_k"), "top_k");
+        });
+    }
+
+    if (doc.has("workloads") && doc.at("workloads").isArray()) {
+        const auto &specs = doc.at("workloads").asArray();
+        for (std::size_t i = 0; i < specs.size(); ++i) {
+            std::string key = "workloads[" + std::to_string(i) + "]";
+            guarded(report, path, key, [&] {
+                workload::validateWorkloadJson(specs[i]);
+            });
+        }
+    }
+    if (doc.has("workload")) {
+        guarded(report, path, "workload", [&] {
+            workload::validateWorkloadJson(doc.at("workload"));
+        });
+    }
+
+    if (doc.has("reliability"))
+        checkEccNames(report, path, "reliability", doc.at("reliability"));
+    if (doc.has("ecc"))
+        checkEccNames(report, path, "ecc", doc.at("ecc"));
+}
+
+void
+checkFormatHeader(LintReport &report, const std::string &path,
+                  const JsonValue &doc)
+{
+    if (!doc.isObject() || !doc.has("format") ||
+        !doc.at("format").isNumber()) {
+        report.add(path, "format", "missing numeric \"format\" version");
+        return;
+    }
+    int format = (int)doc.at("format").asNumber();
+    if (format != store::kFormatVersion) {
+        report.add(path, "format",
+                   "format version " + std::to_string(format) +
+                       " is stale (current: " +
+                       std::to_string(store::kFormatVersion) +
+                       "); regenerate the artifact");
+    }
+}
+
+} // namespace
+
+LintReport
+lintConfigFile(const std::string &path)
+{
+    LintReport report;
+    ++report.checked;
+
+    JsonValue doc;
+    if (!guarded(report, path, "", [&] { doc = JsonValue::parseFile(path); }))
+        return report;
+    if (!doc.isObject()) {
+        report.add(path, "", "config root must be a JSON object");
+        return report;
+    }
+
+    checkConfigSections(report, path, doc);
+
+    // The full load validates everything the section checks do not
+    // reach: cell references, traffic shapes, targets, jobs bounds,
+    // reliability cross products. Skipped when the section checks
+    // already failed — the load would re-report the first of them.
+    if (report.clean())
+        guarded(report, path, "load", [&] { loadExperiment(doc); });
+    return report;
+}
+
+LintReport
+lintGoldenFile(const std::string &path)
+{
+    LintReport report;
+    ++report.checked;
+
+    JsonValue doc;
+    if (!guarded(report, path, "", [&] { doc = JsonValue::parseFile(path); }))
+        return report;
+    checkFormatHeader(report, path, doc);
+    if (!report.clean())
+        return report;
+    if (!doc.has("results") || !doc.at("results").isArray()) {
+        report.add(path, "results", "missing \"results\" array");
+        return report;
+    }
+    guarded(report, path, "results",
+            [&] { store::evalResultsFromJson(doc); });
+    return report;
+}
+
+LintReport
+lintStoreDir(const std::string &dir)
+{
+    LintReport report;
+    ++report.checked;
+
+    std::string checkpoint = dir + "/checkpoint.jsonl";
+    if (fs::exists(checkpoint)) {
+        std::ifstream in(checkpoint);
+        std::string line;
+        JsonValue header;
+        if (!in || !std::getline(in, line)) {
+            report.add(checkpoint, "", "unreadable or empty journal");
+        } else if (!JsonValue::tryParse(line, header)) {
+            report.add(checkpoint, "header",
+                       "first line does not parse as JSON");
+        } else {
+            checkFormatHeader(report, checkpoint, header);
+            if (!header.has("fingerprint") ||
+                !header.at("fingerprint").isString() ||
+                header.at("fingerprint").asString().empty()) {
+                report.add(checkpoint, "fingerprint",
+                           "header carries no sweep fingerprint");
+            }
+            if (!header.has("slots") || !header.at("slots").isNumber())
+                report.add(checkpoint, "slots",
+                           "header carries no slot count");
+        }
+    }
+
+    std::string stats = dir + "/stats.json";
+    if (fs::exists(stats)) {
+        guarded(report, stats, "", [&] {
+            store::StoreStats::fromJson(JsonValue::parseFile(stats));
+        });
+    }
+
+    std::string results = dir + "/results.json";
+    if (fs::exists(results)) {
+        JsonValue doc;
+        if (guarded(report, results, "",
+                    [&] { doc = JsonValue::parseFile(results); }))
+            checkFormatHeader(report, results, doc);
+    }
+    return report;
+}
+
+LintReport
+lintRegistries()
+{
+    LintReport report;
+    const std::string reg = "<metric-registry>";
+    ++report.checked;
+
+    const auto &registry = metrics::MetricRegistry::instance();
+    for (const auto &name : registry.names()) {
+        const metrics::Metric *m = registry.find(name);
+        if (!m) {
+            report.add(reg, name, "names() entry does not resolve");
+            continue;
+        }
+        if (m->unit.empty())
+            report.add(reg, name, "metric has no unit string");
+        if (m->description.empty())
+            report.add(reg, name, "metric has no description");
+        if (!m->eval)
+            report.add(reg, name, "metric has no eval accessor");
+        if (m->cost < 0)
+            report.add(reg, name, "metric has negative cost rank");
+    }
+
+    // results.csv schema: every column is either one of the identity
+    // columns documented in store/result_store.hh or backed by a
+    // registered metric; headers are unique and non-empty.
+    {
+        const std::string csv = "<results.csv-schema>";
+        ++report.checked;
+        static const std::set<std::string> identity = {
+            "cell",     "tech",       "traffic",
+            "capacity_bytes", "word_bits", "node_nm",
+            "ecc_scheme", "scrub_interval_sec",
+        };
+        std::set<std::string> seen;
+        for (const auto &column : store::resultCsvColumns()) {
+            if (column.header.empty()) {
+                report.add(csv, "", "column with empty header");
+                continue;
+            }
+            if (!seen.insert(column.header).second)
+                report.add(csv, column.header, "duplicate column header");
+            if (column.metric.empty()) {
+                if (!identity.count(column.header))
+                    report.add(csv, column.header,
+                               "identity column not in the documented "
+                               "identity set");
+            } else if (!registry.find(column.metric)) {
+                report.add(csv, column.header,
+                           "backing metric '" + column.metric +
+                               "' is not registered");
+            }
+        }
+    }
+
+    // Dashboard schema: same invariants for runExperiment's table.
+    {
+        const std::string dash = "<dashboard-schema>";
+        ++report.checked;
+        static const std::set<std::string> identity = {
+            "Cell", "Traffic", "Viable", "ECC", "Scrub[s]",
+        };
+        std::set<std::string> seen;
+        for (const auto &column : dashboardColumns()) {
+            if (column.header.empty()) {
+                report.add(dash, "", "column with empty header");
+                continue;
+            }
+            if (!seen.insert(column.header).second)
+                report.add(dash, column.header,
+                           "duplicate column header");
+            if (column.metric.empty()) {
+                if (!identity.count(column.header))
+                    report.add(dash, column.header,
+                               "identity column not in the documented "
+                               "identity set");
+            } else if (!registry.find(column.metric)) {
+                report.add(dash, column.header,
+                           "backing metric '" + column.metric +
+                               "' is not registered");
+            }
+            if (column.scale <= 0.0)
+                report.add(dash, column.header,
+                           "non-positive display scale");
+        }
+    }
+
+    // Workload registry: sorted unique non-empty names.
+    {
+        const std::string wl = "<workload-registry>";
+        ++report.checked;
+        auto names = workload::WorkloadRegistry::instance().names();
+        for (std::size_t i = 0; i < names.size(); ++i) {
+            if (names[i].empty())
+                report.add(wl, "", "workload with empty name");
+            if (i && names[i] == names[i - 1])
+                report.add(wl, names[i], "duplicate workload name");
+        }
+    }
+
+    // ECC scheme table: unique names, sane codeword geometry, and a
+    // findEccScheme() that resolves each entry to itself.
+    {
+        const std::string ecc = "<ecc-schemes>";
+        ++report.checked;
+        std::set<std::string> seen;
+        for (const auto &scheme : reliability::eccSchemes()) {
+            if (scheme.name.empty()) {
+                report.add(ecc, "", "scheme with empty name");
+                continue;
+            }
+            if (!seen.insert(scheme.name).second)
+                report.add(ecc, scheme.name, "duplicate scheme name");
+            if (scheme.dataBits <= 0 ||
+                scheme.codeBits < scheme.dataBits)
+                report.add(ecc, scheme.name,
+                           "codeword geometry invalid (data " +
+                               std::to_string(scheme.dataBits) +
+                               ", code " +
+                               std::to_string(scheme.codeBits) + ")");
+            if (scheme.correctable < 0)
+                report.add(ecc, scheme.name,
+                           "negative correctable-error count");
+            if (reliability::findEccScheme(scheme.name) != &scheme)
+                report.add(ecc, scheme.name,
+                           "findEccScheme does not resolve to this "
+                           "entry");
+        }
+    }
+    return report;
+}
+
+LintReport
+lintTree(const std::string &root)
+{
+    LintReport report = lintRegistries();
+
+    auto jsonFilesIn = [](const std::string &dir) {
+        std::vector<std::string> files;
+        if (fs::is_directory(dir))
+            for (const auto &entry : fs::directory_iterator(dir))
+                if (entry.is_regular_file() &&
+                    entry.path().extension() == ".json")
+                    files.push_back(entry.path().string());
+        std::sort(files.begin(), files.end());
+        return files;
+    };
+
+    for (const auto &path : jsonFilesIn(root + "/config"))
+        report.merge(lintConfigFile(path));
+    for (const auto &path : jsonFilesIn(root + "/tests/data"))
+        report.merge(lintGoldenFile(path));
+
+    // Store directories under tests/data (fixtures for the resume and
+    // query tiers, when present).
+    std::string data = root + "/tests/data";
+    if (fs::is_directory(data)) {
+        std::vector<std::string> dirs;
+        for (const auto &entry : fs::directory_iterator(data))
+            if (entry.is_directory() &&
+                (fs::exists(entry.path() / "checkpoint.jsonl") ||
+                 fs::exists(entry.path() / "stats.json")))
+                dirs.push_back(entry.path().string());
+        std::sort(dirs.begin(), dirs.end());
+        for (const auto &dir : dirs)
+            report.merge(lintStoreDir(dir));
+    }
+    return report;
+}
+
+} // namespace lint
+} // namespace nvmexp

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * nvmexplorer_lint: static cross-reference checks over the repo's
+ * artifacts, driven by the real registries (metrics, workloads, ECC
+ * schemes) rather than a parallel list that could drift.
+ *
+ * Four check families:
+ *
+ *   configs     every config JSON file parses, uses only known top-level
+ *               keys, references only registered metrics / workloads /
+ *               ECC schemes in its constraint, pareto, top_k, workload
+ *               and reliability sections, and passes the full
+ *               loadExperiment() validation
+ *   registries  the metric registry is internally consistent (unique
+ *               sorted keys, unit + description + eval present), and
+ *               every results.csv and dashboard column is either a
+ *               known identity column or backed by a registered metric
+ *   goldens     golden result files carry the current store format
+ *               version and decode end to end
+ *   stores      store directories carry a current-format,
+ *               fingerprint-parseable checkpoint header and readable
+ *               stats/results artifacts
+ *
+ * Checks collect diagnostics instead of exiting: load-time fatal()s
+ * are converted to FatalError via ScopedFatalThrows and reported with
+ * the file and config key they came from.
+ */
+
+#ifndef NVMEXP_TOOLS_LINT_LINT_HH
+#define NVMEXP_TOOLS_LINT_LINT_HH
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+namespace lint {
+
+/** One finding: the artifact, the key/section inside it, and what is
+ *  wrong. `key` is empty for whole-file problems (parse errors). */
+struct LintDiagnostic
+{
+    std::string file;     ///< artifact path (or "<registry>")
+    std::string key;      ///< offending key/section, "" for whole-file
+    std::string message;  ///< what is wrong, with known-name context
+};
+
+/** Accumulated findings across one or more checks. */
+struct LintReport
+{
+    std::vector<LintDiagnostic> diagnostics;
+    std::size_t checked = 0;  ///< artifacts examined
+
+    bool clean() const { return diagnostics.empty(); }
+
+    void add(std::string file, std::string key, std::string message);
+    void merge(const LintReport &other);
+
+    /** One line per diagnostic: "file: [key] message". */
+    void print(std::ostream &out) const;
+};
+
+/** Lint one experiment config JSON file. */
+LintReport lintConfigFile(const std::string &path);
+
+/** Lint one golden result file ({"format": v, "results": [...]}). */
+LintReport lintGoldenFile(const std::string &path);
+
+/** Lint one result-store directory (checkpoint.jsonl header,
+ *  stats.json, results.json format). */
+LintReport lintStoreDir(const std::string &dir);
+
+/** Lint the built-in registries and the CSV/dashboard schemas. */
+LintReport lintRegistries();
+
+/** The --all sweep over a repo checkout: registries plus
+ *  JSON files under <root>/config and <root>/tests/data, and any store
+ *  directory found under <root>/tests/data. */
+LintReport lintTree(const std::string &root);
+
+} // namespace lint
+} // namespace nvmexp
+
+#endif // NVMEXP_TOOLS_LINT_LINT_HH

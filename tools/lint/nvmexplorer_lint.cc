@@ -1,0 +1,91 @@
+/**
+ * @file
+ * nvmexplorer_lint CLI: run the static cross-reference checks and
+ * exit nonzero when anything is off. CI runs `nvmexplorer_lint --all`
+ * from the repo root; individual artifacts can be checked directly:
+ *
+ *   nvmexplorer_lint --all [--root DIR]
+ *   nvmexplorer_lint --config config/llc_refine_study.json
+ *   nvmexplorer_lint --golden tests/data/golden_sweep.json
+ *   nvmexplorer_lint --store /path/to/store-dir
+ *   nvmexplorer_lint --registries
+ */
+
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "lint.hh"
+
+namespace {
+
+int
+usage(const char *argv0)
+{
+    std::cerr
+        << "usage: " << argv0 << " [--root DIR] --all\n"
+        << "       " << argv0 << " [--config FILE | --golden FILE |"
+        << " --store DIR | --registries]...\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace nvmexp::lint;
+
+    std::string root = ".";
+    LintReport report;
+    bool ranAnything = false;
+
+    // First pass picks up --root wherever it appears, so check order
+    // on the command line never matters.
+    for (int i = 1; i < argc; ++i) {
+        if (!std::strcmp(argv[i], "--root")) {
+            if (++i >= argc)
+                return usage(argv[0]);
+            root = argv[i];
+        }
+    }
+
+    for (int i = 1; i < argc; ++i) {
+        std::string arg = argv[i];
+        if (arg == "--root") {
+            ++i;  // consumed above
+        } else if (arg == "--all") {
+            report.merge(lintTree(root));
+            ranAnything = true;
+        } else if (arg == "--registries") {
+            report.merge(lintRegistries());
+            ranAnything = true;
+        } else if (arg == "--config" || arg == "--golden" ||
+                   arg == "--store") {
+            if (++i >= argc)
+                return usage(argv[0]);
+            if (arg == "--config")
+                report.merge(lintConfigFile(argv[i]));
+            else if (arg == "--golden")
+                report.merge(lintGoldenFile(argv[i]));
+            else
+                report.merge(lintStoreDir(argv[i]));
+            ranAnything = true;
+        } else {
+            return usage(argv[0]);
+        }
+    }
+    if (!ranAnything)
+        return usage(argv[0]);
+
+    report.print(std::cerr);
+    if (report.clean()) {
+        std::cout << "nvmexplorer_lint: " << report.checked
+                  << " artifact(s) clean\n";
+        return 0;
+    }
+    std::cerr << "nvmexplorer_lint: " << report.diagnostics.size()
+              << " problem(s) across " << report.checked
+              << " artifact(s)\n";
+    return 1;
+}
