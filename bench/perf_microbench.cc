@@ -14,7 +14,7 @@
 #include "fault/injector.hh"
 #include "graph/kernels.hh"
 #include "nvsim/array_model.hh"
-#include "util/logging.hh"
+#include "support/bench_fixtures.hh"
 
 using namespace nvmexp;
 
@@ -130,8 +130,5 @@ BENCHMARK(BM_QuantizedInference);
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchsupport::benchMain(argc, argv);
 }

@@ -13,55 +13,15 @@
 
 #include <benchmark/benchmark.h>
 
-#include "celldb/tentpole.hh"
 #include "metrics/constraints.hh"
 #include "metrics/refine.hh"
 #include "store/result_store.hh"
-#include "util/logging.hh"
-#include "util/random.hh"
+#include "support/bench_fixtures.hh"
 
 using namespace nvmexp;
+using benchsupport::syntheticResults;
 
 namespace {
-
-/**
- * A deterministic population of evaluation rows spanning the value
- * ranges real sweeps produce, built without running the (much slower)
- * characterization pipeline so the benchmark isolates refine costs.
- */
-std::vector<EvalResult>
-syntheticResults(std::size_t count)
-{
-    Rng rng(0xBE9C);
-    std::vector<EvalResult> results;
-    results.reserve(count);
-    for (std::size_t i = 0; i < count; ++i) {
-        EvalResult r;
-        r.array.capacityBytes = 2.0 * 1024 * 1024;
-        r.array.readLatency = 1e-9 * (1.0 + rng.uniform() * 99.0);
-        r.array.writeLatency = r.array.readLatency *
-            (1.0 + rng.uniform() * 9.0);
-        r.array.readEnergy = 1e-12 * (1.0 + rng.uniform() * 999.0);
-        r.array.writeEnergy = r.array.readEnergy *
-            (1.0 + rng.uniform() * 9.0);
-        r.array.leakage = 1e-3 * rng.uniform();
-        r.array.areaM2 = 1e-7 * (1.0 + rng.uniform() * 9.0);
-        r.array.readBandwidth = 1e9 * (1.0 + rng.uniform() * 99.0);
-        r.array.writeBandwidth = r.array.readBandwidth / 4.0;
-        r.dynamicPower = 1e-3 * (1.0 + rng.uniform() * 499.0);
-        r.leakagePower = r.array.leakage;
-        r.totalPower = r.dynamicPower + r.leakagePower;
-        r.latencyLoad = rng.uniform() * 2.0;
-        r.slowdown = r.latencyLoad > 1.0 ? r.latencyLoad : 1.0;
-        r.meetsReadBandwidth = rng.uniform() < 0.9;
-        r.meetsWriteBandwidth = rng.uniform() < 0.9;
-        r.lifetimeSec = rng.uniform() < 0.2
-            ? std::numeric_limits<double>::infinity()
-            : 86400.0 * (1.0 + rng.uniform() * 3650.0);
-        results.push_back(r);
-    }
-    return results;
-}
 
 void
 BM_FilterLegacyAdapter(benchmark::State &state)
@@ -168,8 +128,5 @@ BENCHMARK(BM_ApplyQueryPipeline)->Arg(1 << 10)->Arg(1 << 14);
 int
 main(int argc, char **argv)
 {
-    setQuiet(true);
-    benchmark::Initialize(&argc, argv);
-    benchmark::RunSpecifiedBenchmarks();
-    return 0;
+    return benchsupport::benchMain(argc, argv);
 }

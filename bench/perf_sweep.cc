@@ -1,0 +1,178 @@
+/**
+ * @file
+ * google-benchmark coverage of the sweep inner loop: the batched
+ * structure-of-arrays evaluation path (eval/batch.hh) against the
+ * per-point reference path, across worker counts, with and without a
+ * reliability axis, and the full store-backed run() cold vs warm.
+ *
+ * CI runs this with --benchmark_out=BENCH_sweep.json and diffs the
+ * result against the committed snapshot (tools/bench_gate.py). The
+ * gate compares ratios *within* one file — every benchmark normalized
+ * by BM_SweepEvalScalar/1 — so the committed numbers stay meaningful
+ * across machines; it also asserts the batched path's headline >= 2x
+ * speedup over scalar on the wide sweep.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <filesystem>
+
+#include "core/parallel_sweep.hh"
+#include "store/result_store.hh"
+#include "support/bench_fixtures.hh"
+
+using namespace nvmexp;
+
+namespace {
+
+/** The wide sweep's 16 characterized arrays, computed once: the
+ *  benchmarks isolate the evaluation stage, not characterization. */
+const std::vector<ArrayResult> &
+benchArrays()
+{
+    static const std::vector<ArrayResult> arrays = [] {
+        ParallelSweepRunner runner(0);
+        return runner.characterize(benchsupport::wideSweep(false));
+    }();
+    return arrays;
+}
+
+/** One runner per worker count, reused across iterations so the
+ *  persistent pool's creation cost isn't measured. */
+ParallelSweepRunner &
+runnerFor(int jobs)
+{
+    static ParallelSweepRunner runners[] = {
+        ParallelSweepRunner(1), ParallelSweepRunner(4),
+        ParallelSweepRunner(8)};
+    return runners[jobs == 1 ? 0 : jobs == 4 ? 1 : 2];
+}
+
+/** Scalar reference path, reliability axis on (384 slots). The
+ *  regression gate's normalization reference at Arg(1). */
+void
+BM_SweepEvalScalar(benchmark::State &state)
+{
+    const auto &arrays = benchArrays();
+    SweepConfig config = benchsupport::wideSweep(true);
+    ParallelSweepRunner &runner = runnerFor((int)state.range(0));
+    for (auto _ : state) {
+        auto results = runner.evaluateAllScalar(arrays, config.traffics,
+                                                config.reliability);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(
+        (std::int64_t)state.iterations() *
+        (std::int64_t)(arrays.size() * config.traffics.size() *
+                       config.reliability.size()));
+}
+BENCHMARK(BM_SweepEvalScalar)->Arg(1)->Arg(4)->Arg(8);
+
+/** Batched path over the same 384 slots: base evaluation hoisted per
+ *  (array, traffic) run, reliability per (array, spec) entry. */
+void
+BM_SweepEvalBatched(benchmark::State &state)
+{
+    const auto &arrays = benchArrays();
+    SweepConfig config = benchsupport::wideSweep(true);
+    ParallelSweepRunner &runner = runnerFor((int)state.range(0));
+    for (auto _ : state) {
+        auto results = runner.evaluateAll(arrays, config.traffics,
+                                          config.reliability);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(
+        (std::int64_t)state.iterations() *
+        (std::int64_t)(arrays.size() * config.traffics.size() *
+                       config.reliability.size()));
+}
+BENCHMARK(BM_SweepEvalBatched)->Arg(1)->Arg(4)->Arg(8);
+
+/** No reliability axis (96 slots, implicit default spec): the hoist
+ *  only amortizes the per-point FaultModel, so the gap between these
+ *  two is the floor of the batched win. */
+void
+BM_SweepEvalScalarNoRel(benchmark::State &state)
+{
+    const auto &arrays = benchArrays();
+    SweepConfig config = benchsupport::wideSweep(false);
+    ParallelSweepRunner &runner = runnerFor((int)state.range(0));
+    for (auto _ : state) {
+        auto results = runner.evaluateAllScalar(arrays, config.traffics,
+                                                config.reliability);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(
+        (std::int64_t)state.iterations() *
+        (std::int64_t)(arrays.size() * config.traffics.size()));
+}
+BENCHMARK(BM_SweepEvalScalarNoRel)->Arg(1);
+
+void
+BM_SweepEvalBatchedNoRel(benchmark::State &state)
+{
+    const auto &arrays = benchArrays();
+    SweepConfig config = benchsupport::wideSweep(false);
+    ParallelSweepRunner &runner = runnerFor((int)state.range(0));
+    for (auto _ : state) {
+        auto results = runner.evaluateAll(arrays, config.traffics,
+                                          config.reliability);
+        benchmark::DoNotOptimize(results);
+    }
+    state.SetItemsProcessed(
+        (std::int64_t)state.iterations() *
+        (std::int64_t)(arrays.size() * config.traffics.size()));
+}
+BENCHMARK(BM_SweepEvalBatchedNoRel)->Arg(1);
+
+/** Full store-backed run() from an empty store: design-space
+ *  enumeration + batched evaluation + artifact writes. */
+void
+BM_SweepRunColdStore(benchmark::State &state)
+{
+    SweepConfig config = benchsupport::wideSweep(true);
+    config.jobs = 4;
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       "nvmexp_perf_sweep_cold").string();
+    config.outDir = dir;
+    ParallelSweepRunner &runner = runnerFor(config.jobs);
+    for (auto _ : state) {
+        state.PauseTiming();
+        std::filesystem::remove_all(dir);
+        state.ResumeTiming();
+        auto results = runner.run(config);
+        benchmark::DoNotOptimize(results);
+    }
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SweepRunColdStore);
+
+/** The same run() against a fully warm characterization cache: what a
+ *  re-run or figure regeneration pays. */
+void
+BM_SweepRunWarmStore(benchmark::State &state)
+{
+    SweepConfig config = benchsupport::wideSweep(true);
+    config.jobs = 4;
+    std::string dir = (std::filesystem::temp_directory_path() /
+                       "nvmexp_perf_sweep_warm").string();
+    std::filesystem::remove_all(dir);
+    config.outDir = dir;
+    ParallelSweepRunner &runner = runnerFor(config.jobs);
+    auto warmup = runner.run(config);
+    benchmark::DoNotOptimize(warmup);
+    for (auto _ : state) {
+        auto results = runner.run(config);
+        benchmark::DoNotOptimize(results);
+    }
+    std::filesystem::remove_all(dir);
+}
+BENCHMARK(BM_SweepRunWarmStore);
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    return benchsupport::benchMain(argc, argv);
+}

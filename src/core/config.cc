@@ -243,6 +243,20 @@ loadExperiment(const JsonValue &doc)
     config.sweep.outDir = doc.stringOr("out_dir", "");
     config.sweep.resume = doc.boolOr("resume", false);
 
+    // Batched evaluation: on unless "batch": false (or the CLI's
+    // --no-batch) asks for the per-point reference path. Either path
+    // produces bit-identical results; "batch_size" only tunes the
+    // scheduling granularity, <= 0 meaning "pick a sensible default".
+    config.sweep.batch = doc.boolOr("batch", true);
+    double batchSize = doc.numberOr("batch_size", 0.0);
+    if (batchSize != (double)(int)batchSize || batchSize < 0.0 ||
+        batchSize > 1e9) {
+        fatal("config '", config.name,
+              "': \"batch_size\" must be an integer in [0, 1e9], got ",
+              batchSize);
+    }
+    config.sweep.batchSize = (int)batchSize;
+
     // Optimization targets (default ReadEDP).
     config.sweep.targets.clear();
     if (doc.has("targets")) {

@@ -1,7 +1,9 @@
 #include "core/parallel_sweep.hh"
 
+#include <algorithm>
 #include <cstdlib>
 
+#include "eval/batch.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
 #include "workload/workload.hh"
@@ -256,6 +258,19 @@ ParallelSweepRunner::evaluateAll(
     const std::vector<reliability::ReliabilitySpec> &specs) const
 {
     auto evaluators = reliabilityEvaluators(specs);
+    BatchEvalContext context(arrays, traffics, evaluators);
+    std::vector<EvalResult> results(context.points());
+    shardBatches(context, 0, results, nullptr, {});
+    return results;
+}
+
+std::vector<EvalResult>
+ParallelSweepRunner::evaluateAllScalar(
+    const std::vector<ArrayResult> &arrays,
+    const std::vector<TrafficPattern> &traffics,
+    const std::vector<reliability::ReliabilitySpec> &specs) const
+{
+    auto evaluators = reliabilityEvaluators(specs);
     const std::size_t nspecs = evaluators.size();
     std::vector<EvalResult> results(arrays.size() * traffics.size() *
                                     nspecs);
@@ -271,6 +286,25 @@ ParallelSweepRunner::evaluateAll(
     return results;
 }
 
+void
+ParallelSweepRunner::shardBatches(
+    const BatchEvalContext &context, int batchSize,
+    std::vector<EvalResult> &results, const std::vector<char> *todo,
+    const std::function<void(std::size_t)> &onSlot) const
+{
+    std::size_t slots = context.points();
+    if (slots == 0)
+        return;
+    std::size_t size = batchSize > 0 ? (std::size_t)batchSize
+                                     : context.defaultBatchSize(jobs_);
+    std::size_t batches = (slots + size - 1) / size;
+    shard(batches, [&](std::size_t b) {
+        context.evaluateRange(b * size,
+                              std::min(slots, (b + 1) * size), results,
+                              todo, onSlot);
+    });
+}
+
 std::vector<EvalResult>
 ParallelSweepRunner::run(const SweepConfig &rawConfig) const
 {
@@ -284,9 +318,18 @@ ParallelSweepRunner::run(const SweepConfig &rawConfig) const
     if (config.traffics.empty())
         fatal("sweep has no traffic patterns configured");
     lastStoreStats_ = store::StoreStats{};
-    if (config.outDir.empty())
-        return evaluateAll(characterizeWithStore(config, nullptr),
-                           config.traffics, config.reliability);
+    if (config.outDir.empty()) {
+        auto arrays = characterizeWithStore(config, nullptr);
+        if (!config.batch) {
+            return evaluateAllScalar(arrays, config.traffics,
+                                     config.reliability);
+        }
+        auto evaluators = reliabilityEvaluators(config.reliability);
+        BatchEvalContext context(arrays, config.traffics, evaluators);
+        std::vector<EvalResult> results(context.points());
+        shardBatches(context, config.batchSize, results, nullptr, {});
+        return results;
+    }
 
     store::ResultStore resultStore(config.outDir);
     auto arrays = characterizeWithStore(config, &resultStore);
@@ -299,25 +342,35 @@ ParallelSweepRunner::run(const SweepConfig &rawConfig) const
 
     // Index-addressed slots: replayed checkpoint entries and freshly
     // evaluated ones land in the same serial-order positions, so the
-    // output is byte-identical to an uninterrupted run.
+    // output is byte-identical to an uninterrupted run — batched or
+    // not, at any batch size, under any worker count.
     std::vector<EvalResult> results(slots);
     std::vector<char> todo(slots, 1);
     for (const auto &[slot, result] : done) {
         results[slot] = result;
         todo[slot] = 0;
     }
-    shard(slots, [&](std::size_t idx) {
-        if (!todo[idx])
-            return;
-        const ArrayResult &array =
-            arrays[idx / (config.traffics.size() * nspecs)];
-        const TrafficPattern &traffic =
-            config.traffics[(idx / nspecs) % config.traffics.size()];
-        results[idx] = evaluate(array, traffic);
-        results[idx].reliability =
-            evaluators[idx % nspecs].evaluate(array);
-        resultStore.checkpointSlot(idx, results[idx]);
-    });
+    if (config.batch) {
+        BatchEvalContext context(arrays, config.traffics, evaluators);
+        shardBatches(context, config.batchSize, results, &todo,
+                     [&](std::size_t idx) {
+                         resultStore.checkpointSlot(idx, results[idx]);
+                     });
+    } else {
+        shard(slots, [&](std::size_t idx) {
+            if (!todo[idx])
+                return;
+            const ArrayResult &array =
+                arrays[idx / (config.traffics.size() * nspecs)];
+            const TrafficPattern &traffic =
+                config.traffics[(idx / nspecs) %
+                                config.traffics.size()];
+            results[idx] = evaluate(array, traffic);
+            results[idx].reliability =
+                evaluators[idx % nspecs].evaluate(array);
+            resultStore.checkpointSlot(idx, results[idx]);
+        });
+    }
     resultStore.closeCheckpoint();
     resultStore.writeResults(results);
     lastStoreStats_ = resultStore.stats();

@@ -23,6 +23,8 @@
 
 namespace nvmexp {
 
+class BatchEvalContext;
+
 /**
  * Process-wide default worker count for sweeps that don't specify one
  * (studies, bench binaries). The CLI's --jobs flag sets this. 1 on
@@ -82,12 +84,24 @@ class ParallelSweepRunner
     /** Evaluate arrays x traffics x reliability specs (spec
      *  innermost), each row annotated with its spec's failure rates
      *  and overhead. An empty spec list means the implicit default
-     *  spec, reproducing the two-argument overload exactly. */
+     *  spec, reproducing the two-argument overload exactly. Runs the
+     *  batched path (eval/batch.hh); results are bit-identical to
+     *  evaluateAllScalar. */
     std::vector<EvalResult>
     evaluateAll(const std::vector<ArrayResult> &arrays,
                 const std::vector<TrafficPattern> &traffics,
                 const std::vector<reliability::ReliabilitySpec> &specs)
         const;
+
+    /** The per-point reference path: every expanded slot pays its own
+     *  base and reliability evaluation. Kept as the second opinion
+     *  the differential tier (and `"batch": false` sweeps) compare
+     *  the batched path against. */
+    std::vector<EvalResult>
+    evaluateAllScalar(const std::vector<ArrayResult> &arrays,
+                      const std::vector<TrafficPattern> &traffics,
+                      const std::vector<reliability::ReliabilitySpec>
+                          &specs) const;
 
     /** Optimize one array per cell at a fixed capacity/word width,
      *  results in cell order. */
@@ -108,6 +122,15 @@ class ParallelSweepRunner
     std::vector<ArrayResult>
     characterizeWithStore(const SweepConfig &config,
                           store::ResultStore *resultStore) const;
+
+    /** Shard the context's slots over the workers in contiguous
+     *  batches of `batchSize` (<= 0 picks the context default). todo
+     *  and onSlot pass through to evaluateRange() unchanged. */
+    void shardBatches(const BatchEvalContext &context, int batchSize,
+                      std::vector<EvalResult> &results,
+                      const std::vector<char> *todo,
+                      const std::function<void(std::size_t)> &onSlot)
+        const;
 
     int jobs_;
     /** Lazily-created persistent worker pool; runners are not

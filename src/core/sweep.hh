@@ -60,6 +60,25 @@ struct SweepConfig
      *  hardware threads. Results are identical for any value. */
     int jobs = 1;
     /**
+     * Evaluate the (array x traffic x spec) inner loop through the
+     * batched structure-of-arrays path (eval/batch.hh): the base
+     * evaluation is computed once per (array, traffic) pair and the
+     * reliability terms once per (array, spec), instead of once per
+     * expanded point. On by default; `"batch": false` (CLI
+     * --no-batch) falls back to the per-point scalar path. Results,
+     * artifacts, and the store fingerprint are bit-identical either
+     * way — the flag exists as an escape hatch and as the reference
+     * for the differential test tier.
+     */
+    bool batch = true;
+    /**
+     * Evaluation slots per batched work item ("batch_size" config
+     * key); <=0 picks a size that keeps every worker busy. Pure
+     * scheduling granularity: results and artifacts are identical
+     * for any value.
+     */
+    int batchSize = 0;
+    /**
      * Result-store directory (CLI --out / config "out_dir"): persists
      * results.json/.csv, a content-hashed characterization cache, and
      * an evaluation checkpoint journal there. Empty disables

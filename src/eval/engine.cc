@@ -16,8 +16,7 @@ lifetimeSeconds(const ArrayResult &array, double writesPerSec)
 {
     if (writesPerSec <= 0.0)
         return std::numeric_limits<double>::infinity();
-    double words = array.capacityBytes * 8.0 / (double)array.wordBits;
-    double totalWrites = array.cell.endurance * words;
+    double totalWrites = array.cell.endurance * array.words();
     return totalWrites / writesPerSec;
 }
 
@@ -116,8 +115,7 @@ evaluateIntermittent(const ArrayResult &array,
     double writesPerDay =
         (config.writesPerEvent + restoreWrites) * config.eventsPerDay;
     if (writesPerDay > 0.0) {
-        double words = array.capacityBytes * 8.0 / (double)array.wordBits;
-        r.lifetimeSec = array.cell.endurance * words /
+        r.lifetimeSec = array.cell.endurance * array.words() /
             (writesPerDay / 86400.0);
     } else {
         r.lifetimeSec = std::numeric_limits<double>::infinity();

@@ -79,6 +79,13 @@ struct ArrayResult
     {
         return wordBits ? writeEnergy / (double)wordBits : 0.0;
     }
+    /** Number of wordBits-wide words the array stores (the unit the
+     *  eval engine's lifetime/wear math is expressed in). */
+    double words() const
+    {
+        return capacityBytes * 8.0 / (double)wordBits;
+    }
+
     /** Storage density, Mbit per mm^2. */
     double densityMbPerMm2() const;
 

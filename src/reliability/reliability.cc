@@ -74,16 +74,28 @@ ReliabilityEvaluator::ReliabilityEvaluator(const ReliabilitySpec &spec,
     }
 }
 
+double
+ReliabilityEvaluator::rawBitErrorRate(const ArrayResult &array)
+{
+    FaultModel model(array.cell);
+    return model.bitErrorRate();
+}
+
 ReliabilityResult
 ReliabilityEvaluator::evaluate(const ArrayResult &array) const
+{
+    return evaluate(array, rawBitErrorRate(array));
+}
+
+ReliabilityResult
+ReliabilityEvaluator::evaluate(const ArrayResult &array,
+                               double rawBer) const
 {
     ReliabilityResult r;
     r.scheme = scheme_->name;
     r.scrubIntervalSec = spec_.scrubIntervalSec;
     r.eccOverhead = scheme_->overhead();
-
-    FaultModel model(array.cell);
-    r.rawBer = model.bitErrorRate();
+    r.rawBer = rawBer;
 
     // Retention drift accumulates between scrubs for non-volatile
     // cells (volatile arrays are powered and refreshed): linear

@@ -115,6 +115,21 @@ class ReliabilityEvaluator
     ReliabilityResult evaluate(const ArrayResult &array) const;
 
     /**
+     * Spec-independent raw FaultModel BER of an array's cell — the
+     * term every spec on the reliability axis shares. The batch
+     * evaluation path computes it once per array and re-evaluates
+     * only the ECC/scrub terms across the (innermost) spec axis.
+     */
+    static double rawBitErrorRate(const ArrayResult &array);
+
+    /**
+     * evaluate() with the raw BER already in hand:
+     * evaluate(a) == evaluate(a, rawBitErrorRate(a)) bit for bit.
+     */
+    ReliabilityResult evaluate(const ArrayResult &array,
+                               double rawBer) const;
+
+    /**
      * Retention-drift model: a non-volatile cell left un-scrubbed for
      * its full rated retention accumulates this drift-induced BER;
      * shorter windows scale linearly. Volatile (powered, refreshed)

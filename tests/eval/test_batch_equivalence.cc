@@ -1,0 +1,356 @@
+/**
+ * @file
+ * Differential tier for the batched sweep evaluation path
+ * (eval/batch.hh): the batched structure-of-arrays inner loop must be
+ * bitwise indistinguishable from the per-point reference path — same
+ * EvalResults (reliability sub-object included), same store
+ * fingerprint, same on-disk artifacts — across every shipped config,
+ * randomized sweep axes, any batch size, any worker count, and
+ * through a mid-batch checkpoint resume.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "celldb/tentpole.hh"
+#include "core/config.hh"
+#include "core/parallel_sweep.hh"
+#include "reliability/reliability.hh"
+#include "store/result_store.hh"
+#include "util/random.hh"
+#include "workload/workload.hh"
+
+#include "../support/fixtures.hh"
+
+namespace nvmexp {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE((bool)in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+void
+writeLines(const std::string &path,
+           const std::vector<std::string> &lines)
+{
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto &line : lines)
+        out << line << '\n';
+}
+
+/** The sweep's effective traffic list, workload specs expanded the
+ *  same way ParallelSweepRunner::run() expands them. */
+std::vector<TrafficPattern>
+expandedTraffics(const SweepConfig &config)
+{
+    std::vector<TrafficPattern> traffics = config.traffics;
+    if (!config.workloads.empty()) {
+        workload::TrafficContext context;
+        context.wordBits = config.wordBits;
+        auto patterns =
+            workload::expandWorkloads(config.workloads, context);
+        traffics.insert(traffics.end(), patterns.begin(),
+                        patterns.end());
+    }
+    return traffics;
+}
+
+void
+expectIdentical(const std::vector<EvalResult> &batched,
+                const std::vector<EvalResult> &scalar,
+                const std::string &label)
+{
+    ASSERT_EQ(batched.size(), scalar.size()) << label;
+    for (std::size_t i = 0; i < batched.size(); ++i) {
+        EXPECT_TRUE(store::identical(batched[i], scalar[i]))
+            << label << " slot " << i;
+    }
+}
+
+class BatchEquivalenceTest : public testsupport::QuietTest
+{
+  protected:
+    /** Fresh per-test store directory. */
+    std::string
+    storeDir(const std::string &name)
+    {
+        std::string dir = ::testing::TempDir() + "nvmexp_batch_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()->name() +
+            "_" + name;
+        std::filesystem::remove_all(dir);
+        return dir;
+    }
+
+    /** wideSweep with a reliability axis: 16 arrays x 3 traffics x 2
+     *  specs = 96 slots, every axis the batched path hoists over. */
+    SweepConfig
+    reliabilitySweep()
+    {
+        SweepConfig config = testsupport::wideSweep();
+        reliability::ReliabilitySpec none;
+        reliability::ReliabilitySpec secded;
+        secded.ecc = "secded-72-64";
+        secded.scrubIntervalSec = 3600.0;
+        config.reliability = {none, secded};
+        return config;
+    }
+};
+
+/** Every shipped study config, evaluated batched and per point at one
+ *  and at eight workers: all four runs bitwise identical. */
+TEST_F(BatchEquivalenceTest, ShippedConfigsMatchScalarAtAnyJobCount)
+{
+    const std::string configDir =
+        std::string(NVMEXP_SOURCE_DIR) + "/config";
+    std::size_t checked = 0;
+    for (const auto &entry :
+         std::filesystem::directory_iterator(configDir)) {
+        if (entry.path().extension() != ".json")
+            continue;
+        ExperimentConfig experiment =
+            loadExperimentFile(entry.path().string());
+        SweepConfig sweep = experiment.sweep;
+        sweep.outDir.clear();
+        sweep.resume = false;
+        auto traffics = expandedTraffics(sweep);
+
+        // Characterization is deterministic and path-independent:
+        // do it once and diff only the evaluation stage.
+        ParallelSweepRunner characterizer(8);
+        auto arrays = characterizer.characterize(sweep);
+        ASSERT_FALSE(arrays.empty()) << entry.path();
+
+        for (int jobs : {1, 8}) {
+            ParallelSweepRunner runner(jobs);
+            auto batched = runner.evaluateAll(arrays, traffics,
+                                              sweep.reliability);
+            auto scalar = runner.evaluateAllScalar(arrays, traffics,
+                                                   sweep.reliability);
+            std::string label = entry.path().filename().string();
+            label += " -j";
+            label += std::to_string(jobs);
+            expectIdentical(batched, scalar, label);
+        }
+        ++checked;
+    }
+    // The repo ships eight study configs; a glob that silently
+    // matches nothing would vacuously pass.
+    EXPECT_GE(checked, 8u);
+}
+
+/** The batch flag and batch size are invisible to the store: a
+ *  sweep's fingerprint (which guards checkpoint replay) must not
+ *  depend on either. */
+TEST_F(BatchEquivalenceTest, FingerprintIgnoresBatchSettings)
+{
+    SweepConfig config = reliabilitySweep();
+    std::string base = store::sweepFingerprint(config);
+    SweepConfig toggled = config;
+    toggled.batch = false;
+    EXPECT_EQ(base, store::sweepFingerprint(toggled));
+    toggled.batch = true;
+    toggled.batchSize = 7;
+    EXPECT_EQ(base, store::sweepFingerprint(toggled));
+}
+
+/** Property test over randomized sweep axes: random subsets of a
+ *  pre-characterized array universe x random traffics x random
+ *  reliability specs, batched == scalar at 1 and 8 workers. */
+TEST_F(BatchEquivalenceTest, RandomizedAxesMatchScalar)
+{
+    // Characterize the full universe once; trials draw arrays from it
+    // instead of re-running the (expensive) design-space enumeration.
+    CellCatalog catalog;
+    SweepConfig universe;
+    universe.cells = {CellCatalog::sram16(),
+                      catalog.optimistic(CellTech::STT),
+                      catalog.pessimistic(CellTech::RRAM),
+                      catalog.optimistic(CellTech::FeFET)};
+    universe.capacitiesBytes = {1.0 * 1024 * 1024, 4.0 * 1024 * 1024};
+    universe.targets = {OptTarget::ReadEDP, OptTarget::Area};
+    ParallelSweepRunner characterizer(8);
+    auto pool = characterizer.characterize(universe);
+    ASSERT_FALSE(pool.empty());
+
+    const auto &schemes = reliability::eccSchemes();
+    Rng rng(0xBA7C);
+    for (int trial = 0; trial < 12; ++trial) {
+        std::vector<ArrayResult> arrays;
+        std::size_t narrays = 1 + rng.range(pool.size());
+        for (std::size_t i = 0; i < narrays; ++i)
+            arrays.push_back(pool[rng.range(pool.size())]);
+
+        std::vector<TrafficPattern> traffics;
+        std::size_t ntraffics = 1 + rng.range(4);
+        for (std::size_t i = 0; i < ntraffics; ++i) {
+            std::string name = "t";
+            name += std::to_string(i);
+            traffics.push_back(TrafficPattern::fromByteRates(
+                name, 1e6 * (1.0 + rng.uniform() * 1e4),
+                1e5 * (1.0 + rng.uniform() * 1e4), 512));
+        }
+
+        // Zero specs exercises the implicit-default-spec path.
+        std::vector<reliability::ReliabilitySpec> specs;
+        std::size_t nspecs = rng.range(4);
+        for (std::size_t i = 0; i < nspecs; ++i) {
+            reliability::ReliabilitySpec spec;
+            spec.ecc = schemes[rng.range(schemes.size())].name;
+            spec.scrubIntervalSec =
+                rng.bernoulli(0.5) ? 0.0 : 60.0 + rng.uniform() * 1e5;
+            specs.push_back(spec);
+        }
+
+        for (int jobs : {1, 8}) {
+            ParallelSweepRunner runner(jobs);
+            auto batched = runner.evaluateAll(arrays, traffics, specs);
+            auto scalar =
+                runner.evaluateAllScalar(arrays, traffics, specs);
+            std::string label = "trial ";
+            label += std::to_string(trial);
+            label += " -j";
+            label += std::to_string(jobs);
+            expectIdentical(batched, scalar, label);
+        }
+    }
+}
+
+/** Batch size is pure scheduling granularity: every size — including
+ *  1, primes that straddle spec runs, the whole sweep, and one past
+ *  it — and the per-point path produce byte-identical results.json
+ *  and results.csv. */
+TEST_F(BatchEquivalenceTest, BatchSizesProduceIdenticalArtifacts)
+{
+    SweepConfig config = reliabilitySweep();
+    config.jobs = 4;
+    config.outDir = storeDir("sizes");
+
+    ParallelSweepRunner runner(config.jobs);
+    auto reference = runner.run(config);
+    ASSERT_EQ(reference.size(), 96u);
+    std::string goldenJson = readFile(config.outDir + "/results.json");
+    std::string goldenCsv = readFile(config.outDir + "/results.csv");
+
+    int slots = (int)reference.size();
+    std::vector<int> sizes = {1, 3, 7, slots, slots + 1};
+    for (int size : sizes) {
+        SweepConfig sized = config;
+        sized.batchSize = size;
+        auto results = runner.run(sized);
+        expectIdentical(results, reference,
+                        "batch_size " + std::to_string(size));
+        EXPECT_EQ(readFile(config.outDir + "/results.json"),
+                  goldenJson)
+            << "batch_size " << size;
+        EXPECT_EQ(readFile(config.outDir + "/results.csv"), goldenCsv)
+            << "batch_size " << size;
+    }
+
+    // The "batch": false escape hatch lands on the same bytes.
+    SweepConfig scalar = config;
+    scalar.batch = false;
+    auto results = runner.run(scalar);
+    expectIdentical(results, reference, "batch false");
+    EXPECT_EQ(readFile(config.outDir + "/results.json"), goldenJson);
+    EXPECT_EQ(readFile(config.outDir + "/results.csv"), goldenCsv);
+}
+
+/** A sweep killed mid-batch leaves a journal whose completed slots
+ *  cut across a batch boundary; the resumed batched run must replay
+ *  them and recompute only the rest, byte-identically. */
+TEST_F(BatchEquivalenceTest, MidBatchCheckpointResumeReplaysExactly)
+{
+    SweepConfig config = reliabilitySweep();
+    config.jobs = 4;
+    config.batchSize = 5;  // slots 0..4 in one batch; a 3-slot journal
+                           // tears mid-batch
+    config.outDir = storeDir("uninterrupted");
+    ParallelSweepRunner runner(config.jobs);
+    auto fresh = runner.run(config);
+    std::string golden = readFile(config.outDir + "/results.json");
+
+    config.outDir = storeDir("interrupted");
+    runner.run(config);
+    std::string journal = config.outDir + "/checkpoint.jsonl";
+    auto lines = readLines(journal);
+    ASSERT_EQ(lines.size(), 1u + fresh.size());
+    lines.resize(4);  // header + 3 completed slots
+    writeLines(journal, lines);
+    std::filesystem::remove(config.outDir + "/results.json");
+    std::filesystem::remove(config.outDir + "/results.csv");
+
+    config.resume = true;
+    auto resumed = runner.run(config);
+    expectIdentical(resumed, fresh, "resumed");
+    EXPECT_EQ(readFile(config.outDir + "/results.json"), golden);
+
+    store::StoreStats stats = store::loadStats(config.outDir);
+    EXPECT_EQ(stats.checkpointLoaded, 3u);
+    EXPECT_EQ(stats.checkpointComputed, fresh.size() - 3u);
+}
+
+/** Characterization depends only on (cell, capacity, target): a
+ *  config edit confined to the innermost reliability axis must be
+ *  served 100% from the characterization cache (no re-enumeration),
+ *  while the changed fingerprint correctly discards the checkpoint. */
+TEST_F(BatchEquivalenceTest, SpecAxisChangeKeepsCharacterizationCached)
+{
+    SweepConfig config = reliabilitySweep();
+    config.jobs = 4;
+    config.outDir = storeDir("specaxis");
+    ParallelSweepRunner runner(config.jobs);
+    runner.run(config);
+    store::StoreStats cold = runner.lastStoreStats();
+    EXPECT_EQ(cold.cacheHits, 0u);
+    EXPECT_EQ(cold.cacheMisses, 16u);  // 4 cells x 2 caps x 2 targets
+
+    // Perturb only the innermost axis: a third spec and a different
+    // scrub interval on the second.
+    config.reliability[1].scrubIntervalSec = 86400.0;
+    reliability::ReliabilitySpec dec;
+    dec.ecc = "dec-78-64";
+    config.reliability.push_back(dec);
+
+    auto results = runner.run(config);
+    store::StoreStats warm = runner.lastStoreStats();
+    EXPECT_EQ(warm.cacheMisses, 0u);
+    EXPECT_EQ(warm.cacheHits, warm.cacheLookups());
+    EXPECT_EQ(warm.cacheHits, 16u);
+    // New fingerprint: every (now 144) evaluation slot is fresh.
+    EXPECT_EQ(warm.checkpointLoaded, 0u);
+    EXPECT_EQ(warm.checkpointComputed, results.size());
+
+    // And the cache-served batched rows still match a cold scalar
+    // reference run.
+    SweepConfig reference = config;
+    reference.outDir.clear();
+    reference.batch = false;
+    auto expected = runner.run(reference);
+    expectIdentical(results, expected, "cache-served vs cold scalar");
+}
+
+} // namespace
+} // namespace nvmexp

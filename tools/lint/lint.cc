@@ -79,10 +79,10 @@ knownConfigKeys()
         "experiment",  "cells",       "capacities_mib",
         "word_bits",   "node_nm",     "sram_node_nm",
         "jobs",        "out_dir",     "resume",
-        "targets",     "traffic",     "workloads",
-        "workload",    "reliability", "ecc",
-        "constraints", "pareto",      "top_k",
-        "output_csv",
+        "batch",       "batch_size",  "targets",
+        "traffic",     "workloads",   "workload",
+        "reliability", "ecc",         "constraints",
+        "pareto",      "top_k",       "output_csv",
     };
     return keys;
 }

@@ -32,8 +32,8 @@ usage()
 {
     std::cout <<
         "usage: nvmexplorer_cli [-q] [--jobs N] [--out DIR] [--resume]\n"
-        "                       [--filter EXPR]... [--pareto METRICS]\n"
-        "                       [--top K METRIC]\n"
+        "                       [--no-batch] [--filter EXPR]...\n"
+        "                       [--pareto METRICS] [--top K METRIC]\n"
         "                       <config.json> [more configs...]\n"
         "\n"
         "Runs the design sweep(s) described by the JSON config(s) and\n"
@@ -51,6 +51,9 @@ usage()
         "  --resume   continue an interrupted sweep from DIR's\n"
         "             checkpoint journal (results are byte-identical\n"
         "             to an uninterrupted run)\n"
+        "  --no-batch evaluate the sweep per point instead of in\n"
+        "             batches (slower reference path; results are\n"
+        "             bit-identical either way)\n"
         "  --filter 'METRIC<BOUND'\n"
         "             keep only rows satisfying the clause (repeatable,\n"
         "             ANDed; operators < <= > >= == !=); appended to a\n"
@@ -128,6 +131,7 @@ main(int argc, char **argv)
     int argi = 1;
     std::string outDir;
     bool resume = false;
+    bool noBatch = false;
     // Refine flags, validated eagerly so a typo'd metric name fails
     // before any simulation runs.
     metrics::ConstraintSet cliFilter;
@@ -202,6 +206,9 @@ main(int argc, char **argv)
         } else if (std::strcmp(argv[argi], "--resume") == 0) {
             resume = true;
             ++argi;
+        } else if (std::strcmp(argv[argi], "--no-batch") == 0) {
+            noBatch = true;
+            ++argi;
         } else if (std::strcmp(argv[argi], "--list-metrics") == 0) {
             listMetrics();
             return 0;
@@ -246,6 +253,11 @@ main(int argc, char **argv)
         }
         if (resume)
             config.sweep.resume = true;
+        // Unlike --out/--resume, --no-batch overrides even a config's
+        // own "batch": true — it exists to force the per-point
+        // reference path when validating a batched-path suspicion.
+        if (noBatch)
+            config.sweep.batch = false;
         if (config.sweep.resume && config.sweep.outDir.empty()) {
             fatal("--resume needs a store: pass --out or set "
                   "\"out_dir\" in the config");
