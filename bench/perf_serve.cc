@@ -1,0 +1,218 @@
+/**
+ * @file
+ * Load test for the query server: N client threads hammer a
+ * QueryServer over loopback HTTP and report throughput and latency
+ * percentiles per query shape.
+ *
+ * Doubles as a correctness gate: every single served response is
+ * byte-compared against the offline store::queryStore answer for the
+ * same StoreQuery, and any mismatch (or non-200) makes the process
+ * exit nonzero. Unlike the perf_* microbenchmarks this is a plain
+ * executable — no google-benchmark dependency — so it always builds.
+ *
+ * usage: perf_serve [--threads N] [--requests N] [--store DIR]
+ *   --threads N   concurrent client threads (default 8)
+ *   --requests N  requests per thread (default 50)
+ *   --store DIR   serve an existing store instead of sweeping a
+ *                 temporary one
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <iostream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "celldb/tentpole.hh"
+#include "core/parallel_sweep.hh"
+#include "serve/server.hh"
+#include "store/result_store.hh"
+#include "util/json.hh"
+#include "util/logging.hh"
+
+using namespace nvmexp;
+
+namespace {
+
+/** 4 cells x 2 capacities x 2 targets x 3 traffics = 48 rows: enough
+ *  that Pareto/top-k queries do real work per request. */
+std::string
+buildFixtureStore()
+{
+    CellCatalog catalog;
+    SweepConfig config;
+    config.cells = {catalog.optimistic(CellTech::STT),
+                    catalog.pessimistic(CellTech::STT),
+                    catalog.optimistic(CellTech::RRAM),
+                    CellCatalog::sram16()};
+    config.capacitiesBytes = {2.0 * 1024 * 1024, 8.0 * 1024 * 1024};
+    config.targets = {OptTarget::ReadEDP, OptTarget::Leakage};
+    config.traffics = {
+        TrafficPattern::fromByteRates("light", 1e9, 1e6, 512),
+        TrafficPattern::fromByteRates("heavy", 10e9, 1e8, 512),
+        TrafficPattern::fromByteRates("writeheavy", 2e9, 2e9, 512),
+    };
+    config.jobs = 4;
+    config.outDir = (std::filesystem::temp_directory_path() /
+                     "nvmexp_perf_serve_store").string();
+    std::filesystem::remove_all(config.outDir);
+    runSweep(config);
+    return config.outDir;
+}
+
+struct QueryShape
+{
+    const char *label;
+    const char *json;
+};
+
+constexpr QueryShape kShapes[] = {
+    {"full-store", R"({})"},
+    {"filter", R"({"constraints": ["total_power<0.5",
+                                   "latency_load<=1.5"]})"},
+    {"pareto-2d", R"({"pareto": ["total_power", "read_latency"]})"},
+    {"pareto-3d",
+     R"({"pareto": ["total_power", "read_latency", "area_mm2"]})"},
+    {"top-k", R"({"top_k": {"metric": "read_edp", "k": 8}})"},
+    {"pipeline", R"({"constraints": ["latency_load<=2"],
+                     "pareto": ["total_power", "read_latency"],
+                     "top_k": {"metric": "total_power", "k": 4}})"},
+};
+constexpr std::size_t kShapeCount =
+    sizeof(kShapes) / sizeof(kShapes[0]);
+
+double
+percentile(std::vector<double> sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    std::size_t at = (std::size_t)((double)(sorted.size() - 1) * p);
+    return sorted[at];
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    int threads = 8;
+    int requestsPerThread = 50;
+    std::string storeDir;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+            threads = std::max(1, std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--requests") == 0 &&
+                   i + 1 < argc) {
+            requestsPerThread = std::max(1, std::atoi(argv[++i]));
+        } else if (std::strcmp(argv[i], "--store") == 0 &&
+                   i + 1 < argc) {
+            storeDir = argv[++i];
+        } else {
+            std::cerr << "usage: perf_serve [--threads N] "
+                         "[--requests N] [--store DIR]\n";
+            return 2;
+        }
+    }
+
+    setQuiet(true);
+    if (storeDir.empty()) {
+        std::cout << "building fixture store...\n";
+        storeDir = buildFixtureStore();
+    }
+
+    // The offline ground truth every response is compared against.
+    std::string expected[kShapeCount];
+    for (std::size_t s = 0; s < kShapeCount; ++s) {
+        store::StoreQuery query = store::StoreQuery::fromJson(
+            JsonValue::parse(kShapes[s].json));
+        expected[s] = store::serializeResults(
+            store::queryStore(storeDir, query));
+    }
+
+    serve::ServeOptions options;
+    options.storeDir = storeDir;
+    options.port = 0;
+    options.jobs = threads;
+    serve::QueryServer server(options);
+    std::string error;
+    if (!server.start(error)) {
+        std::cerr << "perf_serve: " << error << "\n";
+        return 1;
+    }
+    std::thread acceptLoop([&server] { server.run(); });
+
+    std::atomic<long> mismatches{0};
+    std::mutex latencyMutex;
+    std::vector<std::vector<double>> latencyMs(kShapeCount);
+
+    auto wallBegin = std::chrono::steady_clock::now();
+    std::vector<std::thread> clients;
+    clients.reserve((std::size_t)threads);
+    for (int t = 0; t < threads; ++t) {
+        clients.emplace_back([&, t] {
+            std::vector<std::vector<double>> local(kShapeCount);
+            for (int i = 0; i < requestsPerThread; ++i) {
+                std::size_t s =
+                    ((std::size_t)t + (std::size_t)i) % kShapeCount;
+                auto begin = std::chrono::steady_clock::now();
+                serve::HttpClientResult result;
+                std::string clientError;
+                bool ok = serve::httpExchange(server.port(), "POST",
+                                              "/query", kShapes[s].json,
+                                              result, clientError);
+                auto elapsed = std::chrono::duration<double,
+                                                     std::milli>(
+                    std::chrono::steady_clock::now() - begin);
+                if (!ok || result.status != 200 ||
+                    result.body != expected[s]) {
+                    mismatches.fetch_add(1);
+                } else {
+                    local[s].push_back(elapsed.count());
+                }
+            }
+            std::lock_guard<std::mutex> lock(latencyMutex);
+            for (std::size_t s = 0; s < kShapeCount; ++s) {
+                latencyMs[s].insert(latencyMs[s].end(),
+                                    local[s].begin(), local[s].end());
+            }
+        });
+    }
+    for (auto &client : clients)
+        client.join();
+    auto wallSeconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - wallBegin).count();
+
+    server.stop();
+    acceptLoop.join();
+
+    long total = (long)threads * requestsPerThread;
+    std::cout << "perf_serve: " << threads << " threads x "
+              << requestsPerThread << " requests over "
+              << server.index()->rows() << " rows\n";
+    std::cout << "  total " << total << " requests in " << wallSeconds
+              << " s (" << (double)total / wallSeconds << " req/s)\n";
+    for (std::size_t s = 0; s < kShapeCount; ++s) {
+        auto &samples = latencyMs[s];
+        std::sort(samples.begin(), samples.end());
+        std::cout << "  " << kShapes[s].label << ": "
+                  << samples.size() << " ok, p50 "
+                  << percentile(samples, 0.5) << " ms, p99 "
+                  << percentile(samples, 0.99) << " ms\n";
+    }
+
+    if (mismatches.load() != 0) {
+        std::cerr << "perf_serve: " << mismatches.load()
+                  << " responses differed from the offline "
+                     "queryStore() answer (or failed)\n";
+        return 1;
+    }
+    std::cout << "  every response byte-identical to the offline "
+                 "query path\n";
+    return 0;
+}

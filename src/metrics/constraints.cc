@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cmath>
-#include <cstdlib>
 
 #include "util/logging.hh"
 
@@ -107,11 +106,12 @@ ConstraintClause::parse(const std::string &input,
     MetricRegistry::instance().require(out.metric, withContext(context));
     out.op = constraintOpFromName(clause.substr(split, opLen), context);
 
+    // JsonValue::parseNumber, not strtod: strtod honors LC_NUMERIC, so
+    // under a comma-decimal locale "total_power<0.5" would stop at the
+    // '.' and fail while "0,5" would silently parse as 0.5. The shared
+    // parse applies the JSON scanner's locale-independent rules.
     std::string boundText = trim(clause.substr(split + opLen));
-    const char *begin = boundText.c_str();
-    char *end = nullptr;
-    out.bound = std::strtod(begin, &end);
-    if (boundText.empty() || end != begin + boundText.size() ||
+    if (!JsonValue::parseNumber(boundText, out.bound) ||
         std::isnan(out.bound)) {
         fatal(withContext(context), " '", input, "': bound '",
               boundText, "' is not a number");

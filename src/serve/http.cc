@@ -1,0 +1,306 @@
+#include "serve/http.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+#include "util/json.hh"
+
+namespace nvmexp {
+namespace serve {
+
+namespace {
+
+std::string
+lowered(std::string text)
+{
+    for (char &c : text)
+        c = (char)std::tolower((unsigned char)c);
+    return text;
+}
+
+std::string
+trimmed(const std::string &text)
+{
+    std::size_t begin = text.find_first_not_of(" \t\r");
+    std::size_t end = text.find_last_not_of(" \t\r");
+    if (begin == std::string::npos)
+        return "";
+    return text.substr(begin, end - begin + 1);
+}
+
+/** Split one header block line-by-line; lines may end in LF or CRLF
+ *  (the trailing CR is trimmed with the surrounding whitespace). */
+std::vector<std::string>
+splitLines(const std::string &block)
+{
+    std::vector<std::string> lines;
+    std::size_t at = 0;
+    while (at <= block.size()) {
+        std::size_t eol = block.find('\n', at);
+        if (eol == std::string::npos) {
+            lines.push_back(block.substr(at));
+            break;
+        }
+        lines.push_back(block.substr(at, eol - at));
+        at = eol + 1;
+    }
+    return lines;
+}
+
+} // namespace
+
+std::string
+HttpRequest::path() const
+{
+    std::size_t q = target.find('?');
+    return q == std::string::npos ? target : target.substr(0, q);
+}
+
+HttpRequestParser::HttpRequestParser(std::size_t maxBodyBytes)
+    : maxBody_(maxBodyBytes)
+{
+}
+
+ParseState
+HttpRequestParser::fail(ParseState state, const std::string &what)
+{
+    state_ = state;
+    error_ = what;
+    return state_;
+}
+
+ParseState
+HttpRequestParser::finishHeaders(std::size_t headerEnd)
+{
+    auto lines = splitLines(buffer_.substr(0, headerEnd));
+    if (lines.empty() || trimmed(lines[0]).empty())
+        return fail(ParseState::Bad, "empty request line");
+
+    // Request line: METHOD SP TARGET SP VERSION.
+    std::string requestLine = trimmed(lines[0]);
+    std::size_t sp1 = requestLine.find(' ');
+    std::size_t sp2 =
+        sp1 == std::string::npos ? sp1 : requestLine.find(' ', sp1 + 1);
+    if (sp1 == std::string::npos || sp2 == std::string::npos ||
+        requestLine.find(' ', sp2 + 1) != std::string::npos) {
+        return fail(ParseState::Bad,
+                    "malformed request line '" + requestLine + "'");
+    }
+    request_.method = requestLine.substr(0, sp1);
+    request_.target = requestLine.substr(sp1 + 1, sp2 - sp1 - 1);
+    request_.version = requestLine.substr(sp2 + 1);
+    if (request_.version.rfind("HTTP/", 0) != 0) {
+        return fail(ParseState::Bad,
+                    "unsupported protocol '" + request_.version + "'");
+    }
+
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::string line = trimmed(lines[i]);
+        if (line.empty())
+            continue;
+        std::size_t colon = line.find(':');
+        if (colon == std::string::npos || colon == 0)
+            return fail(ParseState::Bad, "malformed header '" + line + "'");
+        request_.headers[lowered(trimmed(line.substr(0, colon)))] =
+            trimmed(line.substr(colon + 1));
+    }
+
+    auto cl = request_.headers.find("content-length");
+    if (cl != request_.headers.end()) {
+        double declared = 0.0;
+        if (!JsonValue::parseNumber(cl->second, declared) ||
+            declared < 0.0 || declared != (double)(std::size_t)declared) {
+            return fail(ParseState::Bad,
+                        "bad Content-Length '" + cl->second + "'");
+        }
+        contentLength_ = (std::size_t)declared;
+        if (contentLength_ > maxBody_)
+            return fail(ParseState::TooLarge, "request body too large");
+    }
+    headersDone_ = true;
+    return ParseState::NeedMore;
+}
+
+ParseState
+HttpRequestParser::consume(const char *data, std::size_t size)
+{
+    if (state_ != ParseState::NeedMore)
+        return state_;
+    buffer_.append(data, size);
+
+    if (!headersDone_) {
+        // Find the blank line ending the header block; accept CRLFCRLF
+        // or bare LFLF.
+        std::size_t end = buffer_.find("\r\n\r\n");
+        std::size_t bodyAt;
+        if (end != std::string::npos) {
+            bodyAt = end + 4;
+        } else {
+            end = buffer_.find("\n\n");
+            if (end != std::string::npos)
+                bodyAt = end + 2;
+            else if (buffer_.size() > maxBody_ + 8192)
+                return fail(ParseState::TooLarge, "request too large");
+            else
+                return ParseState::NeedMore;
+        }
+        bodyStart_ = bodyAt;
+        if (finishHeaders(end) != ParseState::NeedMore)
+            return state_;
+    }
+
+    if (buffer_.size() - bodyStart_ >= contentLength_) {
+        request_.body = buffer_.substr(bodyStart_, contentLength_);
+        state_ = ParseState::Done;
+    }
+    return state_;
+}
+
+const char *
+reasonPhrase(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 400: return "Bad Request";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 413: return "Payload Too Large";
+      case 500: return "Internal Server Error";
+      default: return "Unknown";
+    }
+}
+
+std::string
+serializeResponse(const HttpResponse &response)
+{
+    std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
+                      reasonPhrase(response.status) + "\r\n";
+    out += "Content-Type: " + response.contentType + "\r\n";
+    out += "Content-Length: " + std::to_string(response.body.size()) +
+           "\r\n";
+    out += "Connection: close\r\n\r\n";
+    out += response.body;
+    return out;
+}
+
+bool
+sendAll(int fd, const std::string &bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                           MSG_NOSIGNAL);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return false;
+        }
+        sent += (std::size_t)n;
+    }
+    return true;
+}
+
+bool
+httpExchange(int port, const std::string &method,
+             const std::string &target, const std::string &body,
+             HttpClientResult &out, std::string &error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = "socket: " + std::string(std::strerror(errno));
+        return false;
+    }
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons((uint16_t)port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        error = "connect: " + std::string(std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    std::string request = method + " " + target + " HTTP/1.1\r\n";
+    request += "Host: 127.0.0.1\r\n";
+    request += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    request += "Connection: close\r\n\r\n";
+    request += body;
+    if (!sendAll(fd, request)) {
+        error = "send: " + std::string(std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+
+    std::string response;
+    char chunk[4096];
+    for (;;) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            error = "recv: " + std::string(std::strerror(errno));
+            ::close(fd);
+            return false;
+        }
+        if (n == 0)
+            break;
+        response.append(chunk, (std::size_t)n);
+    }
+    ::close(fd);
+
+    // Parse status line + headers + body (body runs to EOF; the server
+    // always closes, and Content-Length is advisory here).
+    std::size_t headerEnd = response.find("\r\n\r\n");
+    std::size_t bodyAt;
+    if (headerEnd != std::string::npos) {
+        bodyAt = headerEnd + 4;
+    } else {
+        headerEnd = response.find("\n\n");
+        if (headerEnd == std::string::npos) {
+            error = "malformed response (no header terminator)";
+            return false;
+        }
+        bodyAt = headerEnd + 2;
+    }
+    auto lines = splitLines(response.substr(0, headerEnd));
+    if (lines.empty()) {
+        error = "malformed response (empty status line)";
+        return false;
+    }
+    std::string status = trimmed(lines[0]);
+    std::size_t sp = status.find(' ');
+    if (sp == std::string::npos || status.rfind("HTTP/", 0) != 0) {
+        error = "malformed status line '" + status + "'";
+        return false;
+    }
+    double code = 0.0;
+    std::string codeText = status.substr(sp + 1, 3);
+    if (!JsonValue::parseNumber(codeText, code)) {
+        error = "malformed status code '" + codeText + "'";
+        return false;
+    }
+    out.status = (int)code;
+    out.headers.clear();
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::string line = trimmed(lines[i]);
+        std::size_t colon = line.find(':');
+        if (line.empty() || colon == std::string::npos)
+            continue;
+        out.headers[lowered(trimmed(line.substr(0, colon)))] =
+            trimmed(line.substr(colon + 1));
+    }
+    out.body = response.substr(bodyAt);
+    return true;
+}
+
+} // namespace serve
+} // namespace nvmexp

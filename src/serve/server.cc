@@ -1,0 +1,346 @@
+#include "serve/server.hh"
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <csignal>
+#include <cstring>
+
+#include "util/json.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace serve {
+
+namespace {
+
+/** Set by requestReloadFromSignal (possibly from a SIGHUP handler),
+ *  consumed by every accept loop's next tick. Lock-free atomic: the
+ *  only state a signal handler may touch. */
+std::atomic<bool> reloadRequested{false};
+
+extern "C" void
+sighupHandler(int)
+{
+    QueryServer::requestReloadFromSignal();
+}
+
+void
+setRecvTimeout(int fd, int millis)
+{
+    timeval tv{};
+    tv.tv_sec = millis / 1000;
+    tv.tv_usec = (millis % 1000) * 1000;
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+}
+
+std::string
+errorBody(const std::string &message)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("error", JsonValue::makeString(message));
+    return v.dump(2) + "\n";
+}
+
+} // namespace
+
+void
+QueryServer::requestReloadFromSignal()
+{
+    reloadRequested.store(true, std::memory_order_relaxed);
+}
+
+void
+QueryServer::installSighupHandler()
+{
+    std::signal(SIGHUP, sighupHandler);
+}
+
+QueryServer::QueryServer(ServeOptions options)
+    : options_(std::move(options))
+{
+}
+
+QueryServer::~QueryServer()
+{
+    stop();
+    pool_.reset();  // drain in-flight connections before closing
+    if (listenFd_ >= 0)
+        ::close(listenFd_);
+}
+
+bool
+QueryServer::start(std::string &error)
+{
+    auto index = StoreIndex::load(options_.storeDir, error);
+    if (!index)
+        return false;
+    {
+        std::lock_guard<std::mutex> lock(indexMutex_);
+        index_ = std::move(index);
+    }
+
+    listenFd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (listenFd_ < 0) {
+        error = "socket: " + std::string(std::strerror(errno));
+        return false;
+    }
+    int one = 1;
+    ::setsockopt(listenFd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons((uint16_t)options_.port);
+    addr.sin_addr.s_addr = htonl(INADDR_ANY);
+    if (::bind(listenFd_, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        error = "bind port " + std::to_string(options_.port) + ": " +
+                std::strerror(errno);
+        return false;
+    }
+    if (::listen(listenFd_, 64) != 0) {
+        error = "listen: " + std::string(std::strerror(errno));
+        return false;
+    }
+
+    socklen_t len = sizeof(addr);
+    if (::getsockname(listenFd_, (sockaddr *)&addr, &len) == 0)
+        port_ = (int)ntohs(addr.sin_port);
+
+    // A short accept timeout turns the blocking loop into a poll of
+    // the stop/reload flags.
+    setRecvTimeout(listenFd_, 200);
+
+    pool_ = std::make_unique<ThreadPool>(
+        std::max(1, std::min(options_.jobs, ThreadPool::kMaxThreads)));
+    return true;
+}
+
+void
+QueryServer::run()
+{
+    while (!stop_.load(std::memory_order_relaxed)) {
+        if (reloadRequested.exchange(false, std::memory_order_relaxed)) {
+            std::string error;
+            if (reload(error))
+                inform("serve: store re-indexed on signal");
+            else
+                warn("serve: reload failed: ", error);
+        }
+
+        int fd = ::accept(listenFd_, nullptr, nullptr);
+        if (fd < 0) {
+            if (errno == EAGAIN || errno == EWOULDBLOCK ||
+                errno == EINTR) {
+                continue;
+            }
+            warn("serve: accept: ", std::strerror(errno));
+            continue;
+        }
+        bool queued = pool_->submit([this, fd] {
+            handleConnection(fd);
+            ::close(fd);
+        });
+        if (!queued)
+            ::close(fd);
+    }
+}
+
+void
+QueryServer::stop()
+{
+    stop_.store(true, std::memory_order_relaxed);
+}
+
+bool
+QueryServer::reload(std::string &error)
+{
+    auto fresh = StoreIndex::load(options_.storeDir, error);
+    if (!fresh) {
+        reloadFailures_.fetch_add(1, std::memory_order_relaxed);
+        return false;
+    }
+    {
+        std::lock_guard<std::mutex> lock(indexMutex_);
+        index_ = std::move(fresh);
+    }
+    reloads_.fetch_add(1, std::memory_order_relaxed);
+    return true;
+}
+
+std::shared_ptr<const StoreIndex>
+QueryServer::index() const
+{
+    std::lock_guard<std::mutex> lock(indexMutex_);
+    return index_;
+}
+
+ServeCounters
+QueryServer::counters() const
+{
+    ServeCounters out;
+    out.queries = queries_.load(std::memory_order_relaxed);
+    out.badRequests = badRequests_.load(std::memory_order_relaxed);
+    out.reloads = reloads_.load(std::memory_order_relaxed);
+    out.reloadFailures =
+        reloadFailures_.load(std::memory_order_relaxed);
+    out.dropped = dropped_.load(std::memory_order_relaxed);
+    out.queryMicros = queryMicros_.load(std::memory_order_relaxed);
+    return out;
+}
+
+HttpResponse
+QueryServer::handleQuery(const HttpRequest &request)
+{
+    auto begin = std::chrono::steady_clock::now();
+    auto snapshot = index();
+
+    HttpResponse response;
+    try {
+        // Query parsing and metric resolution fatal() on user errors
+        // (malformed JSON, unknown keys, unknown metrics); the guard
+        // turns each into a structured 400 instead of process exit.
+        ScopedFatalThrows guard;
+        store::StoreQuery query =
+            store::StoreQuery::fromJson(JsonValue::parse(request.body));
+        response.body = store::serializeResults(snapshot->query(query));
+    } catch (const FatalError &e) {
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        return {400, "application/json", errorBody(e.what())};
+    }
+
+    queries_.fetch_add(1, std::memory_order_relaxed);
+    auto micros = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - begin);
+    queryMicros_.fetch_add((std::uint64_t)micros.count(),
+                           std::memory_order_relaxed);
+    return response;
+}
+
+HttpResponse
+QueryServer::handleReload()
+{
+    std::string error;
+    if (!reload(error))
+        return {409, "application/json", errorBody(error)};
+    auto snapshot = index();
+    JsonValue v = JsonValue::makeObject();
+    v.set("status", JsonValue::makeString("reloaded"));
+    v.set("fingerprint", JsonValue::makeString(snapshot->fingerprint()));
+    v.set("rows", JsonValue::makeNumber((double)snapshot->rows()));
+    return {200, "application/json", v.dump(2) + "\n"};
+}
+
+HttpResponse
+QueryServer::dispatch(const HttpRequest &request)
+{
+    const std::string path = request.path();
+
+    if (path == "/query") {
+        if (request.method != "POST") {
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            return {405, "application/json",
+                    errorBody("/query takes POST")};
+        }
+        return handleQuery(request);
+    }
+
+    if (path == "/reload") {
+        if (request.method != "POST") {
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            return {405, "application/json",
+                    errorBody("/reload takes POST")};
+        }
+        return handleReload();
+    }
+
+    if (path == "/healthz") {
+        if (request.method != "GET") {
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            return {405, "application/json",
+                    errorBody("/healthz takes GET")};
+        }
+        auto snapshot = index();
+        JsonValue v = JsonValue::makeObject();
+        v.set("status", JsonValue::makeString("ok"));
+        v.set("fingerprint",
+              JsonValue::makeString(snapshot->fingerprint()));
+        v.set("rows", JsonValue::makeNumber((double)snapshot->rows()));
+        v.set("format",
+              JsonValue::makeNumber((double)store::kFormatVersion));
+        return {200, "application/json", v.dump(2) + "\n"};
+    }
+
+    if (path == "/statz") {
+        if (request.method != "GET") {
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            return {405, "application/json",
+                    errorBody("/statz takes GET")};
+        }
+        ServeCounters c = counters();
+        JsonValue v = JsonValue::makeObject();
+        v.set("queries", JsonValue::makeNumber((double)c.queries));
+        v.set("bad_requests",
+              JsonValue::makeNumber((double)c.badRequests));
+        v.set("reloads", JsonValue::makeNumber((double)c.reloads));
+        v.set("reload_failures",
+              JsonValue::makeNumber((double)c.reloadFailures));
+        v.set("dropped_connections",
+              JsonValue::makeNumber((double)c.dropped));
+        v.set("query_micros",
+              JsonValue::makeNumber((double)c.queryMicros));
+        return {200, "application/json", v.dump(2) + "\n"};
+    }
+
+    badRequests_.fetch_add(1, std::memory_order_relaxed);
+    return {404, "application/json",
+            errorBody("no such endpoint '" + path + "'")};
+}
+
+void
+QueryServer::handleConnection(int fd)
+{
+    // A peer that connects but never completes a request must not pin
+    // a worker: give up after a quiet receive window and count the
+    // connection as dropped.
+    setRecvTimeout(fd, 5000);
+
+    HttpRequestParser parser(options_.maxBodyBytes);
+    char chunk[8192];
+    while (parser.state() == ParseState::NeedMore) {
+        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+        if (n < 0 && errno == EINTR)
+            continue;
+        if (n <= 0) {
+            // Dropped (or timed-out) mid-request: nothing coherent to
+            // answer, so the connection is closed without a response;
+            // /statz records it and the server keeps serving.
+            dropped_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+        parser.consume(chunk, (std::size_t)n);
+    }
+
+    HttpResponse response;
+    switch (parser.state()) {
+      case ParseState::Done:
+        response = dispatch(parser.request());
+        break;
+      case ParseState::TooLarge:
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        response = {413, "application/json", errorBody(parser.error())};
+        break;
+      default:
+        badRequests_.fetch_add(1, std::memory_order_relaxed);
+        response = {400, "application/json", errorBody(parser.error())};
+        break;
+    }
+    if (!sendAll(fd, serializeResponse(response)))
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+}
+
+} // namespace serve
+} // namespace nvmexp

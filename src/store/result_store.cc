@@ -2,9 +2,11 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstdio>
 #include <filesystem>
+#include <iterator>
 #include <sstream>
 
 #include "metrics/metric.hh"
@@ -416,7 +418,7 @@ identityCsvValue(const std::string &header, const EvalResult &r)
     if (header == "cell")
         return Table::csvEscape(r.array.cell.name);
     if (header == "tech")
-        return techName(r.array.cell.tech);
+        return Table::csvEscape(techName(r.array.cell.tech));
     if (header == "traffic")
         return Table::csvEscape(r.traffic.name);
     if (header == "capacity_bytes")
@@ -435,10 +437,25 @@ identityCsvValue(const std::string &header, const EvalResult &r)
 
 } // namespace
 
+std::string
+serializeResults(const std::vector<EvalResult> &results)
+{
+    return toJson(results).dump(2) + "\n";
+}
+
 void
 ResultStore::writeResults(const std::vector<EvalResult> &results)
 {
-    toJson(results).writeFile(dir_ + "/results.json");
+    // serializeResults, not writeFile: the query server's responses
+    // must be byte-identical to this artifact for the same rows, so
+    // both go through the one serializer.
+    std::string jsonPath = dir_ + "/results.json";
+    std::ofstream json(jsonPath);
+    if (!json)
+        fatal("result store: cannot write '", jsonPath, "'");
+    json << serializeResults(results);
+    if (!json.flush())
+        fatal("result store: failed writing '", jsonPath, "'");
 
     std::string path = dir_ + "/results.csv";
     std::ofstream csv(path);
@@ -528,6 +545,33 @@ StoreQuery::toJson() const
 StoreQuery
 StoreQuery::fromJson(const JsonValue &doc)
 {
+    if (!doc.isObject())
+        fatal("store query: document must be a JSON object");
+    // Reject unknown keys outright, mirroring the config front-end's
+    // top-level vocabulary: a typo'd key ("paretto") would otherwise
+    // deserialize as the match-everything query and silently return
+    // the entire store.
+    static const char *const known[] = {"format", "constraints",
+                                        "pareto", "top_k"};
+    for (const auto &key : doc.memberNames()) {
+        if (std::find_if(std::begin(known), std::end(known),
+                         [&](const char *k) { return key == k; }) ==
+            std::end(known)) {
+            fatal("store query: unknown key '", key,
+                  "' (known keys: constraints pareto top_k format)");
+        }
+    }
+    if (doc.has("format")) {
+        if (!doc.at("format").isNumber()) {
+            fatal("store query: \"format\" must be the numeric store "
+                  "format version");
+        }
+        if ((int)doc.at("format").asNumber() != kFormatVersion) {
+            fatal("store query: written with format ",
+                  doc.at("format").asNumber(),
+                  ", this build reads format ", kFormatVersion);
+        }
+    }
     StoreQuery query;
     if (doc.has("constraints")) {
         query.constraints = metrics::ConstraintSet::fromJson(

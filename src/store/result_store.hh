@@ -156,6 +156,15 @@ struct CsvColumn
 /** The results.csv schema, in column order. */
 const std::vector<CsvColumn> &resultCsvColumns();
 
+/**
+ * The byte-exact serialized form of a result set: what results.json
+ * holds and what the query server's /query responses carry. Shared so
+ * a served response is byte-identical to the offline artifact for the
+ * same rows ({"format": v, "results": [...]} pretty-printed, trailing
+ * newline).
+ */
+std::string serializeResults(const std::vector<EvalResult> &results);
+
 /** Load a store's serialized results; fatal() if absent/corrupt. */
 std::vector<EvalResult> loadResults(const std::string &dir);
 

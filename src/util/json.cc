@@ -170,6 +170,50 @@ JsonValue::formatNumber(double value)
     return std::string(buffer, r.ptr);
 }
 
+bool
+JsonValue::parseNumber(const std::string &text, double &out)
+{
+    if (text.empty())
+        return false;
+    bool negative = text[0] == '-';
+    std::size_t first = (negative || text[0] == '+') ? 1 : 0;
+    if (text.compare(first, std::string::npos, "Infinity") == 0) {
+        out = negative ? -std::numeric_limits<double>::infinity()
+                       : std::numeric_limits<double>::infinity();
+        return true;
+    }
+    if (!negative && text.compare(first, std::string::npos, "NaN") == 0) {
+        out = std::numeric_limits<double>::quiet_NaN();
+        return true;
+    }
+    // Mirror the scanner's character set before handing the text to
+    // from_chars: at least one digit, nothing but digit/./e/E/sign
+    // characters. This rejects the spellings from_chars itself would
+    // accept beyond the JSON grammar ("inf", "nan", "0x1p4").
+    bool sawDigit = false;
+    for (std::size_t i = first; i < text.size(); ++i) {
+        char c = text[i];
+        if (std::isdigit((unsigned char)c)) {
+            sawDigit = true;
+        } else if (c != '.' && c != 'e' && c != 'E' && c != '+' &&
+                   c != '-') {
+            return false;
+        }
+    }
+    if (!sawDigit)
+        return false;
+    // from_chars rejects a leading '+' (allowed here, as in the
+    // scanner) but consumes '-' itself.
+    std::size_t begin = text[0] == '+' ? 1 : 0;
+    double value = 0.0;
+    auto r = std::from_chars(text.data() + begin,
+                             text.data() + text.size(), value);
+    if (r.ec != std::errc() || r.ptr != text.data() + text.size())
+        return false;
+    out = value;
+    return true;
+}
+
 namespace {
 
 void

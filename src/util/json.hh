@@ -103,6 +103,20 @@ class JsonValue
      */
     static std::string formatNumber(double value);
 
+    /**
+     * Parse `text` as one complete number under the same rules the
+     * JSON scanner applies: optional leading sign, decimal/scientific
+     * digits via from_chars, and the Infinity/-Infinity/NaN literals
+     * formatNumber() emits. Locale-independent by construction —
+     * "0.5" parses as 0.5 under every LC_NUMERIC, and "0,5" is never
+     * accepted (unlike strtod, which honors the locale's decimal
+     * point). The strtod spellings outside the JSON grammar ("inf",
+     * "nan", hex floats) are rejected too.
+     *
+     * @return true and fill `out` iff the entire string is a number.
+     */
+    static bool parseNumber(const std::string &text, double &out);
+
   private:
     friend class JsonParser;
 

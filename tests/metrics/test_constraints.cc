@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <clocale>
 #include <cmath>
 #include <limits>
 
@@ -251,6 +252,46 @@ TEST_F(ConstraintsDeathTest, MalformedBoundsAreFatal)
                     R"({"metric": "total_power", "op": "<",
                         "bound": "high"})")),
                 ::testing::ExitedWithCode(1), "must be a number");
+}
+
+/** RAII LC_NUMERIC override restoring the previous locale. */
+class ScopedNumericLocale
+{
+  public:
+    explicit ScopedNumericLocale(const char *name)
+    {
+        const char *current = std::setlocale(LC_NUMERIC, nullptr);
+        saved_ = current ? current : "C";
+        active_ = std::setlocale(LC_NUMERIC, name) != nullptr;
+    }
+
+    ~ScopedNumericLocale() { std::setlocale(LC_NUMERIC, saved_.c_str()); }
+
+    bool active() const { return active_; }
+
+  private:
+    std::string saved_;
+    bool active_ = false;
+};
+
+TEST_F(ConstraintsTest, BoundParseIsLocaleIndependent)
+{
+    // Under a comma-decimal LC_NUMERIC, strtod would stop "0.5" at the
+    // '.' (misparsing the bound as 0) and happily accept "0,5". The
+    // shared JSON number parse must do neither, whatever the locale.
+    ScopedNumericLocale locale("de_DE.UTF-8");
+    if (!locale.active()) {
+        GTEST_SKIP()
+            << "no comma-decimal locale installed; cannot exercise "
+               "the LC_NUMERIC-sensitive path";
+    }
+    ConstraintClause clause = ConstraintClause::parse("total_power<0.5");
+    EXPECT_EQ(clause.bound, 0.5);
+    EXPECT_EQ(clause.text(), "total_power<0.5");
+
+    ScopedFatalThrows guard;
+    EXPECT_THROW(ConstraintClause::parse("total_power<0,5"),
+                 FatalError);
 }
 
 } // namespace

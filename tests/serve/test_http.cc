@@ -1,0 +1,171 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "serve/http.hh"
+
+namespace nvmexp {
+namespace {
+
+using serve::HttpRequestParser;
+using serve::HttpResponse;
+using serve::ParseState;
+
+TEST(HttpParser, ParsesPostWithBody)
+{
+    HttpRequestParser parser(1024);
+    std::string raw = "POST /query HTTP/1.1\r\n"
+                      "Host: 127.0.0.1\r\n"
+                      "Content-Length: 11\r\n"
+                      "\r\n"
+                      "{\"a\": true}";
+    EXPECT_EQ(parser.consume(raw.data(), raw.size()), ParseState::Done);
+    EXPECT_EQ(parser.request().method, "POST");
+    EXPECT_EQ(parser.request().target, "/query");
+    EXPECT_EQ(parser.request().version, "HTTP/1.1");
+    EXPECT_EQ(parser.request().body, "{\"a\": true}");
+    // Header names are case-folded.
+    EXPECT_EQ(parser.request().headers.at("content-length"), "11");
+}
+
+TEST(HttpParser, ParsesIncrementallyByteByByte)
+{
+    HttpRequestParser parser(1024);
+    std::string raw = "POST /reload HTTP/1.1\r\n"
+                      "Content-Length: 2\r\n\r\n{}";
+    for (std::size_t i = 0; i + 1 < raw.size(); ++i) {
+        ASSERT_EQ(parser.consume(&raw[i], 1), ParseState::NeedMore)
+            << "byte " << i;
+    }
+    EXPECT_EQ(parser.consume(&raw[raw.size() - 1], 1), ParseState::Done);
+    EXPECT_EQ(parser.request().body, "{}");
+}
+
+TEST(HttpParser, AcceptsBareLfLineEndings)
+{
+    HttpRequestParser parser(1024);
+    std::string raw = "GET /healthz HTTP/1.1\nHost: x\n\n";
+    EXPECT_EQ(parser.consume(raw.data(), raw.size()), ParseState::Done);
+    EXPECT_EQ(parser.request().method, "GET");
+    EXPECT_EQ(parser.request().body, "");
+}
+
+TEST(HttpParser, GetWithoutContentLengthCompletesAtHeaderEnd)
+{
+    HttpRequestParser parser(1024);
+    std::string raw = "GET /statz HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(parser.consume(raw.data(), raw.size()), ParseState::Done);
+}
+
+TEST(HttpParser, PathStripsQueryString)
+{
+    HttpRequestParser parser(1024);
+    std::string raw = "GET /healthz?verbose=1 HTTP/1.1\r\n\r\n";
+    ASSERT_EQ(parser.consume(raw.data(), raw.size()), ParseState::Done);
+    EXPECT_EQ(parser.request().target, "/healthz?verbose=1");
+    EXPECT_EQ(parser.request().path(), "/healthz");
+}
+
+TEST(HttpParser, RejectsMalformedRequestLine)
+{
+    struct Case
+    {
+        const char *raw;
+        const char *error;
+    } cases[] = {
+        {"\r\n\r\n", "empty request line"},
+        {"POST /query\r\n\r\n", "malformed request line"},
+        {"POST /query HTTP/1.1 extra\r\n\r\n", "malformed request line"},
+        {"POST /query SMTP/1.0\r\n\r\n", "unsupported protocol"},
+    };
+    for (const auto &c : cases) {
+        HttpRequestParser parser(1024);
+        std::string raw = c.raw;
+        EXPECT_EQ(parser.consume(raw.data(), raw.size()),
+                  ParseState::Bad)
+            << c.raw;
+        EXPECT_NE(parser.error().find(c.error), std::string::npos)
+            << parser.error();
+    }
+}
+
+TEST(HttpParser, RejectsMalformedHeadersAndContentLength)
+{
+    {
+        HttpRequestParser parser(1024);
+        std::string raw = "GET / HTTP/1.1\r\nno colon here\r\n\r\n";
+        EXPECT_EQ(parser.consume(raw.data(), raw.size()),
+                  ParseState::Bad);
+        EXPECT_NE(parser.error().find("malformed header"),
+                  std::string::npos);
+    }
+    for (const char *bad : {"abc", "-4", "2.5"}) {
+        HttpRequestParser parser(1024);
+        std::string raw = std::string("POST / HTTP/1.1\r\n"
+                                      "Content-Length: ") +
+                          bad + "\r\n\r\n";
+        EXPECT_EQ(parser.consume(raw.data(), raw.size()),
+                  ParseState::Bad)
+            << bad;
+        EXPECT_NE(parser.error().find("bad Content-Length"),
+                  std::string::npos);
+    }
+}
+
+TEST(HttpParser, RejectsOversizedDeclaredBody)
+{
+    HttpRequestParser parser(16);
+    std::string raw = "POST /query HTTP/1.1\r\n"
+                      "Content-Length: 17\r\n\r\n";
+    EXPECT_EQ(parser.consume(raw.data(), raw.size()),
+              ParseState::TooLarge);
+    EXPECT_NE(parser.error().find("too large"), std::string::npos);
+}
+
+TEST(HttpParser, RejectsUnboundedHeaderSpam)
+{
+    // A peer streaming junk without ever terminating the header block
+    // must not buffer without limit.
+    HttpRequestParser parser(16);
+    std::string junk(64 * 1024, 'x');
+    ParseState state = parser.consume(junk.data(), junk.size());
+    EXPECT_EQ(state, ParseState::TooLarge);
+}
+
+TEST(HttpParser, TerminalStateIsSticky)
+{
+    HttpRequestParser parser(1024);
+    std::string raw = "BAD\r\n\r\n";
+    ASSERT_EQ(parser.consume(raw.data(), raw.size()), ParseState::Bad);
+    std::string more = "GET / HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(parser.consume(more.data(), more.size()),
+              ParseState::Bad);
+}
+
+TEST(HttpResponseSerialization, CarriesStatusLengthAndClose)
+{
+    HttpResponse response{200, "application/json", "{\"ok\": true}\n"};
+    std::string wire = serve::serializeResponse(response);
+    EXPECT_EQ(wire.rfind("HTTP/1.1 200 OK\r\n", 0), 0u);
+    EXPECT_NE(wire.find("Content-Type: application/json\r\n"),
+              std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 13\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Connection: close\r\n"), std::string::npos);
+    EXPECT_EQ(wire.substr(wire.size() - response.body.size()),
+              response.body);
+}
+
+TEST(HttpResponseSerialization, ReasonPhrasesCoverServerStatuses)
+{
+    EXPECT_STREQ(serve::reasonPhrase(200), "OK");
+    EXPECT_STREQ(serve::reasonPhrase(400), "Bad Request");
+    EXPECT_STREQ(serve::reasonPhrase(404), "Not Found");
+    EXPECT_STREQ(serve::reasonPhrase(405), "Method Not Allowed");
+    EXPECT_STREQ(serve::reasonPhrase(409), "Conflict");
+    EXPECT_STREQ(serve::reasonPhrase(413), "Payload Too Large");
+    EXPECT_STREQ(serve::reasonPhrase(500), "Internal Server Error");
+    EXPECT_STREQ(serve::reasonPhrase(299), "Unknown");
+}
+
+} // namespace
+} // namespace nvmexp

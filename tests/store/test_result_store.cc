@@ -11,6 +11,7 @@
 #include "core/parallel_sweep.hh"
 #include "store/result_store.hh"
 #include "util/logging.hh"
+#include "util/table.hh"
 
 namespace nvmexp {
 namespace {
@@ -366,6 +367,51 @@ TEST_F(ResultStoreTest, StoreQuerySerializesLosslessly)
         [](const EvalResult &) { return true; });
     EXPECT_EXIT(withPredicate.toJson(), ::testing::ExitedWithCode(1),
                 "cannot be serialized");
+}
+
+TEST_F(ResultStoreTest, StoreQueryRejectsUnknownKeysFatally)
+{
+    // The classic typo: "paretto" used to be silently ignored, turning
+    // a Pareto query into the full store. It must now name the key.
+    EXPECT_EXIT(store::StoreQuery::fromJson(JsonValue::parse(
+                    R"({"paretto": ["total_power"]})")),
+                ::testing::ExitedWithCode(1), "unknown key 'paretto'");
+    EXPECT_EXIT(store::StoreQuery::fromJson(JsonValue::parse(
+                    R"({"constraints": [], "topk":
+                        {"metric": "total_power", "k": 3}})")),
+                ::testing::ExitedWithCode(1), "unknown key 'topk'");
+    // Non-object documents and format mismatches are diagnosed too.
+    EXPECT_EXIT(store::StoreQuery::fromJson(JsonValue::parse("[]")),
+                ::testing::ExitedWithCode(1), "must be a JSON object");
+    EXPECT_EXIT(store::StoreQuery::fromJson(
+                    JsonValue::parse(R"({"format": 999})")),
+                ::testing::ExitedWithCode(1), "format");
+}
+
+TEST_F(ResultStoreTest, TechCsvColumnEscapesLikeEveryOtherIdentity)
+{
+    // The tech column now routes through Table::csvEscape like the
+    // other string identity columns. Every registered tech name is
+    // escape-neutral (no commas/quotes/newlines), so existing goldens
+    // stay byte-identical — this pins both halves of that claim.
+    for (int t = 0; t < (int)CellTech::NumTech; ++t) {
+        std::string name = techName((CellTech)t);
+        EXPECT_EQ(Table::csvEscape(name), name) << name;
+    }
+
+    SweepConfig config = smallSweep();
+    config.outDir = storeDir("techcsv");
+    runSweep(config);
+    auto lines = readLines(config.outDir + "/results.csv");
+    ASSERT_GE(lines.size(), 2u);
+    // Column 2 of every data row is the unquoted tech name.
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::size_t c1 = lines[i].find(',');
+        std::size_t c2 = lines[i].find(',', c1 + 1);
+        ASSERT_NE(c2, std::string::npos);
+        std::string tech = lines[i].substr(c1 + 1, c2 - c1 - 1);
+        EXPECT_EQ(tech, techName(techFromName(tech))) << lines[i];
+    }
 }
 
 TEST_F(ResultStoreTest, CharacterizationKeySeparatesDesignPoints)

@@ -304,6 +304,16 @@ lintStoreDir(const std::string &dir)
                     [&] { doc = JsonValue::parseFile(results); }))
             checkFormatHeader(report, results, doc);
     }
+
+    // A persisted query must deserialize under the full StoreQuery
+    // vocabulary (unknown keys, unknown metrics, and malformed
+    // clauses are all fatal there).
+    std::string query = dir + "/query.json";
+    if (fs::exists(query)) {
+        guarded(report, query, "", [&] {
+            store::StoreQuery::fromJson(JsonValue::parseFile(query));
+        });
+    }
     return report;
 }
 

@@ -18,6 +18,7 @@
 #include "metrics/metric.hh"
 #include "metrics/refine.hh"
 #include "reliability/reliability.hh"
+#include "serve/server.hh"
 #include "store/result_store.hh"
 #include "util/logging.hh"
 #include "util/thread_pool.hh"
@@ -35,6 +36,10 @@ usage()
         "                       [--no-batch] [--filter EXPR]...\n"
         "                       [--pareto METRICS] [--top K METRIC]\n"
         "                       <config.json> [more configs...]\n"
+        "       nvmexplorer_cli query --store DIR [--filter EXPR]...\n"
+        "                       [--pareto METRICS] [--top K METRIC]\n"
+        "                       [--query FILE]\n"
+        "       nvmexplorer_cli serve --store DIR [--port N] [--jobs N]\n"
         "\n"
         "Runs the design sweep(s) described by the JSON config(s) and\n"
         "prints the results table. See config/README-style samples in\n"
@@ -74,7 +79,17 @@ usage()
         "  --list-ecc\n"
         "             print the ECC schemes a config's\n"
         "             \"reliability\"/\"ecc\" block accepts, then\n"
-        "             exit\n";
+        "             exit\n"
+        "\n"
+        "The `query` subcommand applies a filter/Pareto/top-k pipeline\n"
+        "to a persisted store offline and prints the matching rows in\n"
+        "the results.json wire format (byte-identical to what `serve`\n"
+        "answers for the same query). --query FILE reads a serialized\n"
+        "query.json instead of flags.\n"
+        "\n"
+        "The `serve` subcommand answers the same queries over HTTP:\n"
+        "POST /query (StoreQuery JSON body), GET /healthz, GET /statz,\n"
+        "POST /reload (or SIGHUP) to re-index a rewritten store.\n";
 }
 
 /** `--list-metrics`: the registry is the single source of truth for
@@ -123,11 +138,172 @@ listEcc()
     }
 }
 
+/** Parsed common flags of the `query`/`serve` subcommands. */
+struct StoreCommandArgs
+{
+    std::string storeDir;
+    std::string queryFile;  ///< `query` only: serialized query.json
+    int port = 0;
+    int jobs = 4;
+    store::StoreQuery query;
+    bool queryFlagsUsed = false;  ///< --filter/--pareto/--top present
+};
+
+/** Parse argv[argi..] for `query`/`serve`; fatal on bad flags. */
+StoreCommandArgs
+parseStoreCommand(const char *command, int argc, char **argv, int argi,
+                  bool isServe)
+{
+    StoreCommandArgs out;
+    for (; argi < argc; ++argi) {
+        if (std::strcmp(argv[argi], "-q") == 0) {
+            setQuiet(true);
+        } else if (std::strcmp(argv[argi], "--store") == 0) {
+            if (argi + 1 >= argc)
+                fatal(command, ": --store needs a directory");
+            out.storeDir = argv[++argi];
+        } else if (isServe && std::strcmp(argv[argi], "--port") == 0) {
+            if (argi + 1 >= argc)
+                fatal("serve: --port needs a port number");
+            errno = 0;
+            char *end = nullptr;
+            long port = std::strtol(argv[argi + 1], &end, 10);
+            if (end == argv[argi + 1] || *end != '\0' || errno != 0 ||
+                port < 0 || port > 65535) {
+                fatal("serve: --port '", argv[argi + 1],
+                      "' must be an integer in [0, 65535]");
+            }
+            out.port = (int)port;
+            ++argi;
+        } else if (isServe && (std::strcmp(argv[argi], "--jobs") == 0 ||
+                               std::strcmp(argv[argi], "-j") == 0)) {
+            if (argi + 1 >= argc)
+                fatal("serve: --jobs needs a thread count");
+            errno = 0;
+            char *end = nullptr;
+            long jobs = std::strtol(argv[argi + 1], &end, 10);
+            if (end == argv[argi + 1] || *end != '\0' || errno != 0 ||
+                jobs < 1 || !ThreadPool::jobsInRange((double)jobs)) {
+                fatal("serve: --jobs '", argv[argi + 1],
+                      "' must be an integer in [1, ",
+                      ThreadPool::kMaxThreads, "]");
+            }
+            out.jobs = (int)jobs;
+            ++argi;
+        } else if (!isServe &&
+                   std::strcmp(argv[argi], "--query") == 0) {
+            if (argi + 1 >= argc)
+                fatal("query: --query needs a file");
+            out.queryFile = argv[++argi];
+        } else if (!isServe &&
+                   std::strcmp(argv[argi], "--filter") == 0) {
+            if (argi + 1 >= argc)
+                fatal("query: --filter needs a 'metric<bound' clause");
+            out.query.constraints.add(argv[argi + 1], "--filter");
+            out.queryFlagsUsed = true;
+            ++argi;
+        } else if (!isServe &&
+                   std::strcmp(argv[argi], "--pareto") == 0) {
+            if (argi + 1 >= argc)
+                fatal("query: --pareto needs a comma-separated metric "
+                      "list");
+            std::string list = argv[argi + 1];
+            out.query.paretoMetrics.clear();
+            for (std::size_t begin = 0; begin <= list.size();) {
+                std::size_t comma = list.find(',', begin);
+                if (comma == std::string::npos)
+                    comma = list.size();
+                std::string name = list.substr(begin, comma - begin);
+                if (name.empty())
+                    fatal("--pareto: empty metric name in '", list, "'");
+                metrics::MetricRegistry::instance().require(name,
+                                                            "--pareto");
+                out.query.paretoMetrics.push_back(name);
+                begin = comma + 1;
+            }
+            out.queryFlagsUsed = true;
+            ++argi;
+        } else if (!isServe && std::strcmp(argv[argi], "--top") == 0) {
+            if (argi + 2 >= argc)
+                fatal("query: --top needs a count and a metric name");
+            errno = 0;
+            char *end = nullptr;
+            long k = std::strtol(argv[argi + 1], &end, 10);
+            if (end == argv[argi + 1] || *end != '\0' || errno != 0 ||
+                k < 1) {
+                fatal("--top: '", argv[argi + 1],
+                      "' must be a positive integer");
+            }
+            out.query.topMetric = argv[argi + 2];
+            metrics::MetricRegistry::instance().require(
+                out.query.topMetric, "--top");
+            out.query.topK = (std::size_t)k;
+            out.queryFlagsUsed = true;
+            argi += 2;
+        } else {
+            fatal(command, ": unknown argument '", argv[argi],
+                  "' (see --help)");
+        }
+    }
+    if (out.storeDir.empty())
+        fatal(command, ": --store DIR is required");
+    return out;
+}
+
+/** `nvmexplorer_cli query`: the offline comparator for the server —
+ *  prints store::serializeResults of the matching rows, so a served
+ *  /query response can be byte-diffed against it. */
+int
+runQueryCommand(int argc, char **argv, int argi)
+{
+    StoreCommandArgs args =
+        parseStoreCommand("query", argc, argv, argi, false);
+    if (!args.queryFile.empty()) {
+        if (args.queryFlagsUsed) {
+            fatal("query: --query FILE replaces the "
+                  "--filter/--pareto/--top flags; pass one or the "
+                  "other");
+        }
+        args.query = store::StoreQuery::fromJson(
+            JsonValue::parseFile(args.queryFile));
+    }
+    std::cout << store::serializeResults(
+        store::queryStore(args.storeDir, args.query));
+    return 0;
+}
+
+/** `nvmexplorer_cli serve`: sweep-as-a-service over one store. */
+int
+runServeCommand(int argc, char **argv, int argi)
+{
+    StoreCommandArgs args =
+        parseStoreCommand("serve", argc, argv, argi, true);
+    serve::ServeOptions options;
+    options.storeDir = args.storeDir;
+    options.port = args.port;
+    options.jobs = args.jobs;
+    serve::QueryServer server(options);
+    std::string error;
+    if (!server.start(error))
+        fatal("serve: ", error);
+    serve::QueryServer::installSighupHandler();
+    inform("serving store '", args.storeDir, "' on port ",
+           server.port(), " (", server.index()->rows(),
+           " rows, fingerprint ", server.index()->fingerprint(),
+           "); POST /query, GET /healthz, GET /statz, POST /reload");
+    server.run();
+    return 0;
+}
+
 } // namespace
 
 int
 main(int argc, char **argv)
 {
+    if (argc > 1 && std::strcmp(argv[1], "query") == 0)
+        return runQueryCommand(argc, argv, 2);
+    if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
+        return runServeCommand(argc, argv, 2);
     int argi = 1;
     std::string outDir;
     bool resume = false;
