@@ -157,15 +157,18 @@ main(int argc, char **argv)
     for (int t = 0; t < threads; ++t) {
         clients.emplace_back([&, t] {
             std::vector<std::vector<double>> local(kShapeCount);
+            // One keep-alive connection per thread: the server's
+            // request cap recycles it transparently mid-run.
+            serve::HttpClient client(server.port());
             for (int i = 0; i < requestsPerThread; ++i) {
                 std::size_t s =
                     ((std::size_t)t + (std::size_t)i) % kShapeCount;
                 auto begin = std::chrono::steady_clock::now();
                 serve::HttpClientResult result;
                 std::string clientError;
-                bool ok = serve::httpExchange(server.port(), "POST",
-                                              "/query", kShapes[s].json,
-                                              result, clientError);
+                bool ok = client.exchange("POST", "/query",
+                                          kShapes[s].json, result,
+                                          clientError);
                 auto elapsed = std::chrono::duration<double,
                                                      std::milli>(
                     std::chrono::steady_clock::now() - begin);

@@ -103,6 +103,31 @@ wideSweep(bool reliabilityAxis)
     return config;
 }
 
+/**
+ * The campaign-sized sweep: the wide sweep's 16 arrays x 6 traffics
+ * crossed with a 16-spec reliability axis (4 ECC schemes x 4 scrub
+ * intervals) = 1536 evaluation slots. Big enough that the store-backed
+ * per-slot cost (journal + artifact serialization, ~75us/slot)
+ * dominates the campaign's fixed costs (fork, characterization,
+ * merge), which is the regime multi-process sharding is for.
+ */
+inline SweepConfig
+campaignSweep()
+{
+    SweepConfig config = wideSweep(false);
+    config.reliability.clear();
+    for (const char *ecc :
+         {"none", "secded-72-64", "dec-78-64", "tec-85-64"}) {
+        for (double scrub : {0.0, 600.0, 3600.0, 86400.0}) {
+            reliability::ReliabilitySpec spec;
+            spec.ecc = ecc;
+            spec.scrubIntervalSec = scrub;
+            config.reliability.push_back(spec);
+        }
+    }
+    return config;
+}
+
 /** The common perf_* main body: quiet logging (characterization
  *  warnings would drown the benchmark table), then the stock
  *  google-benchmark driver. */

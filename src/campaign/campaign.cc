@@ -1,0 +1,489 @@
+#include "campaign/campaign.hh"
+
+#include <sched.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "campaign/stitch.hh"
+#include "store/result_store.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace campaign {
+
+namespace {
+
+std::string
+readFileText(const std::string &path, const std::string &context)
+{
+    std::ifstream in(path);
+    if (!in) {
+        fatal(context, ": cannot read '", path,
+              "' (worker did not finish?); re-run the shard");
+    }
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        fatal("campaign merge: cannot write '", path, "'");
+    out << text;
+    if (!out.flush())
+        fatal("campaign merge: failed writing '", path, "'");
+}
+
+/** Pin the calling (child) process to the interleaved CPU set of one
+ *  launcher slot: cpu % stride == worker % stride, stride = the
+ *  concurrent worker count clamped to the online CPU count so every
+ *  worker keeps at least one CPU. Best-effort: failure warns. */
+void
+pinToWorkerSet(std::size_t worker, std::size_t workers)
+{
+    long online = ::sysconf(_SC_NPROCESSORS_ONLN);
+    if (online < 1 || workers == 0)
+        return;
+    std::size_t stride = std::min(workers, (std::size_t)online);
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    for (long cpu = 0; cpu < online && cpu < CPU_SETSIZE; ++cpu) {
+        if ((std::size_t)cpu % stride == worker % stride)
+            CPU_SET(cpu, &set);
+    }
+    if (CPU_COUNT(&set) == 0)
+        return;
+    if (::sched_setaffinity(0, sizeof(set), &set) != 0) {
+        warn("campaign launch: sched_setaffinity failed: ",
+             std::strerror(errno));
+    }
+}
+
+} // namespace
+
+std::string
+campaignCacheDir(const std::string &dir)
+{
+    return dir + "/cache";
+}
+
+std::string
+mergedDir(const std::string &dir)
+{
+    return dir + "/merged";
+}
+
+CampaignManifest
+planCampaign(const std::string &dir, const SweepConfig &config,
+             std::size_t shardCount)
+{
+    ShardPlan plan = makeShardPlan(config, shardCount);
+    std::error_code ec;
+    std::filesystem::create_directories(campaignCacheDir(dir), ec);
+    if (ec) {
+        fatal("campaign plan: cannot create '", dir, "': ",
+              ec.message());
+    }
+    if (std::filesystem::exists(dir + "/campaign.json")) {
+        CampaignManifest existing = loadManifest(dir);
+        if (existing.fingerprint == plan.fingerprint &&
+            existing.shardCount == shardCount &&
+            existing.granularity == plan.runLength) {
+            return existing; // identical re-plan: keep all progress
+        }
+        fatal("campaign plan: '", dir,
+              "' already holds a different campaign (fingerprint ",
+              existing.fingerprint, ", ", existing.shardCount,
+              " shards vs requested ", plan.fingerprint, ", ",
+              shardCount, "); use a fresh directory");
+    }
+    CampaignManifest manifest;
+    manifest.fingerprint = plan.fingerprint;
+    manifest.shardCount = shardCount;
+    manifest.granularity = plan.runLength;
+    for (std::size_t k = 0; k < shardCount; ++k)
+        manifest.shards.push_back(
+            ShardEntry{k, shardDirName(k), "pending", 0});
+    saveManifest(dir, manifest);
+    return manifest;
+}
+
+std::vector<EvalResult>
+runShard(const std::string &dir, const SweepConfig &config,
+         std::size_t shard, const ParallelSweepRunner &runner)
+{
+    CampaignManifest manifest = loadManifest(dir);
+    if (shard >= manifest.shardCount) {
+        fatal("campaign run: shard ", shard, " out of range (",
+              manifest.shardCount, " shards)");
+    }
+    ShardPlan planned = makeShardPlan(config, manifest.shardCount);
+    if (planned.fingerprint != manifest.fingerprint) {
+        fatal("campaign run: sweep fingerprint ", planned.fingerprint,
+              " does not match campaign fingerprint ",
+              manifest.fingerprint,
+              " (config edited after `campaign plan`?)");
+    }
+    std::string shardDir = dir + "/" + manifest.shards[shard].dir;
+    std::error_code ec;
+    std::filesystem::create_directories(shardDir, ec);
+    if (ec) {
+        fatal("campaign run: cannot create '", shardDir, "': ",
+              ec.message());
+    }
+    // The attempt is recorded before any work so a kill at any point
+    // still counts against the retry budget.
+    ShardState state = loadShardState(shardDir, manifest.fingerprint);
+    ++state.attempts;
+    state.completed = false;
+    saveShardState(shardDir, manifest.fingerprint, shard,
+                   manifest.shardCount, state);
+
+    SweepConfig shardConfig = config;
+    shardConfig.outDir = shardDir;
+    shardConfig.cacheDir = campaignCacheDir(dir);
+    shardConfig.resume = true; // shard retries always resume
+    auto rows =
+        runner.runSelected(shardConfig,
+                           manifest.plan().selector(shard));
+
+    state.completed = true;
+    saveShardState(shardDir, manifest.fingerprint, shard,
+                   manifest.shardCount, state);
+    return rows;
+}
+
+MergeSummary
+mergeCampaign(const std::string &dir)
+{
+    CampaignManifest manifest = loadManifest(dir);
+    ShardPlan plan = manifest.plan();
+    MergeSummary summary;
+    summary.shardCount = manifest.shardCount;
+
+    bool haveSlots = false;
+    std::size_t totalSlots = 0;
+    std::map<std::size_t, std::string> journal; // slot -> raw line
+    std::vector<std::vector<std::string>> jsonRows(manifest.shardCount);
+    std::vector<std::vector<std::string>> csvRows(manifest.shardCount);
+    std::string csvHeader;
+
+    for (std::size_t k = 0; k < manifest.shardCount; ++k) {
+        std::string shardDir = dir + "/" + manifest.shards[k].dir;
+        std::string context = "campaign merge: shard " +
+            std::to_string(k) + " ('" + shardDir + "')";
+
+        store::CheckpointScan scan = store::scanCheckpoint(shardDir);
+        if (!scan.headerOk) {
+            fatal(context, ": checkpoint journal missing or "
+                  "unreadable; run the shard first");
+        }
+        if (scan.format != store::kFormatVersion) {
+            fatal(context, ": journal written with format ",
+                  scan.format, ", this build reads format ",
+                  store::kFormatVersion);
+        }
+        if (scan.fingerprint != manifest.fingerprint) {
+            fatal(context, ": journal fingerprint ", scan.fingerprint,
+                  " does not match campaign fingerprint ",
+                  manifest.fingerprint);
+        }
+        if (!haveSlots) {
+            totalSlots = scan.slots;
+            haveSlots = true;
+        } else if (scan.slots != totalSlots) {
+            fatal(context, ": journal claims ", scan.slots,
+                  " slots where other shards claim ", totalSlots);
+        }
+        // Within one journal a re-journaled slot resolves exactly as
+        // resume replay does: the last valid entry wins.
+        std::map<std::size_t, std::string> mine;
+        for (auto &entry : scan.entries) {
+            std::size_t owner = plan.shardOf(entry.slot);
+            if (owner != k) {
+                fatal(context, ": journal carries slot ", entry.slot,
+                      ", which the plan assigns to shard ", owner);
+            }
+            mine[entry.slot] = std::move(entry.line);
+        }
+        std::size_t owned = plan.ownedCount(k, totalSlots);
+        if (mine.size() != owned) {
+            fatal(context, ": incomplete — ", mine.size(), " of ",
+                  owned, " owned slots journaled; re-run the shard "
+                  "(it resumes from the journal)");
+        }
+        for (auto &[slot, line] : mine)
+            journal.emplace(slot, std::move(line));
+
+        auto rows = splitSerializedResults(
+            readFileText(shardDir + "/results.json", context),
+            context);
+        if (rows.size() != owned) {
+            fatal(context, ": results.json holds ", rows.size(),
+                  " rows for ", owned, " journaled slots (stale "
+                  "artifact); re-run the shard to regenerate it");
+        }
+        jsonRows[k] = std::move(rows);
+
+        CsvSplit csv = splitResultsCsv(
+            readFileText(shardDir + "/results.csv", context), context);
+        if (csv.rows.size() != owned) {
+            fatal(context, ": results.csv holds ", csv.rows.size(),
+                  " rows for ", owned, " journaled slots (stale "
+                  "artifact); re-run the shard to regenerate it");
+        }
+        if (k == 0)
+            csvHeader = std::move(csv.header);
+        else if (csv.header != csvHeader)
+            fatal(context, ": results.csv header differs from shard 0");
+        csvRows[k] = std::move(csv.rows);
+
+        if (!std::filesystem::exists(shardDir + "/stats.json")) {
+            fatal(context, ": stats.json missing (worker did not "
+                  "finish); re-run the shard");
+        }
+        store::StoreStats stats = store::loadStats(shardDir);
+        summary.stats.cacheHits += stats.cacheHits;
+        summary.stats.cacheMisses += stats.cacheMisses;
+        summary.stats.cacheStores += stats.cacheStores;
+        summary.stats.checkpointLoaded += stats.checkpointLoaded;
+        summary.stats.checkpointComputed += stats.checkpointComputed;
+    }
+    if (journal.size() != totalSlots) {
+        panic("campaign merge: stitched ", journal.size(),
+              " slots for a sweep of ", totalSlots);
+    }
+
+    // Interleave the shard artifacts' rows back into global slot
+    // order. Each shard's rows are ascending over its owned slots, so
+    // walking the slot space and pulling the owner's next row aligns
+    // every row with its slot without parsing any of them.
+    std::vector<std::string> orderedJson;
+    std::vector<std::string> orderedCsv;
+    orderedJson.reserve(totalSlots);
+    orderedCsv.reserve(totalSlots);
+    std::vector<std::size_t> next(manifest.shardCount, 0);
+    for (std::size_t slot = 0; slot < totalSlots; ++slot) {
+        std::size_t k = plan.shardOf(slot);
+        orderedJson.push_back(std::move(jsonRows[k][next[k]]));
+        orderedCsv.push_back(std::move(csvRows[k][next[k]]));
+        ++next[k];
+    }
+
+    std::string outDir = mergedDir(dir);
+    store::ResultStore merged(outDir, campaignCacheDir(dir));
+    {
+        // The canonical journal, entries in slot order — the byte
+        // sequence a single -j1 process would have journaled. One
+        // buffered write: per-line flushing is for crash-durability
+        // of in-flight sweeps, which a merge of finished shards
+        // doesn't need.
+        std::string buffer =
+            store::checkpointHeaderLine(manifest.fingerprint,
+                                        totalSlots) + "\n";
+        for (const auto &[slot, line] : journal) {
+            buffer += line;
+            buffer += '\n';
+        }
+        writeText(outDir + "/checkpoint.jsonl", buffer);
+    }
+    writeText(outDir + "/results.json",
+              joinSerializedResults(orderedJson));
+    writeText(outDir + "/results.csv",
+              joinResultsCsv(csvHeader, orderedCsv));
+    merged.writeStats(summary.stats);
+
+    for (std::size_t k = 0; k < manifest.shardCount; ++k) {
+        std::string shardDir = dir + "/" + manifest.shards[k].dir;
+        manifest.shards[k].status = "complete";
+        manifest.shards[k].attempts =
+            loadShardState(shardDir, manifest.fingerprint).attempts;
+    }
+    saveManifest(dir, manifest);
+
+    summary.totalSlots = totalSlots;
+    return summary;
+}
+
+bool
+CampaignStatus::allComplete() const
+{
+    for (const auto &shard : shards)
+        if (!shard.completed)
+            return false;
+    return true;
+}
+
+CampaignStatus
+campaignStatus(const std::string &dir)
+{
+    CampaignStatus status;
+    status.manifest = loadManifest(dir);
+    ShardPlan plan = status.manifest.plan();
+    status.merged =
+        std::filesystem::exists(mergedDir(dir) + "/results.json");
+
+    // Two passes: the sweep's total slot count is only known from a
+    // journal header, and per-shard owned counts need it.
+    std::vector<std::size_t> doneSlots(status.manifest.shardCount, 0);
+    for (std::size_t k = 0; k < status.manifest.shardCount; ++k) {
+        std::string shardDir =
+            dir + "/" + status.manifest.shards[k].dir;
+        store::CheckpointScan scan = store::scanCheckpoint(shardDir);
+        if (!scan.headerOk || scan.format != store::kFormatVersion ||
+            scan.fingerprint != status.manifest.fingerprint)
+            continue;
+        if (status.totalSlots == 0)
+            status.totalSlots = scan.slots;
+        std::set<std::size_t> seen;
+        for (const auto &entry : scan.entries)
+            if (plan.shardOf(entry.slot) == k)
+                seen.insert(entry.slot);
+        doneSlots[k] = seen.size();
+    }
+    for (std::size_t k = 0; k < status.manifest.shardCount; ++k) {
+        std::string shardDir =
+            dir + "/" + status.manifest.shards[k].dir;
+        ShardState state =
+            loadShardState(shardDir, status.manifest.fingerprint);
+        ShardProgress progress;
+        progress.shard = k;
+        progress.attempts = state.attempts;
+        progress.completed = state.completed;
+        progress.doneSlots = doneSlots[k];
+        progress.ownedSlots = status.totalSlots
+            ? plan.ownedCount(k, status.totalSlots)
+            : 0;
+        progress.state = state.completed ? "complete"
+            : (progress.doneSlots ? "partial" : "pending");
+        status.shards.push_back(std::move(progress));
+    }
+    return status;
+}
+
+bool
+launchCampaign(const std::string &dir, const LaunchOptions &options,
+               const ShardWorker &worker)
+{
+    CampaignManifest manifest = loadManifest(dir);
+    std::size_t nshards = manifest.shardCount;
+    std::size_t workers = options.workers
+        ? std::min(options.workers, nshards)
+        : nshards;
+
+    std::vector<std::size_t> queue;
+    for (std::size_t k = 0; k < nshards; ++k) {
+        ShardState state = loadShardState(
+            dir + "/" + manifest.shards[k].dir, manifest.fingerprint);
+        manifest.shards[k].attempts = state.attempts;
+        if (state.completed) {
+            manifest.shards[k].status = "complete";
+            inform("campaign launch: shard ", k,
+                   " already complete; skipping");
+        } else {
+            queue.push_back(k);
+        }
+    }
+    saveManifest(dir, manifest);
+
+    // A worker that dies before it can even bump its attempt counter
+    // (exec failure, fork bomb protection, ...) must not retry
+    // forever: launches this invocation count against the budget too.
+    std::vector<std::uint64_t> launches(nshards, 0);
+    std::vector<char> failed(nshards, 0);
+    std::map<pid_t, std::size_t> running;
+    bool ok = true;
+
+    auto giveUp = [&](std::size_t shard, std::uint64_t attempts) {
+        warn("campaign launch: shard ", shard, " failed after ",
+             attempts, " attempts; giving up");
+        failed[shard] = 1;
+        ok = false;
+    };
+
+    std::size_t qi = 0;
+    while (qi < queue.size() || !running.empty()) {
+        while (qi < queue.size() && running.size() < workers) {
+            std::size_t shard = queue[qi++];
+            ++launches[shard];
+            pid_t pid = ::fork();
+            if (pid < 0) {
+                warn("campaign launch: fork failed for shard ", shard,
+                     ": ", std::strerror(errno));
+                giveUp(shard, launches[shard]);
+                continue;
+            }
+            if (pid == 0) {
+                if (options.pinCpus)
+                    pinToWorkerSet(shard, workers);
+                int rc = 1;
+                try {
+                    rc = worker(shard);
+                } catch (...) {
+                    rc = 1;
+                }
+                ::_exit(rc & 0xFF);
+            }
+            running.emplace(pid, shard);
+        }
+        if (running.empty())
+            break;
+        int wstatus = 0;
+        pid_t pid = ::waitpid(-1, &wstatus, 0);
+        if (pid < 0) {
+            if (errno == EINTR)
+                continue;
+            fatal("campaign launch: waitpid: ", std::strerror(errno));
+        }
+        auto it = running.find(pid);
+        if (it == running.end())
+            continue;
+        std::size_t shard = it->second;
+        running.erase(it);
+
+        std::string shardDir = dir + "/" + manifest.shards[shard].dir;
+        ShardState state =
+            loadShardState(shardDir, manifest.fingerprint);
+        manifest.shards[shard].attempts = state.attempts;
+        bool exitOk =
+            WIFEXITED(wstatus) && WEXITSTATUS(wstatus) == 0;
+        if (exitOk && state.completed) {
+            manifest.shards[shard].status = "complete";
+            inform("campaign launch: shard ", shard,
+                   " complete (attempt ", state.attempts, ")");
+        } else {
+            manifest.shards[shard].status =
+                state.attempts ? "partial" : "pending";
+            std::uint64_t attempts =
+                std::max(state.attempts, launches[shard]);
+            if (attempts >= options.maxAttempts) {
+                giveUp(shard, attempts);
+            } else {
+                warn("campaign launch: shard ", shard,
+                     WIFSIGNALED(wstatus) ? " was killed (signal "
+                                          : " exited (status ",
+                     WIFSIGNALED(wstatus) ? WTERMSIG(wstatus)
+                                          : WEXITSTATUS(wstatus),
+                     "); retrying");
+                queue.push_back(shard);
+            }
+        }
+        saveManifest(dir, manifest);
+    }
+    return ok;
+}
+
+} // namespace campaign
+} // namespace nvmexp

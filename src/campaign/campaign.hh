@@ -1,0 +1,150 @@
+/**
+ * @file
+ * Distributed sweep campaigns: one sweep's cross product sharded
+ * across worker processes, each writing an ordinary result store,
+ * then merged into one canonical store byte-identical to what a
+ * single-process `--out` run of the same config would have produced.
+ *
+ * Lifecycle (see campaign/manifest.hh for the directory layout):
+ *
+ *   planCampaign   write the versioned manifest (fingerprint + shard
+ *                  table); idempotent for an identical plan, fatal
+ *                  for a conflicting one
+ *   runShard       one worker process: resumes its shard store and
+ *                  evaluates exactly the slots the ShardPlan assigns
+ *                  it (safe to kill at any byte — the next attempt
+ *                  resumes from the journal, exactly like --resume)
+ *   mergeCampaign  validate every shard (fingerprint, slot coverage,
+ *                  artifact consistency) and splice the shard
+ *                  journals/artifacts into <dir>/merged
+ *   campaignStatus read-only progress snapshot
+ *   launchCampaign single-node driver: forks N local workers
+ *                  (optionally pinned round-robin to CPU sets) and
+ *                  retries crashed shards until done or out of
+ *                  attempts
+ */
+
+#ifndef NVMEXP_CAMPAIGN_CAMPAIGN_HH
+#define NVMEXP_CAMPAIGN_CAMPAIGN_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "campaign/manifest.hh"
+#include "campaign/shard_plan.hh"
+#include "core/parallel_sweep.hh"
+
+namespace nvmexp {
+namespace campaign {
+
+/** Shared characterization cache of campaign `dir`. */
+std::string campaignCacheDir(const std::string &dir);
+
+/** The canonical merged store of campaign `dir`. */
+std::string mergedDir(const std::string &dir);
+
+/**
+ * Create campaign `dir` and write its manifest for `shardCount`
+ * shards of `config`'s sweep. Re-planning an existing campaign is a
+ * no-op when fingerprint/shard count/granularity all match (so a
+ * launcher can always plan first) and fatal otherwise.
+ */
+CampaignManifest planCampaign(const std::string &dir,
+                              const SweepConfig &config,
+                              std::size_t shardCount);
+
+/**
+ * Run shard `shard` of the campaign in this process: bumps the
+ * shard's attempt counter, resumes its store, evaluates its owned
+ * slots via `runner`, and marks the shard complete. `config` must be
+ * the campaign's sweep (fingerprint-checked against the manifest);
+ * its outDir/cacheDir/resume are overridden with the shard store,
+ * the campaign's shared cache, and true. Returns the shard's owned
+ * rows in ascending slot order.
+ */
+std::vector<EvalResult> runShard(const std::string &dir,
+                                 const SweepConfig &config,
+                                 std::size_t shard,
+                                 const ParallelSweepRunner &runner);
+
+/** What mergeCampaign produced (for logging and tests). */
+struct MergeSummary
+{
+    std::size_t totalSlots = 0;
+    std::size_t shardCount = 0;
+    store::StoreStats stats; ///< summed over the shard stores
+};
+
+/**
+ * Merge every shard store into <dir>/merged. Validates per shard —
+ * journal header present with the campaign fingerprint, identical
+ * slot counts, no foreign slots, full coverage of the owned slots,
+ * results artifacts consistent with the journal — and refuses with a
+ * file+shard diagnostic otherwise (an incomplete shard is re-run, not
+ * merged around). The merged checkpoint journal, results.json, and
+ * results.csv are byte-identical to a single-process run's (journal
+ * entries in slot order); stats.json holds the summed shard counters.
+ */
+MergeSummary mergeCampaign(const std::string &dir);
+
+/** Read-only progress of one shard. */
+struct ShardProgress
+{
+    std::size_t shard = 0;
+    std::uint64_t attempts = 0;
+    bool completed = false;       ///< worker reached the end
+    std::size_t doneSlots = 0;    ///< journaled (valid) slots
+    std::size_t ownedSlots = 0;   ///< 0 while the total is unknown
+    std::string state;            ///< pending | partial | complete
+};
+
+/** Read-only snapshot of a whole campaign. */
+struct CampaignStatus
+{
+    CampaignManifest manifest;
+    std::size_t totalSlots = 0;   ///< 0 until some shard journaled
+    bool merged = false;          ///< merged/results.json exists
+    std::vector<ShardProgress> shards;
+
+    bool allComplete() const;
+};
+
+CampaignStatus campaignStatus(const std::string &dir);
+
+/** Single-node launcher policy. */
+struct LaunchOptions
+{
+    /** Concurrent worker processes; 0 means one per shard. */
+    std::size_t workers = 0;
+    /** Give up on a shard once its cumulative attempt counter (which
+     *  survives across launcher invocations) reaches this. */
+    std::uint64_t maxAttempts = 3;
+    /** Pin each worker to an interleaved CPU set (cpu % workers ==
+     *  worker % workers), HPCAT-style, so co-resident workers don't
+     *  migrate onto each other's cores. */
+    bool pinCpus = false;
+};
+
+/** Runs one shard inside a forked child; returns the child's exit
+ *  code. Either execs `campaign run` (the CLI) or calls runShard
+ *  in-process (tests, bench). */
+using ShardWorker = std::function<int(std::size_t shard)>;
+
+/**
+ * Fork-and-supervise local workers until every shard completes or
+ * exhausts its attempts. Already-complete shards are skipped, crashed
+ * ones retried (their stores resume). The manifest's shard table is
+ * updated as shards finish. Returns true when all shards completed.
+ *
+ * The caller must not hold live thread pools when this forks; create
+ * runners inside `worker` (each child is its own process).
+ */
+bool launchCampaign(const std::string &dir, const LaunchOptions &options,
+                    const ShardWorker &worker);
+
+} // namespace campaign
+} // namespace nvmexp
+
+#endif // NVMEXP_CAMPAIGN_CAMPAIGN_HH

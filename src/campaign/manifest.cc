@@ -1,0 +1,242 @@
+#include "campaign/manifest.hh"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "store/result_store.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace campaign {
+
+namespace {
+
+/** Typed member guards: the fatal()-based JsonValue accessors must
+ *  never run on untrusted shapes (same discipline as the store). */
+bool
+hasString(const JsonValue &doc, const std::string &key)
+{
+    return doc.isObject() && doc.has(key) && doc.at(key).isString();
+}
+
+bool
+hasNumber(const JsonValue &doc, const std::string &key)
+{
+    return doc.isObject() && doc.has(key) && doc.at(key).isNumber();
+}
+
+bool
+hasBool(const JsonValue &doc, const std::string &key)
+{
+    return doc.isObject() && doc.has(key) && doc.at(key).isBool();
+}
+
+bool
+validStatus(const std::string &status)
+{
+    return status == "pending" || status == "partial" ||
+        status == "complete";
+}
+
+/** Write-then-rename, same contract as the store's cache writes: a
+ *  reader never observes a torn manifest or shard.json. */
+void
+writeAtomically(const std::string &path, const JsonValue &doc)
+{
+    static std::atomic<std::uint64_t> counter{0};
+    std::string tmp = path + ".tmp." + std::to_string(::getpid()) +
+        "." + std::to_string(counter.fetch_add(1));
+    doc.writeFile(tmp);
+    std::error_code ec;
+    std::filesystem::rename(tmp, path, ec);
+    if (ec)
+        fatal("campaign: cannot move '", tmp, "': ", ec.message());
+}
+
+/** The version/fingerprint preamble both files share. */
+void
+checkVersions(const JsonValue &doc, const std::string &context)
+{
+    if (!doc.isObject())
+        fatal(context, ": document must be a JSON object");
+    if (!hasNumber(doc, "format") ||
+        (int)doc.at("format").asNumber() != store::kFormatVersion) {
+        fatal(context, ": \"format\" must be the store format version ",
+              store::kFormatVersion, " this build reads");
+    }
+    if (!hasNumber(doc, "campaign_format") ||
+        (int)doc.at("campaign_format").asNumber() !=
+            kCampaignFormatVersion) {
+        fatal(context, ": \"campaign_format\" must be ",
+              kCampaignFormatVersion);
+    }
+    if (!hasString(doc, "fingerprint") ||
+        doc.at("fingerprint").asString().empty()) {
+        fatal(context,
+              ": \"fingerprint\" must be the sweep fingerprint string");
+    }
+}
+
+} // namespace
+
+ShardPlan
+CampaignManifest::plan() const
+{
+    ShardPlan plan;
+    plan.fingerprint = fingerprint;
+    plan.runLength = granularity;
+    plan.shardCount = shardCount;
+    plan.rotation =
+        (std::size_t)(store::fnv1a64(fingerprint) % shardCount);
+    return plan;
+}
+
+JsonValue
+CampaignManifest::toJson() const
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("format", JsonValue::makeNumber(store::kFormatVersion));
+    v.set("campaign_format",
+          JsonValue::makeNumber(kCampaignFormatVersion));
+    v.set("fingerprint", JsonValue::makeString(fingerprint));
+    v.set("shard_count", JsonValue::makeNumber((double)shardCount));
+    v.set("granularity", JsonValue::makeNumber((double)granularity));
+    JsonValue table = JsonValue::makeArray();
+    for (const auto &shard : shards) {
+        JsonValue row = JsonValue::makeObject();
+        row.set("id", JsonValue::makeNumber((double)shard.id));
+        row.set("dir", JsonValue::makeString(shard.dir));
+        row.set("status", JsonValue::makeString(shard.status));
+        row.set("attempts",
+                JsonValue::makeNumber((double)shard.attempts));
+        table.append(std::move(row));
+    }
+    v.set("shards", std::move(table));
+    return v;
+}
+
+CampaignManifest
+CampaignManifest::fromJson(const JsonValue &doc,
+                           const std::string &context)
+{
+    checkVersions(doc, context);
+    CampaignManifest m;
+    m.fingerprint = doc.at("fingerprint").asString();
+    if (!hasNumber(doc, "shard_count") ||
+        doc.at("shard_count").asNumber() < 1) {
+        fatal(context, ": \"shard_count\" must be a positive integer");
+    }
+    m.shardCount = (std::size_t)doc.at("shard_count").asNumber();
+    if (!hasNumber(doc, "granularity") ||
+        doc.at("granularity").asNumber() < 1) {
+        fatal(context, ": \"granularity\" must be a positive integer");
+    }
+    m.granularity = (std::size_t)doc.at("granularity").asNumber();
+    if (!doc.has("shards") || !doc.at("shards").isArray())
+        fatal(context, ": \"shards\" must be the shard table array");
+    const auto &table = doc.at("shards").asArray();
+    if (table.size() != m.shardCount) {
+        fatal(context, ": shard table has ", table.size(),
+              " entries for shard_count ", m.shardCount);
+    }
+    for (std::size_t k = 0; k < table.size(); ++k) {
+        const JsonValue &row = table[k];
+        ShardEntry entry;
+        if (!hasNumber(row, "id") ||
+            (std::size_t)row.at("id").asNumber() != k) {
+            fatal(context, ": shard table entry ", k,
+                  " must carry \"id\": ", k);
+        }
+        entry.id = k;
+        if (!hasString(row, "dir") || row.at("dir").asString().empty())
+            fatal(context, ": shard ", k, " needs a non-empty \"dir\"");
+        entry.dir = row.at("dir").asString();
+        if (!hasString(row, "status") ||
+            !validStatus(row.at("status").asString())) {
+            fatal(context, ": shard ", k,
+                  " \"status\" must be pending, partial, or complete");
+        }
+        entry.status = row.at("status").asString();
+        if (!hasNumber(row, "attempts") ||
+            row.at("attempts").asNumber() < 0) {
+            fatal(context, ": shard ", k,
+                  " \"attempts\" must be a non-negative integer");
+        }
+        entry.attempts =
+            (std::uint64_t)row.at("attempts").asNumber();
+        m.shards.push_back(std::move(entry));
+    }
+    return m;
+}
+
+std::string
+shardDirName(std::size_t shard)
+{
+    return "shards/shard-" + std::to_string(shard);
+}
+
+CampaignManifest
+loadManifest(const std::string &dir)
+{
+    std::string path = dir + "/campaign.json";
+    if (!std::filesystem::exists(path)) {
+        fatal("campaign: no manifest at '", path,
+              "' (run `campaign plan` first)");
+    }
+    return CampaignManifest::fromJson(JsonValue::parseFile(path),
+                                      "campaign manifest '" + path +
+                                          "'");
+}
+
+void
+saveManifest(const std::string &dir, const CampaignManifest &m)
+{
+    writeAtomically(dir + "/campaign.json", m.toJson());
+}
+
+ShardState
+loadShardState(const std::string &shardDir,
+               const std::string &fingerprint)
+{
+    ShardState state;
+    std::string path = shardDir + "/shard.json";
+    std::ifstream in(path);
+    std::ostringstream buffer;
+    if (in)
+        buffer << in.rdbuf();
+    JsonValue doc;
+    if (!in || !JsonValue::tryParse(buffer.str(), doc))
+        return state;
+    if (!hasString(doc, "fingerprint") ||
+        doc.at("fingerprint").asString() != fingerprint)
+        return state;
+    if (hasNumber(doc, "attempts") && doc.at("attempts").asNumber() >= 0)
+        state.attempts = (std::uint64_t)doc.at("attempts").asNumber();
+    if (hasBool(doc, "completed"))
+        state.completed = doc.at("completed").asBool();
+    return state;
+}
+
+void
+saveShardState(const std::string &shardDir,
+               const std::string &fingerprint, std::size_t shard,
+               std::size_t shardCount, const ShardState &state)
+{
+    JsonValue v = JsonValue::makeObject();
+    v.set("format", JsonValue::makeNumber(store::kFormatVersion));
+    v.set("campaign_format",
+          JsonValue::makeNumber(kCampaignFormatVersion));
+    v.set("fingerprint", JsonValue::makeString(fingerprint));
+    v.set("shard", JsonValue::makeNumber((double)shard));
+    v.set("shard_count", JsonValue::makeNumber((double)shardCount));
+    v.set("attempts", JsonValue::makeNumber((double)state.attempts));
+    v.set("completed", JsonValue::makeBool(state.completed));
+    writeAtomically(shardDir + "/shard.json", v);
+}
+
+} // namespace campaign
+} // namespace nvmexp

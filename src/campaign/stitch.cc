@@ -1,0 +1,181 @@
+#include "campaign/stitch.hh"
+
+#include <iterator>
+
+#include "store/result_store.hh"
+#include "util/logging.hh"
+
+namespace nvmexp {
+namespace campaign {
+
+namespace {
+
+/** The serializer's envelope, derived from serializeResults itself on
+ *  an empty row set: "<prefix>[]<suffix>". Never hand-written, so a
+ *  format bump changes the splice automatically. */
+struct Envelope
+{
+    std::string prefix; ///< up to (not including) the rows array
+    std::string suffix; ///< after the rows array
+};
+
+const Envelope &
+envelope()
+{
+    static const Envelope env = [] {
+        std::string empty = store::serializeResults({});
+        std::size_t open = empty.find("[]");
+        if (open == std::string::npos) {
+            panic("campaign stitch: serializeResults({}) has no empty "
+                  "rows array");
+        }
+        return Envelope{empty.substr(0, open), empty.substr(open + 2)};
+    }();
+    return env;
+}
+
+/** One past the end of the balanced JSON value starting at `begin`
+ *  (must be '{'), or npos on malformed/truncated text. */
+std::size_t
+scanRow(const std::string &text, std::size_t begin)
+{
+    int depth = 0;
+    bool inString = false;
+    bool escaped = false;
+    for (std::size_t i = begin; i < text.size(); ++i) {
+        char c = text[i];
+        if (inString) {
+            if (escaped)
+                escaped = false;
+            else if (c == '\\')
+                escaped = true;
+            else if (c == '"')
+                inString = false;
+            continue;
+        }
+        if (c == '"') {
+            inString = true;
+        } else if (c == '{' || c == '[') {
+            ++depth;
+        } else if (c == '}' || c == ']') {
+            if (--depth == 0)
+                return i + 1;
+        }
+    }
+    return std::string::npos;
+}
+
+[[noreturn]] void
+tornResults(const std::string &context)
+{
+    fatal(context, ": results.json does not match the serialized-"
+          "results envelope (torn write or foreign file); re-run the "
+          "shard with resume to regenerate it");
+}
+
+} // namespace
+
+std::vector<std::string>
+splitSerializedResults(const std::string &text,
+                       const std::string &context)
+{
+    const Envelope &env = envelope();
+    if (text.compare(0, env.prefix.size(), env.prefix) != 0)
+        tornResults(context);
+    std::vector<std::string> rows;
+    std::size_t pos = env.prefix.size();
+    if (text.compare(pos, 2, "[]") == 0) {
+        if (text.substr(pos + 2) != env.suffix)
+            tornResults(context);
+        return rows;
+    }
+    if (pos >= text.size() || text[pos] != '[')
+        tornResults(context);
+    ++pos;
+    // Rows sit at a fixed depth: "\n    {...}" separated by commas,
+    // then "\n  ]" closes the array.
+    for (;;) {
+        if (text.compare(pos, 5, "\n    ") != 0)
+            tornResults(context);
+        pos += 5;
+        std::size_t end = scanRow(text, pos);
+        if (pos >= text.size() || text[pos] != '{' ||
+            end == std::string::npos)
+            tornResults(context);
+        rows.push_back(text.substr(pos, end - pos));
+        pos = end;
+        if (pos < text.size() && text[pos] == ',') {
+            ++pos;
+            continue;
+        }
+        if (text.compare(pos, 4, "\n  ]") != 0 ||
+            text.substr(pos + 4) != env.suffix)
+            tornResults(context);
+        return rows;
+    }
+}
+
+std::string
+joinSerializedResults(const std::vector<std::string> &rows)
+{
+    const Envelope &env = envelope();
+    if (rows.empty())
+        return env.prefix + "[]" + env.suffix;
+    std::string out = env.prefix;
+    out += '[';
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        if (i)
+            out += ',';
+        out += "\n    ";
+        out += rows[i];
+    }
+    out += "\n  ]";
+    out += env.suffix;
+    return out;
+}
+
+CsvSplit
+splitResultsCsv(const std::string &text, const std::string &context)
+{
+    CsvSplit split;
+    std::vector<std::string> records;
+    std::size_t begin = 0;
+    bool inQuotes = false;
+    // Quote parity handles quoted fields that embed commas, quotes
+    // ("" escapes), or newlines — a record ends only at an unquoted
+    // newline.
+    for (std::size_t i = 0; i < text.size(); ++i) {
+        char c = text[i];
+        if (c == '"') {
+            inQuotes = !inQuotes;
+        } else if (c == '\n' && !inQuotes) {
+            records.push_back(text.substr(begin, i - begin));
+            begin = i + 1;
+        }
+    }
+    if (inQuotes || begin != text.size() || records.empty()) {
+        fatal(context, ": results.csv is torn (unterminated quote or "
+              "missing final newline); re-run the shard with resume "
+              "to regenerate it");
+    }
+    split.header = std::move(records.front());
+    split.rows.assign(std::make_move_iterator(records.begin() + 1),
+                      std::make_move_iterator(records.end()));
+    return split;
+}
+
+std::string
+joinResultsCsv(const std::string &header,
+               const std::vector<std::string> &rows)
+{
+    std::string out = header;
+    out += '\n';
+    for (const auto &row : rows) {
+        out += row;
+        out += '\n';
+    }
+    return out;
+}
+
+} // namespace campaign
+} // namespace nvmexp

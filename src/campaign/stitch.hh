@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Byte-exact splicing of shard result artifacts.
+ *
+ * A shard store's results.json/.csv hold exactly the shard's owned
+ * rows, serialized by the one true serializer
+ * (store::serializeResults / ResultStore::writeResults) in ascending
+ * slot order. Because the serialized text of a row is independent of
+ * which rows surround it (fixed indentation depth in the JSON
+ * artifact, self-contained records in the CSV), the campaign merge
+ * can reassemble the canonical artifacts by interleaving the shard
+ * artifacts' row texts in global slot order — no re-parsing or
+ * re-serializing of result values, which is what keeps merge cost a
+ * small fraction of the work the shards parallelized. The envelope
+ * (format header, brackets, header row) is taken from the serializer
+ * itself, never duplicated here, so a format bump cannot drift; the
+ * byte-identity differential suite pins the equivalence end to end.
+ */
+
+#ifndef NVMEXP_CAMPAIGN_STITCH_HH
+#define NVMEXP_CAMPAIGN_STITCH_HH
+
+#include <string>
+#include <vector>
+
+namespace nvmexp {
+namespace campaign {
+
+/**
+ * Split one serializeResults() artifact into its per-row texts (the
+ * row objects exactly as printed, indentation not included). fatal()
+ * with `context` when the text does not match the serializer's
+ * envelope — a torn or foreign file.
+ */
+std::vector<std::string>
+splitSerializedResults(const std::string &text,
+                       const std::string &context);
+
+/** Inverse of splitSerializedResults: the artifact serializeResults()
+ *  would produce for these rows in this order. */
+std::string
+joinSerializedResults(const std::vector<std::string> &rows);
+
+/** A results.csv split into its header line and record texts (no
+ *  trailing newlines; a record may span lines inside quotes). */
+struct CsvSplit
+{
+    std::string header;
+    std::vector<std::string> rows;
+};
+
+/** Split a results.csv artifact; fatal() with `context` on a torn
+ *  file (unterminated quote or missing final newline). */
+CsvSplit splitResultsCsv(const std::string &text,
+                         const std::string &context);
+
+/** Inverse of splitResultsCsv. */
+std::string joinResultsCsv(const std::string &header,
+                           const std::vector<std::string> &rows);
+
+} // namespace campaign
+} // namespace nvmexp
+
+#endif // NVMEXP_CAMPAIGN_STITCH_HH

@@ -257,6 +257,33 @@ loadExperiment(const JsonValue &doc)
     }
     config.sweep.batchSize = (int)batchSize;
 
+    // Campaign block: how many shards `campaign plan` splits this
+    // sweep into when --shards isn't given on the command line. The
+    // shard count never affects result bytes (the merge is canonical),
+    // so like jobs/batch_size it lives outside the sweep fingerprint.
+    if (doc.has("campaign")) {
+        const JsonValue &c = doc.at("campaign");
+        if (!c.isObject() || !c.has("shards") ||
+            !c.at("shards").isNumber()) {
+            fatal("config '", config.name, "': \"campaign\" must be "
+                  "an object with a \"shards\" count");
+        }
+        for (const auto &key : c.memberNames()) {
+            if (key != "shards") {
+                fatal("config '", config.name,
+                      "': unknown \"campaign\" key \"", key, "\"");
+            }
+        }
+        double shards = c.at("shards").asNumber();
+        if (shards != (double)(int)shards || shards < 1.0 ||
+            shards > 4096.0) {
+            fatal("config '", config.name, "': \"campaign\" "
+                  "\"shards\" must be an integer in [1, 4096], got ",
+                  shards);
+        }
+        config.campaignShards = (std::size_t)shards;
+    }
+
     // Optimization targets (default ReadEDP).
     config.sweep.targets.clear();
     if (doc.has("targets")) {

@@ -48,6 +48,10 @@ struct ExperimentConfig
      *  grows ECC/failure-rate columns. Off by default so sweeps
      *  without a reliability axis print exactly as before. */
     bool showReliability = false;
+    /** The "campaign" block's shard count; 0 = config doesn't ask for
+     *  a distributed campaign. `campaign plan` uses this as the
+     *  default when --shards isn't given. */
+    std::size_t campaignShards = 0;
     std::string outputCsv;  ///< empty = don't write
 };
 

@@ -10,16 +10,8 @@
 
 namespace nvmexp {
 
-namespace {
-
-/**
- * Resolve a sweep's effective traffic list: explicit patterns first,
- * then every workload spec expanded through the WorkloadRegistry in
- * order. Returns `config` itself when there is nothing to expand, so
- * the common path stays copy-free.
- */
 const SweepConfig &
-expandWorkloadSpecs(const SweepConfig &config, SweepConfig &storage)
+expandSweepWorkloads(const SweepConfig &config, SweepConfig &storage)
 {
     if (config.workloads.empty())
         return config;
@@ -33,6 +25,8 @@ expandWorkloadSpecs(const SweepConfig &config, SweepConfig &storage)
     storage.workloads.clear();
     return storage;
 }
+
+namespace {
 
 /**
  * Resolve a sweep's reliability axis: one evaluator per spec, or the
@@ -236,7 +230,7 @@ ParallelSweepRunner::characterize(const SweepConfig &config) const
     if (config.outDir.empty())
         return characterizeWithStore(config, nullptr);
 
-    store::ResultStore resultStore(config.outDir);
+    store::ResultStore resultStore(config.outDir, config.cacheDir);
     auto arrays = characterizeWithStore(config, &resultStore);
     lastStoreStats_ = resultStore.stats();
     resultStore.writeStats();
@@ -314,7 +308,7 @@ ParallelSweepRunner::run(const SweepConfig &rawConfig) const
     // fully expanded sweep.
     SweepConfig expandedStorage;
     const SweepConfig &config =
-        expandWorkloadSpecs(rawConfig, expandedStorage);
+        expandSweepWorkloads(rawConfig, expandedStorage);
     if (config.traffics.empty())
         fatal("sweep has no traffic patterns configured");
     lastStoreStats_ = store::StoreStats{};
@@ -330,22 +324,53 @@ ParallelSweepRunner::run(const SweepConfig &rawConfig) const
         shardBatches(context, config.batchSize, results, nullptr, {});
         return results;
     }
+    return runStoreBacked(config, {});
+}
 
-    store::ResultStore resultStore(config.outDir);
+std::vector<EvalResult>
+ParallelSweepRunner::runSelected(
+    const SweepConfig &rawConfig,
+    const std::function<bool(std::size_t)> &owned) const
+{
+    SweepConfig expandedStorage;
+    const SweepConfig &config =
+        expandSweepWorkloads(rawConfig, expandedStorage);
+    if (config.traffics.empty())
+        fatal("sweep has no traffic patterns configured");
+    if (config.outDir.empty())
+        fatal("runSelected needs a store directory (outDir)");
+    lastStoreStats_ = store::StoreStats{};
+    return runStoreBacked(config, owned);
+}
+
+std::vector<EvalResult>
+ParallelSweepRunner::runStoreBacked(
+    const SweepConfig &config,
+    const std::function<bool(std::size_t)> &owned) const
+{
+    store::ResultStore resultStore(config.outDir, config.cacheDir);
     auto arrays = characterizeWithStore(config, &resultStore);
 
     auto evaluators = reliabilityEvaluators(config.reliability);
     const std::size_t nspecs = evaluators.size();
     std::size_t slots = arrays.size() * config.traffics.size() * nspecs;
+    // The journal always claims the FULL slot count, even for a shard
+    // run that owns a subset: a campaign merge stitches shard journals
+    // into one whose header is byte-identical to a single process's.
     auto done = resultStore.openCheckpoint(
         store::sweepFingerprint(config), slots, config.resume);
 
     // Index-addressed slots: replayed checkpoint entries and freshly
     // evaluated ones land in the same serial-order positions, so the
     // output is byte-identical to an uninterrupted run — batched or
-    // not, at any batch size, under any worker count.
+    // not, at any batch size, under any worker count. Slots outside
+    // the owned selection are simply never evaluated or journaled.
     std::vector<EvalResult> results(slots);
     std::vector<char> todo(slots, 1);
+    if (owned) {
+        for (std::size_t idx = 0; idx < slots; ++idx)
+            todo[idx] = owned(idx) ? 1 : 0;
+    }
     for (const auto &[slot, result] : done) {
         results[slot] = result;
         todo[slot] = 0;
@@ -372,6 +397,19 @@ ParallelSweepRunner::run(const SweepConfig &rawConfig) const
         });
     }
     resultStore.closeCheckpoint();
+    if (owned) {
+        // A shard store's results artifacts carry exactly the owned
+        // rows, ascending: the merge step later splices the shard
+        // artifacts back together in global slot order.
+        std::vector<EvalResult> mine;
+        for (std::size_t idx = 0; idx < slots; ++idx)
+            if (owned(idx))
+                mine.push_back(std::move(results[idx]));
+        resultStore.writeResults(mine);
+        lastStoreStats_ = resultStore.stats();
+        resultStore.writeStats();
+        return mine;
+    }
     resultStore.writeResults(results);
     lastStoreStats_ = resultStore.stats();
     resultStore.writeStats();

@@ -44,6 +44,17 @@ void setDefaultSweepJobs(int jobs);
 const std::string &defaultSweepStoreDir();
 void setDefaultSweepStoreDir(std::string dir);
 
+/**
+ * Resolve a sweep's effective traffic list: explicit patterns first,
+ * then every workload spec expanded through the WorkloadRegistry in
+ * order. Returns `config` itself when there is nothing to expand (so
+ * the common path stays copy-free) and the filled `storage` otherwise.
+ * The sweep fingerprint — and therefore every campaign shard plan —
+ * is defined over the expanded form this returns.
+ */
+const SweepConfig &expandSweepWorkloads(const SweepConfig &config,
+                                        SweepConfig &storage);
+
 /** Runs sweep cross products on a fixed number of worker threads. */
 class ParallelSweepRunner
 {
@@ -66,6 +77,18 @@ class ParallelSweepRunner
      *  With config.outDir set, evaluation slots are journaled (and
      *  replayed under config.resume) and results.json/.csv written. */
     std::vector<EvalResult> run(const SweepConfig &config) const;
+
+    /** Store-backed run of the slot subset selected by `owned` (a
+     *  campaign shard): non-selected slots are neither evaluated nor
+     *  journaled, and the store's results artifacts carry exactly the
+     *  owned rows in ascending slot order (also the return value).
+     *  The checkpoint journal still claims the full sweep fingerprint
+     *  and slot count, so shard journals merge into one canonical
+     *  journal. Requires config.outDir; honors config.resume the same
+     *  way run() does. A null selector behaves exactly like run(). */
+    std::vector<EvalResult>
+    runSelected(const SweepConfig &config,
+                const std::function<bool(std::size_t)> &owned) const;
 
     /** Store counters from the last characterize()/run() that used a
      *  result store (zeros otherwise). */
@@ -122,6 +145,12 @@ class ParallelSweepRunner
     std::vector<ArrayResult>
     characterizeWithStore(const SweepConfig &config,
                           store::ResultStore *resultStore) const;
+
+    /** Shared store-backed body of run()/runSelected(); `config` is
+     *  already workload-expanded and validated. */
+    std::vector<EvalResult>
+    runStoreBacked(const SweepConfig &config,
+                   const std::function<bool(std::size_t)> &owned) const;
 
     /** Shard the context's slots over the workers in contiguous
      *  batches of `batchSize` (<= 0 picks the context default). todo

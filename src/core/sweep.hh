@@ -90,6 +90,15 @@ struct SweepConfig
     /** Replay outDir's checkpoint journal (CLI --resume) and continue
      *  an interrupted sweep instead of restarting it. */
     bool resume = false;
+    /**
+     * Characterization-cache directory override; empty keeps the
+     * default <outDir>/cache. Campaign shard runs point every shard
+     * store at the campaign's one shared cache so an array is
+     * characterized by whichever shard reaches it first. Like outDir,
+     * never affects result values and is excluded from the sweep
+     * fingerprint. Programmatic only (no config key).
+     */
+    std::string cacheDir;
 };
 
 /** Implementation node for a cell: SRAM baselines use the (denser)

@@ -179,14 +179,15 @@ reasonPhrase(int status)
 }
 
 std::string
-serializeResponse(const HttpResponse &response)
+serializeResponse(const HttpResponse &response, bool keepAlive)
 {
     std::string out = "HTTP/1.1 " + std::to_string(response.status) + " " +
                       reasonPhrase(response.status) + "\r\n";
     out += "Content-Type: " + response.contentType + "\r\n";
     out += "Content-Length: " + std::to_string(response.body.size()) +
            "\r\n";
-    out += "Connection: close\r\n\r\n";
+    out += keepAlive ? "Connection: keep-alive\r\n\r\n"
+                     : "Connection: close\r\n\r\n";
     out += response.body;
     return out;
 }
@@ -207,6 +208,64 @@ sendAll(int fd, const std::string &bytes)
     }
     return true;
 }
+
+namespace {
+
+/** Locate the blank line ending a response head (CRLFCRLF or bare
+ *  LFLF); @return false while it has not arrived yet. */
+bool
+findHeaderEnd(const std::string &text, std::size_t &headerEnd,
+              std::size_t &bodyAt)
+{
+    headerEnd = text.find("\r\n\r\n");
+    if (headerEnd != std::string::npos) {
+        bodyAt = headerEnd + 4;
+        return true;
+    }
+    headerEnd = text.find("\n\n");
+    if (headerEnd != std::string::npos) {
+        bodyAt = headerEnd + 2;
+        return true;
+    }
+    return false;
+}
+
+/** Parse "HTTP/x.y NNN reason" + headers out of one head block. */
+bool
+parseResponseHead(const std::string &head, HttpClientResult &out,
+                  std::string &error)
+{
+    auto lines = splitLines(head);
+    if (lines.empty()) {
+        error = "malformed response (empty status line)";
+        return false;
+    }
+    std::string status = trimmed(lines[0]);
+    std::size_t sp = status.find(' ');
+    if (sp == std::string::npos || status.rfind("HTTP/", 0) != 0) {
+        error = "malformed status line '" + status + "'";
+        return false;
+    }
+    double code = 0.0;
+    std::string codeText = status.substr(sp + 1, 3);
+    if (!JsonValue::parseNumber(codeText, code)) {
+        error = "malformed status code '" + codeText + "'";
+        return false;
+    }
+    out.status = (int)code;
+    out.headers.clear();
+    for (std::size_t i = 1; i < lines.size(); ++i) {
+        std::string line = trimmed(lines[i]);
+        std::size_t colon = line.find(':');
+        if (line.empty() || colon == std::string::npos)
+            continue;
+        out.headers[lowered(trimmed(line.substr(0, colon)))] =
+            trimmed(line.substr(colon + 1));
+    }
+    return true;
+}
+
+} // namespace
 
 bool
 httpExchange(int port, const std::string &method,
@@ -257,49 +316,132 @@ httpExchange(int port, const std::string &method,
     }
     ::close(fd);
 
-    // Parse status line + headers + body (body runs to EOF; the server
-    // always closes, and Content-Length is advisory here).
-    std::size_t headerEnd = response.find("\r\n\r\n");
-    std::size_t bodyAt;
-    if (headerEnd != std::string::npos) {
-        bodyAt = headerEnd + 4;
-    } else {
-        headerEnd = response.find("\n\n");
-        if (headerEnd == std::string::npos) {
-            error = "malformed response (no header terminator)";
-            return false;
-        }
-        bodyAt = headerEnd + 2;
-    }
-    auto lines = splitLines(response.substr(0, headerEnd));
-    if (lines.empty()) {
-        error = "malformed response (empty status line)";
+    // Parse status line + headers + body (body runs to EOF; this
+    // client asked for Connection: close, and Content-Length is
+    // advisory here).
+    std::size_t headerEnd = 0;
+    std::size_t bodyAt = 0;
+    if (!findHeaderEnd(response, headerEnd, bodyAt)) {
+        error = "malformed response (no header terminator)";
         return false;
     }
-    std::string status = trimmed(lines[0]);
-    std::size_t sp = status.find(' ');
-    if (sp == std::string::npos || status.rfind("HTTP/", 0) != 0) {
-        error = "malformed status line '" + status + "'";
+    if (!parseResponseHead(response.substr(0, headerEnd), out, error))
         return false;
-    }
-    double code = 0.0;
-    std::string codeText = status.substr(sp + 1, 3);
-    if (!JsonValue::parseNumber(codeText, code)) {
-        error = "malformed status code '" + codeText + "'";
-        return false;
-    }
-    out.status = (int)code;
-    out.headers.clear();
-    for (std::size_t i = 1; i < lines.size(); ++i) {
-        std::string line = trimmed(lines[i]);
-        std::size_t colon = line.find(':');
-        if (line.empty() || colon == std::string::npos)
-            continue;
-        out.headers[lowered(trimmed(line.substr(0, colon)))] =
-            trimmed(line.substr(colon + 1));
-    }
     out.body = response.substr(bodyAt);
     return true;
+}
+
+bool
+HttpClient::connectOnce(std::string &error)
+{
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+        error = "socket: " + std::string(std::strerror(errno));
+        return false;
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons((uint16_t)port_);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    if (::connect(fd, (const sockaddr *)&addr, sizeof(addr)) != 0) {
+        error = "connect: " + std::string(std::strerror(errno));
+        ::close(fd);
+        return false;
+    }
+    fd_ = fd;
+    carry_.clear();
+    return true;
+}
+
+void
+HttpClient::disconnect()
+{
+    if (fd_ >= 0)
+        ::close(fd_);
+    fd_ = -1;
+    carry_.clear();
+}
+
+bool
+HttpClient::exchange(const std::string &method,
+                     const std::string &target, const std::string &body,
+                     HttpClientResult &out, std::string &error)
+{
+    for (int attempt = 0;; ++attempt) {
+        bool fresh = fd_ < 0;
+        if (fresh && !connectOnce(error))
+            return false;
+
+        std::string request = method + " " + target + " HTTP/1.1\r\n";
+        request += "Host: 127.0.0.1\r\n";
+        request +=
+            "Content-Length: " + std::to_string(body.size()) + "\r\n";
+        request += "Connection: keep-alive\r\n\r\n";
+        request += body;
+        bool dead = !sendAll(fd_, request);
+
+        std::string response = std::move(carry_);
+        carry_.clear();
+        std::size_t headerEnd = 0;
+        std::size_t bodyAt = 0;
+        bool headFound =
+            !dead && findHeaderEnd(response, headerEnd, bodyAt);
+        char chunk[4096];
+        while (!dead && !headFound) {
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                dead = true;
+                break;
+            }
+            response.append(chunk, (std::size_t)n);
+            headFound = findHeaderEnd(response, headerEnd, bodyAt);
+        }
+        if (dead) {
+            disconnect();
+            // A reused connection the server quietly closed between
+            // exchanges (idle timeout or request cap): retry once on
+            // a fresh one. A dead fresh connection is a real error.
+            if (!fresh && attempt == 0 && response.empty())
+                continue;
+            error = "connection closed mid-response";
+            return false;
+        }
+        if (!parseResponseHead(response.substr(0, headerEnd), out,
+                               error)) {
+            disconnect();
+            return false;
+        }
+        auto cl = out.headers.find("content-length");
+        double length = 0.0;
+        if (cl == out.headers.end() ||
+            !JsonValue::parseNumber(cl->second, length) ||
+            length < 0.0) {
+            disconnect();
+            error = "response carries no usable Content-Length";
+            return false;
+        }
+        std::size_t want = bodyAt + (std::size_t)length;
+        while (response.size() < want) {
+            ssize_t n = ::recv(fd_, chunk, sizeof(chunk), 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                disconnect();
+                error = "connection closed mid-response";
+                return false;
+            }
+            response.append(chunk, (std::size_t)n);
+        }
+        out.body = response.substr(bodyAt, (std::size_t)length);
+        carry_ = response.substr(want);
+        auto conn = out.headers.find("connection");
+        if (conn != out.headers.end() &&
+            lowered(conn->second) == "close")
+            disconnect();
+        return true;
+    }
 }
 
 } // namespace serve

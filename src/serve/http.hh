@@ -4,10 +4,12 @@
  * request parser, response serialization, and a tiny blocking client
  * the tests and the load bench drive the server with.
  *
- * Deliberately small: blocking sockets, one request per connection
- * (every response carries "Connection: close"), no chunked transfer
- * encoding, no TLS. The request body size is capped by the caller so
- * an oversized upload is rejected with 413 instead of buffered.
+ * Deliberately small: blocking sockets, no chunked transfer encoding,
+ * no TLS. Connections persist per HTTP/1.1 semantics (the server
+ * bounds idle time and requests per connection; see serve/server.hh),
+ * and HttpClient keeps one connection open across exchanges. The
+ * request body size is capped by the caller so an oversized upload is
+ * rejected with 413 instead of buffered.
  */
 
 #ifndef NVMEXP_SERVE_HTTP_HH
@@ -75,6 +77,14 @@ class HttpRequestParser
     /** What went wrong; meaningful for Bad / TooLarge. */
     const std::string &error() const { return error_; }
 
+    /** Bytes consumed beyond the parsed request (the start of a
+     *  pipelined follow-up on a keep-alive connection); meaningful
+     *  once state() == Done. */
+    std::string remainder() const
+    {
+        return buffer_.substr(bodyStart_ + contentLength_);
+    }
+
   private:
     ParseState finishHeaders(std::size_t headerEnd);
     ParseState fail(ParseState state, const std::string &what);
@@ -93,9 +103,11 @@ class HttpRequestParser
  *  (unknown codes get "Unknown"). */
 const char *reasonPhrase(int status);
 
-/** Serialize status line + Content-Type/Content-Length/Connection:
- *  close headers + body. */
-std::string serializeResponse(const HttpResponse &response);
+/** Serialize status line + Content-Type/Content-Length/Connection
+ *  headers + body. `keepAlive` picks the Connection token; the
+ *  default matches the historical close-per-request behavior. */
+std::string serializeResponse(const HttpResponse &response,
+                              bool keepAlive = false);
 
 /** send() the whole buffer (MSG_NOSIGNAL; a dropped peer is reported
  *  as false, never as SIGPIPE). */
@@ -118,6 +130,45 @@ struct HttpClientResult
 bool httpExchange(int port, const std::string &method,
                   const std::string &target, const std::string &body,
                   HttpClientResult &out, std::string &error);
+
+/**
+ * A blocking client that keeps one connection to 127.0.0.1:`port`
+ * open across exchanges ("Connection: keep-alive"), reading each
+ * response by its Content-Length instead of to EOF. When the server
+ * closed the connection between exchanges (idle timeout or
+ * per-connection request cap), the next exchange transparently
+ * reconnects once. The load bench and the keep-alive tests drive the
+ * server through this.
+ */
+class HttpClient
+{
+  public:
+    explicit HttpClient(int port) : port_(port) {}
+    ~HttpClient() { disconnect(); }
+
+    HttpClient(const HttpClient &) = delete;
+    HttpClient &operator=(const HttpClient &) = delete;
+
+    /** One request/response on the persistent connection. @return
+     *  false with `error` set on connect/send/malformed-response
+     *  trouble. */
+    bool exchange(const std::string &method, const std::string &target,
+                  const std::string &body, HttpClientResult &out,
+                  std::string &error);
+
+    /** Whether a connection is currently open (false before the first
+     *  exchange and after the server signalled Connection: close). */
+    bool connected() const { return fd_ >= 0; }
+
+    void disconnect();
+
+  private:
+    bool connectOnce(std::string &error);
+
+    int port_;
+    int fd_ = -1;
+    std::string carry_;  ///< bytes read past the previous response
+};
 
 } // namespace serve
 } // namespace nvmexp

@@ -5,6 +5,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <cerrno>
 #include <chrono>
 #include <csignal>
@@ -303,43 +304,80 @@ QueryServer::dispatch(const HttpRequest &request)
 void
 QueryServer::handleConnection(int fd)
 {
-    // A peer that connects but never completes a request must not pin
-    // a worker: give up after a quiet receive window and count the
-    // connection as dropped.
-    setRecvTimeout(fd, 5000);
+    // The same quiet receive window bounds a peer mid-request and an
+    // idle keep-alive connection, so a worker is pinned for at most
+    // one window past the last byte either way.
+    setRecvTimeout(fd, options_.keepAliveTimeoutMillis);
 
-    HttpRequestParser parser(options_.maxBodyBytes);
-    char chunk[8192];
-    while (parser.state() == ParseState::NeedMore) {
-        ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
-        if (n < 0 && errno == EINTR)
-            continue;
-        if (n <= 0) {
-            // Dropped (or timed-out) mid-request: nothing coherent to
-            // answer, so the connection is closed without a response;
-            // /statz records it and the server keeps serving.
+    std::string carry;  // pipelined bytes past the previous request
+    for (int served = 0; served < options_.maxRequestsPerConnection;
+         ++served) {
+        HttpRequestParser parser(options_.maxBodyBytes);
+        bool midRequest = false;
+        if (!carry.empty()) {
+            parser.consume(carry.data(), carry.size());
+            midRequest = true;
+            carry.clear();
+        }
+        char chunk[8192];
+        while (parser.state() == ParseState::NeedMore) {
+            ssize_t n = ::recv(fd, chunk, sizeof(chunk), 0);
+            if (n < 0 && errno == EINTR)
+                continue;
+            if (n <= 0) {
+                // Only a hangup (or timeout) after a request started
+                // counts as dropped; a keep-alive peer going away
+                // between requests is the protocol working.
+                if (midRequest)
+                    dropped_.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+            midRequest = true;
+            parser.consume(chunk, (std::size_t)n);
+        }
+
+        HttpResponse response;
+        bool keepAlive = false;
+        switch (parser.state()) {
+          case ParseState::Done: {
+            response = dispatch(parser.request());
+            // HTTP/1.1 persists unless the client says close; earlier
+            // versions must ask. A parse failure always closes (the
+            // connection byte stream is unsynchronized).
+            const HttpRequest &request = parser.request();
+            std::string token;
+            auto it = request.headers.find("connection");
+            if (it != request.headers.end()) {
+                token = it->second;
+                for (char &c : token)
+                    c = (char)std::tolower((unsigned char)c);
+            }
+            keepAlive = request.version == "HTTP/1.1"
+                ? token != "close"
+                : token == "keep-alive";
+            if (served + 1 >= options_.maxRequestsPerConnection)
+                keepAlive = false;
+            break;
+          }
+          case ParseState::TooLarge:
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            response = {413, "application/json",
+                        errorBody(parser.error())};
+            break;
+          default:
+            badRequests_.fetch_add(1, std::memory_order_relaxed);
+            response = {400, "application/json",
+                        errorBody(parser.error())};
+            break;
+        }
+        if (!sendAll(fd, serializeResponse(response, keepAlive))) {
             dropped_.fetch_add(1, std::memory_order_relaxed);
             return;
         }
-        parser.consume(chunk, (std::size_t)n);
+        if (!keepAlive)
+            return;
+        carry = parser.remainder();
     }
-
-    HttpResponse response;
-    switch (parser.state()) {
-      case ParseState::Done:
-        response = dispatch(parser.request());
-        break;
-      case ParseState::TooLarge:
-        badRequests_.fetch_add(1, std::memory_order_relaxed);
-        response = {413, "application/json", errorBody(parser.error())};
-        break;
-      default:
-        badRequests_.fetch_add(1, std::memory_order_relaxed);
-        response = {400, "application/json", errorBody(parser.error())};
-        break;
-    }
-    if (!sendAll(fd, serializeResponse(response)))
-        dropped_.fetch_add(1, std::memory_order_relaxed);
 }
 
 } // namespace serve

@@ -3,7 +3,9 @@
  * Sweep-as-a-service: a long-lived HTTP query server over one result
  * store (the `nvmexplorer_cli serve` subcommand).
  *
- * Endpoints (all responses JSON, one request per connection):
+ * Endpoints (all responses JSON; connections persist per HTTP/1.1
+ * keep-alive semantics, bounded by keepAliveTimeoutMillis and
+ * maxRequestsPerConnection):
  *
  *   POST /query    body = the StoreQuery wire format (query.json);
  *                  200 with the byte-exact store::serializeResults
@@ -48,6 +50,13 @@ struct ServeOptions
     int port = 0;       ///< 0 = kernel-assigned (see QueryServer::port)
     int jobs = 4;       ///< connection worker threads
     std::size_t maxBodyBytes = 1 << 20;  ///< /query body cap (413 above)
+    /** How long a keep-alive connection may sit idle (also the
+     *  mid-request receive window) before the worker gives up on it. */
+    int keepAliveTimeoutMillis = 5000;
+    /** Requests served per connection before the server answers
+     *  "Connection: close" and recycles the worker (bounds how long
+     *  one chatty client can pin a pool thread). */
+    int maxRequestsPerConnection = 100;
 };
 
 /** Snapshot of the serving counters (/statz). */
@@ -57,7 +66,8 @@ struct ServeCounters
     std::uint64_t badRequests = 0;     ///< 4xx responses
     std::uint64_t reloads = 0;         ///< successful re-indexes
     std::uint64_t reloadFailures = 0;  ///< rejected re-indexes
-    std::uint64_t dropped = 0;   ///< connections lost mid-request
+    std::uint64_t dropped = 0;   ///< connections lost mid-request (an
+                                 ///< idle keep-alive close is clean)
     std::uint64_t queryMicros = 0;     ///< summed /query handling time
 };
 

@@ -134,13 +134,17 @@ sweepFingerprint(const SweepConfig &config)
     return hexHash(v.dump(-1));
 }
 
-ResultStore::ResultStore(std::string dir) : dir_(std::move(dir))
+ResultStore::ResultStore(std::string dir, std::string cacheDir)
+    : dir_(std::move(dir)),
+      cacheDir_(cacheDir.empty() ? dir_ + "/cache" : std::move(cacheDir))
 {
     std::error_code ec;
-    std::filesystem::create_directories(dir_ + "/cache", ec);
+    std::filesystem::create_directories(dir_, ec);
+    if (!ec)
+        std::filesystem::create_directories(cacheDir_, ec);
     if (ec) {
-        fatal("result store: cannot create '", dir_, "/cache': ",
-              ec.message());
+        fatal("result store: cannot create '", dir_, "' (cache '",
+              cacheDir_, "'): ", ec.message());
     }
 }
 
@@ -166,7 +170,7 @@ ResultStore::characterizationKey(const MemCell &cell,
 std::string
 ResultStore::cachePath(const std::string &key) const
 {
-    return dir_ + "/cache/" + hexHash(key) + ".json";
+    return cacheDir_ + "/" + hexHash(key) + ".json";
 }
 
 ResultStore::CacheOutcome
@@ -261,6 +265,54 @@ checkpointHeader(const std::string &fingerprint, std::size_t slots)
 
 } // namespace
 
+std::string
+checkpointHeaderLine(const std::string &fingerprint, std::size_t slots)
+{
+    return checkpointHeader(fingerprint, slots).dump(-1);
+}
+
+CheckpointScan
+scanCheckpoint(const std::string &dir)
+{
+    CheckpointScan scan;
+    std::ifstream in(dir + "/checkpoint.jsonl");
+    std::string line;
+    JsonValue header;
+    if (in && std::getline(in, line) &&
+        JsonValue::tryParse(line, header)) {
+        scan.headerParsed = true;
+        scan.headerOk = hasNumber(header, "format") &&
+            hasString(header, "fingerprint") &&
+            hasNumber(header, "slots");
+        if (scan.headerOk) {
+            scan.format = (int)header.at("format").asNumber();
+            scan.fingerprint = header.at("fingerprint").asString();
+            scan.slots = (std::size_t)header.at("slots").asNumber();
+        }
+    }
+    if (!scan.headerOk)
+        return scan;
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        // The last line of an interrupted run may be torn at any
+        // byte; only lines that parse and carry the expected members
+        // are trusted.
+        JsonValue entry;
+        if (!JsonValue::tryParse(line, entry) ||
+            !hasNumber(entry, "slot") || !hasObject(entry, "result")) {
+            warn("result store: skipping torn checkpoint line");
+            continue;
+        }
+        auto slot = (std::size_t)entry.at("slot").asNumber();
+        if (slot < scan.slots) {
+            scan.entries.push_back(
+                CheckpointEntry{slot, line, entry.at("result")});
+        }
+    }
+    return scan;
+}
+
 std::map<std::size_t, EvalResult>
 ResultStore::openCheckpoint(const std::string &fingerprint,
                             std::size_t slots, bool resume)
@@ -269,41 +321,15 @@ ResultStore::openCheckpoint(const std::string &fingerprint,
     std::map<std::size_t, EvalResult> done;
 
     if (resume) {
-        std::ifstream in(path);
-        std::string line;
-        bool headerOk = false;
-        JsonValue header;
-        if (in && std::getline(in, line) &&
-            JsonValue::tryParse(line, header)) {
-            headerOk = hasNumber(header, "format") &&
-                (int)header.at("format").asNumber() == kFormatVersion &&
-                hasString(header, "fingerprint") &&
-                header.at("fingerprint").asString() == fingerprint &&
-                hasNumber(header, "slots") &&
-                (std::size_t)header.at("slots").asNumber() == slots;
-            if (!headerOk) {
-                warn("result store: checkpoint in '", dir_,
-                     "' belongs to a different sweep; restarting");
-            }
-        }
-        if (headerOk) {
-            while (std::getline(in, line)) {
-                if (line.empty())
-                    continue;
-                // The last line of an interrupted run may be torn at
-                // any byte; only lines that parse and carry the
-                // expected members are trusted.
-                JsonValue entry;
-                if (!JsonValue::tryParse(line, entry) ||
-                    !hasNumber(entry, "slot") ||
-                    !hasObject(entry, "result")) {
-                    warn("result store: skipping torn checkpoint line");
-                    continue;
-                }
-                auto slot = (std::size_t)entry.at("slot").asNumber();
-                if (slot < slots)
-                    done[slot] = evalResultFromJson(entry.at("result"));
-            }
+        CheckpointScan scan = scanCheckpoint(dir_);
+        bool match = scan.headerOk && scan.format == kFormatVersion &&
+            scan.fingerprint == fingerprint && scan.slots == slots;
+        if (match) {
+            for (const auto &entry : scan.entries)
+                done[entry.slot] = evalResultFromJson(entry.result);
+        } else if (scan.headerParsed) {
+            warn("result store: checkpoint in '", dir_,
+                 "' belongs to a different sweep; restarting");
         }
     }
 
@@ -492,7 +518,13 @@ ResultStore::writeResults(const std::vector<EvalResult> &results)
 void
 ResultStore::writeStats()
 {
-    stats().toJson().writeFile(dir_ + "/stats.json");
+    writeStats(stats());
+}
+
+void
+ResultStore::writeStats(const StoreStats &stats)
+{
+    stats.toJson().writeFile(dir_ + "/stats.json");
 }
 
 StoreStats

@@ -9,7 +9,9 @@
  *                             (cell, capacity, target, node) content
  *                             hash; re-running an identical or
  *                             enlarged sweep skips already-
- *                             characterized arrays
+ *                             characterized arrays. A store may be
+ *                             pointed at an external cache directory
+ *                             instead (campaign shards share one)
  *   <dir>/checkpoint.jsonl    append-only journal of completed
  *                             evaluation slots; an interrupted sweep
  *                             resumed with SweepConfig::resume
@@ -80,8 +82,13 @@ std::string sweepFingerprint(const SweepConfig &config);
 class ResultStore
 {
   public:
-    /** Opens (creating if needed) the store directory. */
-    explicit ResultStore(std::string dir);
+    /** Opens (creating if needed) the store directory. By default the
+     *  characterization cache lives at <dir>/cache; passing a
+     *  non-empty `cacheDir` points it elsewhere so several stores —
+     *  e.g. the shard stores of one campaign — can share entries.
+     *  Entry writes are atomic (write-then-rename), so concurrent
+     *  processes may share a cache directory safely. */
+    explicit ResultStore(std::string dir, std::string cacheDir = "");
 
     const std::string &dir() const { return dir_; }
 
@@ -127,16 +134,56 @@ class ResultStore
     /** Write stats.json with the current counters. */
     void writeStats();
 
+    /** Write stats.json with explicit counters (a campaign merge
+     *  writes the sum over its shard stores). */
+    void writeStats(const StoreStats &stats);
+
     StoreStats stats() const;
 
   private:
     std::string cachePath(const std::string &key) const;
 
     std::string dir_;
+    std::string cacheDir_;
     mutable std::mutex mutex_;
     StoreStats stats_;
     std::ofstream checkpoint_;
 };
+
+/** One validated checkpoint journal entry: the slot, the raw journal
+ *  line (no trailing newline), and the parsed "result" member. */
+struct CheckpointEntry
+{
+    std::size_t slot = 0;
+    std::string line;
+    JsonValue result;
+};
+
+/**
+ * Read-only scan of one store's checkpoint journal, with exactly the
+ * torn-write tolerance of the resume path: the header line must parse
+ * and carry the expected members before any entries are trusted, and
+ * entry lines that fail to parse (the interrupted trailing write) or
+ * name an out-of-range slot are skipped. No comparison against an
+ * expected fingerprint happens here — callers (resume, campaign merge,
+ * campaign status) decide what a mismatch means for them.
+ */
+struct CheckpointScan
+{
+    bool headerParsed = false; ///< first line parsed as JSON at all
+    bool headerOk = false;     ///< ...and carried format/fingerprint/slots
+    int format = 0;
+    std::string fingerprint;
+    std::size_t slots = 0;
+    std::vector<CheckpointEntry> entries; ///< validated, file order
+};
+
+CheckpointScan scanCheckpoint(const std::string &dir);
+
+/** The journal header line (no trailing newline) that openCheckpoint
+ *  writes; a campaign merge reproduces it byte-for-byte. */
+std::string checkpointHeaderLine(const std::string &fingerprint,
+                                 std::size_t slots);
 
 /**
  * One results.csv column: the header name plus the registry metric

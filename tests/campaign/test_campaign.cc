@@ -1,0 +1,441 @@
+/**
+ * @file
+ * Differential tier for distributed sweep campaigns: shards run as
+ * independent store-backed workers (any shard count, any worker
+ * count, killed and retried mid-shard) must merge into a store
+ * byte-identical to a single-process `--out` run of the same config —
+ * checkpoint journal included. Also pins the merge's refusal
+ * diagnostics, the manifest round trip, the status snapshot, and the
+ * single-node launcher's retry policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/campaign.hh"
+#include "campaign/stitch.hh"
+#include "core/parallel_sweep.hh"
+#include "reliability/reliability.hh"
+#include "store/result_store.hh"
+#include "util/logging.hh"
+
+#include "../support/fixtures.hh"
+
+namespace nvmexp {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE((bool)in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+std::vector<std::string>
+readLines(const std::string &path)
+{
+    std::ifstream in(path);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line))
+        lines.push_back(line);
+    return lines;
+}
+
+void
+writeLines(const std::string &path,
+           const std::vector<std::string> &lines)
+{
+    std::ofstream out(path, std::ios::trunc);
+    for (const auto &line : lines)
+        out << line << '\n';
+}
+
+void
+writeText(const std::string &path, const std::string &text)
+{
+    std::ofstream out(path, std::ios::trunc);
+    out << text;
+}
+
+/** The merge failure message for `body`, "" when it succeeded. */
+std::string
+mergeError(const std::string &dir)
+{
+    ScopedFatalThrows guard;
+    try {
+        campaign::mergeCampaign(dir);
+    } catch (const FatalError &e) {
+        return e.what();
+    }
+    return "";
+}
+
+class CampaignTest : public testsupport::QuietTest
+{
+  protected:
+    std::string
+    freshDir(const std::string &name)
+    {
+        std::string dir = ::testing::TempDir() + "nvmexp_campaign_" +
+            ::testing::UnitTest::GetInstance()
+                ->current_test_info()->name() +
+            "_" + name;
+        std::filesystem::remove_all(dir);
+        return dir;
+    }
+
+    /** smallSweep with two reliability specs: 32 slots in blocks of
+     *  2 (the granularity shards are assigned at). */
+    SweepConfig
+    specSweep()
+    {
+        SweepConfig config = testsupport::smallSweep();
+        reliability::ReliabilitySpec none;
+        reliability::ReliabilitySpec secded;
+        secded.ecc = "secded-72-64";
+        config.reliability = {none, secded};
+        return config;
+    }
+
+    /** wideSweep with two reliability specs: 96 slots, enough that
+     *  every shard count under test owns several blocks. */
+    SweepConfig
+    wideSpecSweep()
+    {
+        SweepConfig config = testsupport::wideSweep();
+        reliability::ReliabilitySpec none;
+        reliability::ReliabilitySpec secded;
+        secded.ecc = "secded-72-64";
+        secded.scrubIntervalSec = 3600.0;
+        config.reliability = {none, secded};
+        return config;
+    }
+
+    /** Single-process reference artifacts for `config` (run at one
+     *  worker so the journal is in ascending slot order, the canonical
+     *  form the merge produces). */
+    struct Reference
+    {
+        std::string json, csv, journal;
+    };
+
+    Reference
+    referenceRun(SweepConfig config, const std::string &dir)
+    {
+        config.outDir = dir;
+        ParallelSweepRunner runner(1);
+        runner.run(config);
+        return {readFile(dir + "/results.json"),
+                readFile(dir + "/results.csv"),
+                readFile(dir + "/checkpoint.jsonl")};
+    }
+
+    void
+    expectMergedMatches(const std::string &dir, const Reference &ref,
+                        const std::string &label)
+    {
+        std::string merged = campaign::mergedDir(dir);
+        EXPECT_EQ(readFile(merged + "/results.json"), ref.json)
+            << label;
+        EXPECT_EQ(readFile(merged + "/results.csv"), ref.csv) << label;
+        EXPECT_EQ(readFile(merged + "/checkpoint.jsonl"), ref.journal)
+            << label;
+    }
+};
+
+/** The headline guarantee: for every shard count and worker count,
+ *  running the shards independently and merging produces bytes
+ *  indistinguishable from never having sharded at all. */
+TEST_F(CampaignTest, MergedStoreIsByteIdenticalAcrossShardCounts)
+{
+    SweepConfig config = wideSpecSweep();
+    Reference ref = referenceRun(config, freshDir("reference"));
+
+    for (std::size_t shards : {1u, 2u, 3u, 8u}) {
+        for (int jobs : {1, 8}) {
+            std::string label = std::to_string(shards) + " shards -j" +
+                std::to_string(jobs);
+            std::string dir = freshDir(label);
+            campaign::planCampaign(dir, config, shards);
+            ParallelSweepRunner runner(jobs);
+            std::size_t rows = 0;
+            for (std::size_t k = 0; k < shards; ++k)
+                rows += campaign::runShard(dir, config, k, runner)
+                            .size();
+            EXPECT_EQ(rows, 96u) << label;
+
+            campaign::MergeSummary summary =
+                campaign::mergeCampaign(dir);
+            EXPECT_EQ(summary.totalSlots, 96u) << label;
+            EXPECT_EQ(summary.shardCount, shards) << label;
+            // Every slot was evaluated exactly once, somewhere.
+            EXPECT_EQ(summary.stats.checkpointComputed, 96u) << label;
+            expectMergedMatches(dir, ref, label);
+        }
+    }
+}
+
+/** A shard killed mid-write leaves a torn store; the retry resumes
+ *  from the journal and the campaign still merges byte-identically,
+ *  with the replayed slots visible in the summed stats. */
+TEST_F(CampaignTest, KilledShardRetriesAndMergesIdentically)
+{
+    SweepConfig config = specSweep();
+    Reference ref = referenceRun(config, freshDir("reference"));
+
+    std::string dir = freshDir("campaign");
+    campaign::planCampaign(dir, config, 3);
+    ParallelSweepRunner runner(2);
+    for (std::size_t k = 0; k < 3; ++k)
+        campaign::runShard(dir, config, k, runner);
+
+    // Re-create the kill: shard 1's journal is cut after two entries
+    // and its results artifacts vanish (the store only writes them at
+    // the end of a run).
+    std::string shardDir = dir + "/" + campaign::shardDirName(1);
+    auto lines = readLines(shardDir + "/checkpoint.jsonl");
+    ASSERT_GT(lines.size(), 3u);
+    lines.resize(3);  // header + 2 journaled slots
+    writeLines(shardDir + "/checkpoint.jsonl", lines);
+    std::filesystem::remove(shardDir + "/results.json");
+    std::filesystem::remove(shardDir + "/results.csv");
+
+    // Merging a torn campaign is refused with the shard named...
+    std::string error = mergeError(dir);
+    EXPECT_NE(error.find("shard-1"), std::string::npos) << error;
+
+    // ...and the retry heals it: replay the two surviving slots,
+    // recompute the rest, merge clean.
+    auto rows = campaign::runShard(dir, config, 1, runner);
+    campaign::MergeSummary summary = campaign::mergeCampaign(dir);
+    EXPECT_EQ(summary.totalSlots, 32u);
+    EXPECT_EQ(summary.stats.checkpointLoaded, 2u);
+    expectMergedMatches(dir, ref, "after retry");
+
+    // The shard's own record shows both attempts.
+    campaign::CampaignStatus status = campaign::campaignStatus(dir);
+    EXPECT_EQ(status.shards[1].attempts, 2u);
+    EXPECT_EQ(rows.size(), status.shards[1].ownedSlots);
+}
+
+TEST_F(CampaignTest, MergeRefusesMissingForeignAndStaleShards)
+{
+    SweepConfig config = specSweep();
+    std::string dir = freshDir("campaign");
+    campaign::planCampaign(dir, config, 2);
+    ParallelSweepRunner runner(2);
+
+    // Shard 1 never ran: the merge names its journal, not some slot
+    // arithmetic deep in the stitcher.
+    campaign::runShard(dir, config, 0, runner);
+    std::string error = mergeError(dir);
+    EXPECT_NE(error.find("shard-1"), std::string::npos) << error;
+
+    campaign::runShard(dir, config, 1, runner);
+    ASSERT_EQ(mergeError(dir), "");
+
+    std::string shardDir = dir + "/" + campaign::shardDirName(0);
+    std::string journalPath = shardDir + "/checkpoint.jsonl";
+    std::string journal = readFile(journalPath);
+
+    // A journal claiming a different sweep is refused up front.
+    auto lines = readLines(journalPath);
+    lines[0] = store::checkpointHeaderLine(
+        "00000000deadbeef", campaign::campaignStatus(dir).totalSlots);
+    writeLines(journalPath, lines);
+    error = mergeError(dir);
+    EXPECT_NE(error.find("fingerprint"), std::string::npos) << error;
+    writeText(journalPath, journal);
+
+    // A journal missing one owned slot means the worker did not
+    // finish; the merge says so instead of silently dropping rows.
+    lines = readLines(journalPath);
+    lines.pop_back();
+    writeLines(journalPath, lines);
+    error = mergeError(dir);
+    EXPECT_NE(error.find("incomplete"), std::string::npos) << error;
+    writeText(journalPath, journal);
+
+    // results.json rows disagreeing with the journal (a stale artifact
+    // from an older attempt) are refused, not spliced.
+    std::string resultsPath = shardDir + "/results.json";
+    std::string results = readFile(resultsPath);
+    auto rows = campaign::splitSerializedResults(results, "test");
+    rows.pop_back();
+    writeText(resultsPath, campaign::joinSerializedResults(rows));
+    error = mergeError(dir);
+    EXPECT_NE(error.find("stale"), std::string::npos) << error;
+    writeText(resultsPath, results);
+
+    ASSERT_EQ(mergeError(dir), "");
+}
+
+TEST_F(CampaignTest, PlanIsIdempotentButRefusesConflicts)
+{
+    SweepConfig config = specSweep();
+    std::string dir = freshDir("campaign");
+    campaign::CampaignManifest first =
+        campaign::planCampaign(dir, config, 3);
+    // Same config, same shard count: a no-op (launchers always plan).
+    campaign::CampaignManifest again =
+        campaign::planCampaign(dir, config, 3);
+    EXPECT_EQ(again.fingerprint, first.fingerprint);
+
+    ScopedFatalThrows guard;
+    // Different shard count or different sweep: refuse, don't clobber.
+    EXPECT_THROW(campaign::planCampaign(dir, config, 4), FatalError);
+    SweepConfig other = config;
+    other.reliability.pop_back();
+    EXPECT_THROW(campaign::planCampaign(dir, other, 3), FatalError);
+}
+
+TEST_F(CampaignTest, ManifestRoundTripsThroughJson)
+{
+    SweepConfig config = specSweep();
+    std::string dir = freshDir("campaign");
+    campaign::CampaignManifest written =
+        campaign::planCampaign(dir, config, 5);
+    campaign::CampaignManifest loaded = campaign::loadManifest(dir);
+    EXPECT_EQ(loaded.fingerprint, written.fingerprint);
+    EXPECT_EQ(loaded.shardCount, 5u);
+    EXPECT_EQ(loaded.granularity, 2u);
+    ASSERT_EQ(loaded.shards.size(), 5u);
+    for (std::size_t k = 0; k < 5; ++k) {
+        EXPECT_EQ(loaded.shards[k].id, k);
+        EXPECT_EQ(loaded.shards[k].dir, campaign::shardDirName(k));
+        EXPECT_EQ(loaded.shards[k].status, "pending");
+        EXPECT_EQ(loaded.shards[k].attempts, 0u);
+    }
+    campaign::CampaignManifest reparsed =
+        campaign::CampaignManifest::fromJson(loaded.toJson(), "test");
+    EXPECT_EQ(reparsed.fingerprint, loaded.fingerprint);
+    EXPECT_EQ(reparsed.shards.size(), loaded.shards.size());
+
+    // The plan reconstructed from the manifest is the planner's.
+    campaign::ShardPlan plan = loaded.plan();
+    campaign::ShardPlan direct = campaign::makeShardPlan(config, 5);
+    EXPECT_EQ(plan.rotation, direct.rotation);
+    EXPECT_EQ(plan.runLength, direct.runLength);
+}
+
+TEST_F(CampaignTest, StatusTracksShardLifecycles)
+{
+    SweepConfig config = specSweep();
+    std::string dir = freshDir("campaign");
+    campaign::planCampaign(dir, config, 2);
+
+    campaign::CampaignStatus fresh = campaign::campaignStatus(dir);
+    EXPECT_FALSE(fresh.allComplete());
+    EXPECT_FALSE(fresh.merged);
+    EXPECT_EQ(fresh.totalSlots, 0u);  // nothing journaled yet
+    ASSERT_EQ(fresh.shards.size(), 2u);
+    EXPECT_EQ(fresh.shards[0].state, "pending");
+
+    ParallelSweepRunner runner(2);
+    campaign::runShard(dir, config, 0, runner);
+    campaign::CampaignStatus half = campaign::campaignStatus(dir);
+    EXPECT_FALSE(half.allComplete());
+    EXPECT_EQ(half.totalSlots, 32u);
+    EXPECT_EQ(half.shards[0].state, "complete");
+    EXPECT_EQ(half.shards[0].doneSlots, half.shards[0].ownedSlots);
+    EXPECT_EQ(half.shards[1].state, "pending");
+
+    campaign::runShard(dir, config, 1, runner);
+    campaign::mergeCampaign(dir);
+    campaign::CampaignStatus done = campaign::campaignStatus(dir);
+    EXPECT_TRUE(done.allComplete());
+    EXPECT_TRUE(done.merged);
+    EXPECT_EQ(done.shards[0].doneSlots + done.shards[1].doneSlots,
+              32u);
+}
+
+/** The single-node launcher forks real worker processes, skips done
+ *  shards, and retries a crashing one until its store completes. */
+TEST_F(CampaignTest, LauncherRetriesCrashingWorkerProcesses)
+{
+    SweepConfig config = specSweep();
+    Reference ref = referenceRun(config, freshDir("reference"));
+    std::string dir = freshDir("campaign");
+    campaign::planCampaign(dir, config, 3);
+
+    // Shard 1's first attempt does real work, then "dies" leaving the
+    // torn store a mid-write kill would: journal cut short, results
+    // artifacts gone, nonzero exit. The sentinel lives on the shared
+    // filesystem, so the retry — a fresh process — sees it and runs
+    // clean.
+    std::string sentinel = dir + "/shard1-crashed-once";
+    auto worker = [&](std::size_t shard) -> int {
+        ParallelSweepRunner runner(1);
+        auto rows = campaign::runShard(dir, config, shard, runner);
+        if (rows.empty())
+            return 1;
+        if (shard == 1 && !std::filesystem::exists(sentinel)) {
+            std::string shardDir =
+                dir + "/" + campaign::shardDirName(1);
+            auto lines = readLines(shardDir + "/checkpoint.jsonl");
+            lines.resize(2);  // header + 1 journaled slot
+            writeLines(shardDir + "/checkpoint.jsonl", lines);
+            std::filesystem::remove(shardDir + "/results.json");
+            std::filesystem::remove(shardDir + "/results.csv");
+            writeText(sentinel, "x\n");
+            return 1;
+        }
+        return 0;
+    };
+
+    campaign::LaunchOptions options;
+    options.workers = 2;
+    options.maxAttempts = 3;
+    EXPECT_TRUE(campaign::launchCampaign(dir, options, worker));
+
+    campaign::CampaignStatus status = campaign::campaignStatus(dir);
+    EXPECT_TRUE(status.allComplete());
+    EXPECT_GE(status.shards[1].attempts, 2u);
+
+    campaign::mergeCampaign(dir);
+    expectMergedMatches(dir, ref, "launched");
+
+    // Relaunching a finished campaign is a no-op (all shards skipped),
+    // and the merge output is untouched.
+    EXPECT_TRUE(campaign::launchCampaign(dir, options, worker));
+    expectMergedMatches(dir, ref, "relaunched");
+}
+
+/** A worker that always dies exhausts its attempt budget; the launcher
+ *  reports failure instead of spinning. */
+TEST_F(CampaignTest, LauncherGivesUpAfterMaxAttempts)
+{
+    SweepConfig config = specSweep();
+    std::string dir = freshDir("campaign");
+    campaign::planCampaign(dir, config, 2);
+
+    auto worker = [&](std::size_t shard) -> int {
+        if (shard == 1)
+            return 7;  // crashes every time
+        ParallelSweepRunner runner(1);
+        return campaign::runShard(dir, config, shard, runner).empty()
+            ? 1 : 0;
+    };
+
+    campaign::LaunchOptions options;
+    options.workers = 2;
+    options.maxAttempts = 2;
+    EXPECT_FALSE(campaign::launchCampaign(dir, options, worker));
+
+    campaign::CampaignStatus status = campaign::campaignStatus(dir);
+    EXPECT_FALSE(status.allComplete());
+    EXPECT_EQ(status.shards[0].state, "complete");
+    EXPECT_NE(status.shards[1].state, "complete");
+}
+
+} // namespace
+} // namespace nvmexp

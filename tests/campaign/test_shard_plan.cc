@@ -1,0 +1,198 @@
+/**
+ * @file
+ * Unit tier for the campaign partitioning and splicing primitives:
+ * the ShardPlan must be a deterministic, complete, block-aligned
+ * partition of the expanded slot space, and the stitch helpers must
+ * round-trip the store serializer's artifacts byte-exactly (they are
+ * what makes the merged store canonical).
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "campaign/shard_plan.hh"
+#include "campaign/stitch.hh"
+#include "core/parallel_sweep.hh"
+#include "reliability/reliability.hh"
+#include "store/result_store.hh"
+#include "util/logging.hh"
+
+#include "../support/fixtures.hh"
+
+namespace nvmexp {
+namespace {
+
+std::string
+readFile(const std::string &path)
+{
+    std::ifstream in(path);
+    EXPECT_TRUE((bool)in) << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+class ShardPlanTest : public testsupport::QuietTest
+{
+  protected:
+    /** smallSweep with two reliability specs: 8 arrays x 2 traffics x
+     *  2 specs = 32 slots, spec blocks of length 2. */
+    SweepConfig
+    specSweep()
+    {
+        SweepConfig config = testsupport::smallSweep();
+        reliability::ReliabilitySpec none;
+        reliability::ReliabilitySpec secded;
+        secded.ecc = "secded-72-64";
+        config.reliability = {none, secded};
+        return config;
+    }
+};
+
+TEST_F(ShardPlanTest, PlanIsDeterministicAndMatchesStoreFingerprint)
+{
+    SweepConfig config = specSweep();
+    campaign::ShardPlan a = campaign::makeShardPlan(config, 4);
+    campaign::ShardPlan b = campaign::makeShardPlan(config, 4);
+    EXPECT_EQ(a.fingerprint, b.fingerprint);
+    EXPECT_EQ(a.runLength, b.runLength);
+    EXPECT_EQ(a.rotation, b.rotation);
+    EXPECT_EQ(a.shardCount, 4u);
+    EXPECT_EQ(a.runLength, config.reliability.size());
+    // The plan is defined over the same fingerprint the result store
+    // journals, so shard journals and the merged journal agree.
+    EXPECT_EQ(a.fingerprint, store::sweepFingerprint(config));
+}
+
+TEST_F(ShardPlanTest, EveryShardCountPartitionsTheSlotSpace)
+{
+    SweepConfig config = specSweep();
+    const std::size_t totalSlots = 32;
+    for (std::size_t shards : {1u, 2u, 3u, 5u, 8u, 33u}) {
+        campaign::ShardPlan plan =
+            campaign::makeShardPlan(config, shards);
+        std::size_t covered = 0;
+        for (std::size_t k = 0; k < shards; ++k) {
+            std::size_t owned = plan.ownedCount(k, totalSlots);
+            covered += owned;
+            // The selector agrees with shardOf, slot by slot.
+            auto selector = plan.selector(k);
+            std::size_t selected = 0;
+            for (std::size_t slot = 0; slot < totalSlots; ++slot) {
+                EXPECT_LT(plan.shardOf(slot), shards);
+                EXPECT_EQ(selector(slot), plan.owns(k, slot));
+                if (selector(slot))
+                    ++selected;
+            }
+            EXPECT_EQ(selected, owned) << shards << " shards, shard "
+                                       << k;
+        }
+        EXPECT_EQ(covered, totalSlots) << shards << " shards";
+    }
+}
+
+TEST_F(ShardPlanTest, SpecBlocksNeverStraddleShards)
+{
+    SweepConfig config = specSweep();
+    for (std::size_t shards : {2u, 3u, 7u}) {
+        campaign::ShardPlan plan =
+            campaign::makeShardPlan(config, shards);
+        ASSERT_EQ(plan.runLength, 2u);
+        for (std::size_t slot = 0; slot + 1 < 32; slot += 2) {
+            EXPECT_EQ(plan.shardOf(slot), plan.shardOf(slot + 1))
+                << "block at slot " << slot << ", " << shards
+                << " shards";
+        }
+    }
+}
+
+TEST_F(ShardPlanTest, RotationVariesWithSweepNotWithCall)
+{
+    // Different sweeps land on different rotations (fingerprint-
+    // derived), so repeated campaigns don't always hand shard 0 the
+    // same corner of the space.
+    SweepConfig a = specSweep();
+    SweepConfig b = specSweep();
+    b.reliability[1].scrubIntervalSec = 3600.0;
+    campaign::ShardPlan pa = campaign::makeShardPlan(a, 8);
+    campaign::ShardPlan pb = campaign::makeShardPlan(b, 8);
+    EXPECT_NE(pa.fingerprint, pb.fingerprint);
+    EXPECT_LT(pa.rotation, 8u);
+    EXPECT_LT(pb.rotation, 8u);
+}
+
+TEST_F(ShardPlanTest, ZeroShardsAndOutOfRangeSelectorAreFatal)
+{
+    SweepConfig config = specSweep();
+    ScopedFatalThrows guard;
+    EXPECT_THROW(campaign::makeShardPlan(config, 0), FatalError);
+    campaign::ShardPlan plan = campaign::makeShardPlan(config, 2);
+    EXPECT_THROW(plan.selector(2), FatalError);
+}
+
+TEST_F(ShardPlanTest, StitchRoundTripsSerializedResults)
+{
+    SweepConfig config = testsupport::smallSweep();
+    ParallelSweepRunner runner(2);
+    auto results = runner.run(config);
+    ASSERT_EQ(results.size(), 16u);
+
+    std::string text = store::serializeResults(results);
+    auto rows = campaign::splitSerializedResults(text, "test");
+    ASSERT_EQ(rows.size(), results.size());
+    EXPECT_EQ(campaign::joinSerializedResults(rows), text);
+
+    // Row texts are position-independent: a subset joins to exactly
+    // what the serializer prints for that subset.
+    std::vector<EvalResult> subset = {results[3], results[7],
+                                      results[12]};
+    std::vector<std::string> subsetRows = {rows[3], rows[7], rows[12]};
+    EXPECT_EQ(campaign::joinSerializedResults(subsetRows),
+              store::serializeResults(subset));
+
+    // The empty artifact is its own envelope.
+    std::string empty = store::serializeResults({});
+    EXPECT_TRUE(campaign::splitSerializedResults(empty, "test").empty());
+    EXPECT_EQ(campaign::joinSerializedResults({}), empty);
+}
+
+TEST_F(ShardPlanTest, StitchRejectsTornSerializedResults)
+{
+    SweepConfig config = testsupport::smallSweep();
+    ParallelSweepRunner runner(2);
+    std::string text = store::serializeResults(runner.run(config));
+    ScopedFatalThrows guard;
+    EXPECT_THROW(campaign::splitSerializedResults(
+                     text.substr(0, text.size() / 2), "torn"),
+                 FatalError);
+    EXPECT_THROW(campaign::splitSerializedResults("[1, 2, 3]\n",
+                                                  "foreign"),
+                 FatalError);
+}
+
+TEST_F(ShardPlanTest, StitchRoundTripsResultsCsv)
+{
+    SweepConfig config = testsupport::smallSweep();
+    config.outDir = ::testing::TempDir() + "nvmexp_stitch_csv";
+    std::filesystem::remove_all(config.outDir);
+    ParallelSweepRunner runner(2);
+    runner.run(config);
+    std::string text = readFile(config.outDir + "/results.csv");
+
+    campaign::CsvSplit split = campaign::splitResultsCsv(text, "test");
+    EXPECT_EQ(split.rows.size(), 16u);
+    EXPECT_EQ(campaign::joinResultsCsv(split.header, split.rows), text);
+
+    ScopedFatalThrows guard;
+    EXPECT_THROW(campaign::splitResultsCsv(
+                     text.substr(0, text.size() - 1), "no newline"),
+                 FatalError);
+}
+
+} // namespace
+} // namespace nvmexp

@@ -12,6 +12,8 @@
 #include <string>
 
 #include "../support/fixtures.hh"
+#include "campaign/campaign.hh"
+#include "core/parallel_sweep.hh"
 #include "lint.hh"
 
 namespace nvmexp {
@@ -247,6 +249,137 @@ TEST_F(LintTest, RegistriesAreConsistent)
     LintReport report = lintRegistries();
     for (const auto &d : report.diagnostics)
         ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+}
+
+class CampaignLintTest : public LintTest
+{
+  protected:
+    /** A structurally valid two-shard manifest, one field swappable
+     *  at a time. */
+    static std::string
+    manifestJson(const std::string &fingerprint,
+                 const std::string &shard1Status)
+    {
+        return "{\n"
+               "  \"format\": 2,\n"
+               "  \"campaign_format\": 1,\n"
+               "  \"fingerprint\": \"" + fingerprint + "\",\n"
+               "  \"shard_count\": 2,\n"
+               "  \"granularity\": 2,\n"
+               "  \"shards\": [\n"
+               "    {\"id\": 0, \"dir\": \"shards/shard-0\",\n"
+               "     \"status\": \"pending\", \"attempts\": 0},\n"
+               "    {\"id\": 1, \"dir\": \"shards/shard-1\",\n"
+               "     \"status\": \"" + shard1Status + "\",\n"
+               "     \"attempts\": 1}\n"
+               "  ]\n"
+               "}\n";
+    }
+
+    static std::string
+    journalHeader(const std::string &fingerprint)
+    {
+        return "{\"format\": 2, \"fingerprint\": \"" + fingerprint +
+               "\", \"slots\": 32}\n";
+    }
+};
+
+TEST_F(CampaignLintTest, PendingCampaignLintsClean)
+{
+    write("campaign.json", manifestJson("00000000aaaaaaaa", "pending"));
+    LintReport report = lintCampaignDir(dir_.string());
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+}
+
+TEST_F(CampaignLintTest, WrongCampaignFormatVersionIsDiagnosed)
+{
+    std::string bad = manifestJson("00000000aaaaaaaa", "pending");
+    bad.replace(bad.find("\"campaign_format\": 1"),
+                std::string("\"campaign_format\": 1").size(),
+                "\"campaign_format\": 99");
+    auto path = write("campaign.json", bad);
+    LintReport report = lintCampaignDir(dir_.string());
+    expectOneDiagnostic(report, path, "");
+    EXPECT_NE(report.diagnostics[0].message.find("campaign_format"),
+              std::string::npos);
+}
+
+TEST_F(CampaignLintTest, ShardTableSizeMismatchIsDiagnosed)
+{
+    std::string bad = manifestJson("00000000aaaaaaaa", "pending");
+    bad.replace(bad.find("\"shard_count\": 2"),
+                std::string("\"shard_count\": 2").size(),
+                "\"shard_count\": 3");
+    auto path = write("campaign.json", bad);
+    LintReport report = lintCampaignDir(dir_.string());
+    expectOneDiagnostic(report, path, "");
+    EXPECT_NE(report.diagnostics[0].message.find("shard table"),
+              std::string::npos);
+}
+
+TEST_F(CampaignLintTest, CompletedShardWithoutStoreIsDiagnosed)
+{
+    auto path =
+        write("campaign.json",
+              manifestJson("00000000aaaaaaaa", "complete"));
+    LintReport report = lintCampaignDir(dir_.string());
+    expectOneDiagnostic(report, path, "shards[1]");
+    EXPECT_NE(report.diagnostics[0].message.find("missing"),
+              std::string::npos);
+}
+
+TEST_F(CampaignLintTest, ForeignShardJournalFingerprintIsDiagnosed)
+{
+    write("campaign.json", manifestJson("00000000aaaaaaaa", "partial"));
+    auto journal = write("shards/shard-1/checkpoint.jsonl",
+                         journalHeader("00000000bbbbbbbb"));
+    LintReport report = lintCampaignDir(dir_.string());
+    expectOneDiagnostic(report, journal, "fingerprint");
+    EXPECT_NE(report.diagnostics[0].message.find("00000000bbbbbbbb"),
+              std::string::npos);
+}
+
+TEST_F(CampaignLintTest, InconsistentShardStateIsDiagnosed)
+{
+    write("campaign.json", manifestJson("00000000aaaaaaaa", "partial"));
+    write("shards/shard-1/checkpoint.jsonl",
+          journalHeader("00000000aaaaaaaa"));
+    // A shard.json claiming another shard's identity: torn retry
+    // bookkeeping the lenient loader would silently zero.
+    auto state = write("shards/shard-1/shard.json",
+                       "{\"format\": 2, \"campaign_format\": 1,\n"
+                       " \"fingerprint\": \"00000000aaaaaaaa\",\n"
+                       " \"shard\": 0, \"shard_count\": 2,\n"
+                       " \"attempts\": 1, \"completed\": false}\n");
+    LintReport report = lintCampaignDir(dir_.string());
+    expectOneDiagnostic(report, state, "shard");
+}
+
+TEST_F(CampaignLintTest, MergedStoreFingerprintMismatchIsDiagnosed)
+{
+    write("campaign.json", manifestJson("00000000aaaaaaaa", "pending"));
+    auto journal = write("merged/checkpoint.jsonl",
+                         journalHeader("00000000cccccccc"));
+    LintReport report = lintCampaignDir(dir_.string());
+    expectOneDiagnostic(report, journal, "fingerprint");
+}
+
+TEST_F(CampaignLintTest, RealCampaignLifecycleLintsClean)
+{
+    std::string dir = (dir_ / "campaign").string();
+    SweepConfig sweep = testsupport::smallSweep();
+    campaign::planCampaign(dir, sweep, 2);
+    ParallelSweepRunner runner(2);
+    campaign::runShard(dir, sweep, 0, runner);
+    campaign::runShard(dir, sweep, 1, runner);
+    campaign::mergeCampaign(dir);
+
+    LintReport report = lintCampaignDir(dir);
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+    // The campaign itself, two shard stores, and the merged store.
+    EXPECT_GE(report.checked, 4u);
 }
 
 TEST_F(LintTest, MultipleDefectsYieldMultipleDiagnostics)

@@ -155,6 +155,36 @@ TEST(HttpResponseSerialization, CarriesStatusLengthAndClose)
               response.body);
 }
 
+TEST(HttpResponseSerialization, KeepAliveTokenSelectsConnectionHeader)
+{
+    HttpResponse response{200, "application/json", "{}\n"};
+    std::string wire = serve::serializeResponse(response, true);
+    EXPECT_NE(wire.find("Connection: keep-alive\r\n"),
+              std::string::npos);
+    EXPECT_EQ(wire.find("Connection: close"), std::string::npos);
+    // The explicit false matches the default-argument wire bytes.
+    EXPECT_EQ(serve::serializeResponse(response, false),
+              serve::serializeResponse(response));
+}
+
+TEST(HttpParser, RemainderExposesPipelinedBytes)
+{
+    HttpRequestParser parser(1024);
+    std::string raw = "POST /query HTTP/1.1\r\n"
+                      "Content-Length: 2\r\n"
+                      "\r\n"
+                      "{}"
+                      "GET /healthz HTTP/1.1\r\n";
+    EXPECT_EQ(parser.consume(raw.data(), raw.size()), ParseState::Done);
+    EXPECT_EQ(parser.request().body, "{}");
+    EXPECT_EQ(parser.remainder(), "GET /healthz HTTP/1.1\r\n");
+
+    HttpRequestParser exact(1024);
+    std::string fit = "GET / HTTP/1.1\r\n\r\n";
+    EXPECT_EQ(exact.consume(fit.data(), fit.size()), ParseState::Done);
+    EXPECT_EQ(exact.remainder(), "");
+}
+
 TEST(HttpResponseSerialization, ReasonPhrasesCoverServerStatuses)
 {
     EXPECT_STREQ(serve::reasonPhrase(200), "OK");

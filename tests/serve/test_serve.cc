@@ -392,5 +392,93 @@ TEST_F(ServeTest, ConcurrentQueriesAndReloadsStaySafeAndIdentical)
     EXPECT_EQ(running.server().counters().reloadFailures, 0u);
 }
 
+TEST_F(ServeTest, KeepAliveServesManyRequestsOnOneConnection)
+{
+    RunningServer running(sharedOptions());
+    const std::string expected = offlineAnswer("{}");
+
+    serve::HttpClient client(running.port());
+    for (int i = 0; i < 5; ++i) {
+        serve::HttpClientResult result;
+        std::string error;
+        ASSERT_TRUE(client.exchange("POST", "/query", "{}", result,
+                                    error))
+            << error;
+        EXPECT_EQ(result.status, 200);
+        EXPECT_EQ(result.body, expected);
+        EXPECT_EQ(result.headers.at("connection"), "keep-alive");
+        EXPECT_TRUE(client.connected());
+    }
+    // Five requests, one connection, zero drops: a keep-alive client
+    // going away between requests is a clean close.
+    client.disconnect();
+    auto ok = postQuery(running.port(), "{}");
+    EXPECT_EQ(ok.status, 200);
+    EXPECT_EQ(running.server().counters().dropped, 0u);
+}
+
+TEST_F(ServeTest, RequestCapClosesAndClientReconnects)
+{
+    serve::ServeOptions options = sharedOptions();
+    options.maxRequestsPerConnection = 2;
+    RunningServer running(options);
+
+    serve::HttpClient client(running.port());
+    serve::HttpClientResult result;
+    std::string error;
+    ASSERT_TRUE(client.exchange("GET", "/healthz", "", result, error))
+        << error;
+    EXPECT_EQ(result.headers.at("connection"), "keep-alive");
+    // The capped request is answered, with close, and the server hangs
+    // up afterwards.
+    ASSERT_TRUE(client.exchange("GET", "/healthz", "", result, error))
+        << error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_EQ(result.headers.at("connection"), "close");
+    EXPECT_FALSE(client.connected());
+    // The next exchange transparently opens a fresh connection.
+    ASSERT_TRUE(client.exchange("GET", "/healthz", "", result, error))
+        << error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_EQ(running.server().counters().dropped, 0u);
+}
+
+TEST_F(ServeTest, IdleKeepAliveTimeoutIsACleanCloseNotADrop)
+{
+    serve::ServeOptions options = sharedOptions();
+    options.keepAliveTimeoutMillis = 150;
+    RunningServer running(options);
+
+    serve::HttpClient client(running.port());
+    serve::HttpClientResult result;
+    std::string error;
+    ASSERT_TRUE(client.exchange("GET", "/healthz", "", result, error))
+        << error;
+    EXPECT_EQ(result.headers.at("connection"), "keep-alive");
+
+    // Sit past the idle window; the server recycles the worker without
+    // counting a drop, and the client recovers by reconnecting.
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    ASSERT_TRUE(client.exchange("GET", "/healthz", "", result, error))
+        << error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_EQ(running.server().counters().dropped, 0u);
+}
+
+TEST_F(ServeTest, ExplicitConnectionCloseStillHonored)
+{
+    RunningServer running(sharedOptions());
+    // httpExchange sends "Connection: close" and reads to EOF: the
+    // pre-keep-alive contract must keep working bytes-for-bytes.
+    serve::HttpClientResult result;
+    std::string error;
+    ASSERT_TRUE(serve::httpExchange(running.port(), "POST", "/query",
+                                    "{}", result, error))
+        << error;
+    EXPECT_EQ(result.status, 200);
+    EXPECT_EQ(result.headers.at("connection"), "close");
+    EXPECT_EQ(result.body, offlineAnswer("{}"));
+}
+
 } // namespace
 } // namespace nvmexp

@@ -7,6 +7,7 @@
 #include <set>
 #include <sstream>
 
+#include "campaign/manifest.hh"
 #include "core/config.hh"
 #include "core/dashboard.hh"
 #include "metrics/constraints.hh"
@@ -83,6 +84,7 @@ knownConfigKeys()
         "traffic",     "workloads",   "workload",
         "reliability", "ecc",         "constraints",
         "pareto",      "top_k",       "output_csv",
+        "campaign",
     };
     return keys;
 }
@@ -317,6 +319,132 @@ lintStoreDir(const std::string &dir)
     return report;
 }
 
+namespace {
+
+/** The fingerprint a store journal's header claims, or "" when the
+ *  header is absent/unparseable (lintStoreDir reports those). */
+std::string
+journalFingerprint(const std::string &dir)
+{
+    std::ifstream in(dir + "/checkpoint.jsonl");
+    std::string line;
+    JsonValue header;
+    if (!in || !std::getline(in, line) ||
+        !JsonValue::tryParse(line, header) || !header.isObject() ||
+        !header.has("fingerprint") ||
+        !header.at("fingerprint").isString())
+        return "";
+    return header.at("fingerprint").asString();
+}
+
+/** shard.json checks beyond what the lenient loader tolerates: when
+ *  the file exists it must be a consistent record of this shard of
+ *  this campaign. */
+void
+checkShardState(LintReport &report, const std::string &path,
+                const campaign::CampaignManifest &manifest,
+                std::size_t shard)
+{
+    JsonValue doc;
+    if (!guarded(report, path, "",
+                 [&] { doc = JsonValue::parseFile(path); }))
+        return;
+    if (!doc.isObject()) {
+        report.add(path, "", "shard state must be a JSON object");
+        return;
+    }
+    checkFormatHeader(report, path, doc);
+    if (!doc.has("fingerprint") ||
+        !doc.at("fingerprint").isString() ||
+        doc.at("fingerprint").asString() != manifest.fingerprint) {
+        report.add(path, "fingerprint",
+                   "does not match the campaign fingerprint " +
+                       manifest.fingerprint);
+    }
+    if (!doc.has("shard") || !doc.at("shard").isNumber() ||
+        (std::size_t)doc.at("shard").asNumber() != shard) {
+        report.add(path, "shard",
+                   "must be this shard's id " + std::to_string(shard));
+    }
+    if (!doc.has("shard_count") ||
+        !doc.at("shard_count").isNumber() ||
+        (std::size_t)doc.at("shard_count").asNumber() !=
+            manifest.shardCount) {
+        report.add(path, "shard_count",
+                   "must be the campaign's shard count " +
+                       std::to_string(manifest.shardCount));
+    }
+    if (!doc.has("attempts") || !doc.at("attempts").isNumber() ||
+        doc.at("attempts").asNumber() < 0)
+        report.add(path, "attempts",
+                   "must be a non-negative attempt count");
+    if (!doc.has("completed") || !doc.at("completed").isBool())
+        report.add(path, "completed", "must be a boolean");
+}
+
+} // namespace
+
+LintReport
+lintCampaignDir(const std::string &dir)
+{
+    LintReport report;
+    ++report.checked;
+
+    std::string manifestPath = dir + "/campaign.json";
+    campaign::CampaignManifest manifest;
+    // fromJson carries the format/fingerprint/shard-table validation;
+    // the guard turns each fatal into a diagnostic.
+    if (!guarded(report, manifestPath, "",
+                 [&] { manifest = campaign::loadManifest(dir); }))
+        return report;
+
+    std::set<std::string> shardDirs;
+    for (const auto &shard : manifest.shards) {
+        std::string key = "shards[" + std::to_string(shard.id) + "]";
+        if (!shardDirs.insert(shard.dir).second)
+            report.add(manifestPath, key,
+                       "duplicate shard dir '" + shard.dir + "'");
+        std::string shardDir = dir + "/" + shard.dir;
+        if (!fs::is_directory(shardDir)) {
+            // A pending shard legitimately has no store yet; any
+            // other status claims work that left no artifacts.
+            if (shard.status != "pending")
+                report.add(manifestPath, key,
+                           "status '" + shard.status +
+                               "' but shard dir '" + shardDir +
+                               "' is missing");
+            continue;
+        }
+        report.merge(lintStoreDir(shardDir));
+        std::string claimed = journalFingerprint(shardDir);
+        if (!claimed.empty() && claimed != manifest.fingerprint) {
+            report.add(shardDir + "/checkpoint.jsonl", "fingerprint",
+                       "journal fingerprint " + claimed +
+                           " does not match the campaign fingerprint " +
+                           manifest.fingerprint);
+        }
+        std::string state = shardDir + "/shard.json";
+        if (fs::exists(state))
+            checkShardState(report, state, manifest, shard.id);
+    }
+
+    std::string merged = dir + "/merged";
+    if (fs::is_directory(merged)) {
+        report.merge(lintStoreDir(merged));
+        std::string claimed = journalFingerprint(merged);
+        if (!claimed.empty() && claimed != manifest.fingerprint) {
+            report.add(merged + "/checkpoint.jsonl", "fingerprint",
+                       "merged fingerprint " + claimed +
+                           " does not match the campaign fingerprint " +
+                           manifest.fingerprint);
+        }
+    }
+
+    if (fs::exists(dir + "/config.json"))
+        report.merge(lintConfigFile(dir + "/config.json"));
+    return report;
+}
+
 LintReport
 lintRegistries()
 {
@@ -471,19 +599,29 @@ lintTree(const std::string &root)
     for (const auto &path : jsonFilesIn(root + "/tests/data"))
         report.merge(lintGoldenFile(path));
 
-    // Store directories under tests/data (fixtures for the resume and
-    // query tiers, when present).
+    // Store and campaign directories under tests/data (fixtures for
+    // the resume, query, and campaign tiers, when present). A
+    // campaign dir owns its nested shard/merged stores, so it is
+    // never also linted as a plain store.
     std::string data = root + "/tests/data";
     if (fs::is_directory(data)) {
-        std::vector<std::string> dirs;
-        for (const auto &entry : fs::directory_iterator(data))
-            if (entry.is_directory() &&
-                (fs::exists(entry.path() / "checkpoint.jsonl") ||
-                 fs::exists(entry.path() / "stats.json")))
-                dirs.push_back(entry.path().string());
-        std::sort(dirs.begin(), dirs.end());
-        for (const auto &dir : dirs)
+        std::vector<std::string> stores;
+        std::vector<std::string> campaigns;
+        for (const auto &entry : fs::directory_iterator(data)) {
+            if (!entry.is_directory())
+                continue;
+            if (fs::exists(entry.path() / "campaign.json"))
+                campaigns.push_back(entry.path().string());
+            else if (fs::exists(entry.path() / "checkpoint.jsonl") ||
+                     fs::exists(entry.path() / "stats.json"))
+                stores.push_back(entry.path().string());
+        }
+        std::sort(stores.begin(), stores.end());
+        for (const auto &dir : stores)
             report.merge(lintStoreDir(dir));
+        std::sort(campaigns.begin(), campaigns.end());
+        for (const auto &dir : campaigns)
+            report.merge(lintCampaignDir(dir));
     }
     return report;
 }

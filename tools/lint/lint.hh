@@ -71,6 +71,13 @@ LintReport lintGoldenFile(const std::string &path);
  *  stats.json, results.json format). */
 LintReport lintStoreDir(const std::string &dir);
 
+/** Lint one campaign directory: campaign.json (format versions,
+ *  fingerprint, shard-table consistency), every shard store
+ *  (lintStoreDir + journal/shard.json fingerprint cross-checks
+ *  against the manifest), the merged store, and the snapshotted
+ *  config.json. */
+LintReport lintCampaignDir(const std::string &dir);
+
 /** Lint the built-in registries and the CSV/dashboard schemas. */
 LintReport lintRegistries();
 

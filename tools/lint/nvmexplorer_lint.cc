@@ -8,6 +8,7 @@
  *   nvmexplorer_lint --config config/llc_refine_study.json
  *   nvmexplorer_lint --golden tests/data/golden_sweep.json
  *   nvmexplorer_lint --store /path/to/store-dir
+ *   nvmexplorer_lint --campaign /path/to/campaign-dir
  *   nvmexplorer_lint --registries
  */
 
@@ -25,7 +26,9 @@ usage(const char *argv0)
     std::cerr
         << "usage: " << argv0 << " [--root DIR] --all\n"
         << "       " << argv0 << " [--config FILE | --golden FILE |"
-        << " --store DIR | --registries]...\n";
+        << " --store DIR |\n"
+        << "        " << std::string(std::strlen(argv0), ' ')
+        << " --campaign DIR | --registries]...\n";
     return 2;
 }
 
@@ -61,15 +64,17 @@ main(int argc, char **argv)
             report.merge(lintRegistries());
             ranAnything = true;
         } else if (arg == "--config" || arg == "--golden" ||
-                   arg == "--store") {
+                   arg == "--store" || arg == "--campaign") {
             if (++i >= argc)
                 return usage(argv[0]);
             if (arg == "--config")
                 report.merge(lintConfigFile(argv[i]));
             else if (arg == "--golden")
                 report.merge(lintGoldenFile(argv[i]));
-            else
+            else if (arg == "--store")
                 report.merge(lintStoreDir(argv[i]));
+            else
+                report.merge(lintCampaignDir(argv[i]));
             ranAnything = true;
         } else {
             return usage(argv[0]);

@@ -5,13 +5,18 @@
  * C++ analog of the original release's `python run.py <config>`.
  */
 
+#include <unistd.h>
+
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <iostream>
 #include <set>
+#include <sstream>
 #include <string>
 
+#include "campaign/campaign.hh"
 #include "core/config.hh"
 #include "core/parallel_sweep.hh"
 #include "metrics/constraints.hh"
@@ -40,6 +45,14 @@ usage()
         "                       [--pareto METRICS] [--top K METRIC]\n"
         "                       [--query FILE]\n"
         "       nvmexplorer_cli serve --store DIR [--port N] [--jobs N]\n"
+        "       nvmexplorer_cli campaign plan --dir DIR --config FILE\n"
+        "                       [--shards N]\n"
+        "       nvmexplorer_cli campaign run --dir DIR --shard K/N\n"
+        "                       [--jobs N]\n"
+        "       nvmexplorer_cli campaign launch --dir DIR [--workers N]\n"
+        "                       [--jobs N] [--retries N] [--pin]\n"
+        "       nvmexplorer_cli campaign merge --dir DIR\n"
+        "       nvmexplorer_cli campaign status --dir DIR\n"
         "\n"
         "Runs the design sweep(s) described by the JSON config(s) and\n"
         "prints the results table. See config/README-style samples in\n"
@@ -89,7 +102,17 @@ usage()
         "\n"
         "The `serve` subcommand answers the same queries over HTTP:\n"
         "POST /query (StoreQuery JSON body), GET /healthz, GET /statz,\n"
-        "POST /reload (or SIGHUP) to re-index a rewritten store.\n";
+        "POST /reload (or SIGHUP) to re-index a rewritten store.\n"
+        "\n"
+        "The `campaign` subcommands shard one sweep across worker\n"
+        "processes. `plan` writes DIR/campaign.json and snapshots the\n"
+        "config; `run` evaluates one shard (kill-safe: a retry resumes\n"
+        "from the shard's journal); `launch` forks one local worker\n"
+        "per shard (--workers bounds concurrency, --pin pins workers\n"
+        "round-robin to CPU sets, crashed shards retry up to --retries\n"
+        "attempts); `merge` validates every shard and splices them\n"
+        "into DIR/merged, byte-identical to a single-process --out\n"
+        "run; `status` prints per-shard progress.\n";
 }
 
 /** `--list-metrics`: the registry is the single source of truth for
@@ -295,6 +318,307 @@ runServeCommand(int argc, char **argv, int argi)
     return 0;
 }
 
+/** strtol with the CLI's usual full-string + range validation. */
+long
+parseCount(const char *command, const char *flag, const char *text,
+           long lo, long hi)
+{
+    errno = 0;
+    char *end = nullptr;
+    long value = std::strtol(text, &end, 10);
+    if (end == text || *end != '\0' || errno != 0 || value < lo ||
+        value > hi) {
+        fatal(command, ": ", flag, " '", text,
+              "' must be an integer in [", lo, ", ", hi, "]");
+    }
+    return value;
+}
+
+/** Parsed flags of the `campaign` subcommands. */
+struct CampaignArgs
+{
+    std::string dir;
+    std::string configFile;
+    std::size_t shards = 0;      ///< plan: --shards
+    std::size_t shard = 0;       ///< run: K of --shard K/N
+    std::size_t shardCount = 0;  ///< run: N of --shard K/N
+    bool shardSet = false;
+    int jobs = 0;
+    bool jobsSet = false;
+    std::size_t workers = 0;     ///< launch: 0 = one per shard
+    std::uint64_t retries = 3;   ///< launch: per-shard attempt budget
+    bool pin = false;            ///< launch: pin workers to CPU sets
+};
+
+CampaignArgs
+parseCampaignArgs(const std::string &command, int argc, char **argv,
+                  int argi)
+{
+    const char *cmd = command.c_str();
+    CampaignArgs out;
+    for (; argi < argc; ++argi) {
+        if (std::strcmp(argv[argi], "-q") == 0) {
+            setQuiet(true);
+        } else if (std::strcmp(argv[argi], "--dir") == 0) {
+            if (argi + 1 >= argc)
+                fatal(cmd, ": --dir needs a campaign directory");
+            out.dir = argv[++argi];
+        } else if (command == "campaign plan" &&
+                   std::strcmp(argv[argi], "--config") == 0) {
+            if (argi + 1 >= argc)
+                fatal(cmd, ": --config needs a config file");
+            out.configFile = argv[++argi];
+        } else if (command == "campaign plan" &&
+                   std::strcmp(argv[argi], "--shards") == 0) {
+            if (argi + 1 >= argc)
+                fatal(cmd, ": --shards needs a shard count");
+            out.shards = (std::size_t)parseCount(
+                cmd, "--shards", argv[argi + 1], 1, 4096);
+            ++argi;
+        } else if (command == "campaign run" &&
+                   std::strcmp(argv[argi], "--shard") == 0) {
+            if (argi + 1 >= argc)
+                fatal(cmd, ": --shard needs K/N (e.g. 0/4)");
+            std::string spec = argv[argi + 1];
+            std::size_t slash = spec.find('/');
+            if (slash == std::string::npos || slash == 0 ||
+                slash + 1 >= spec.size()) {
+                fatal(cmd, ": --shard '", spec,
+                      "' must be K/N (e.g. 0/4)");
+            }
+            out.shardCount = (std::size_t)parseCount(
+                cmd, "--shard", spec.substr(slash + 1).c_str(), 1,
+                4096);
+            out.shard = (std::size_t)parseCount(
+                cmd, "--shard", spec.substr(0, slash).c_str(), 0,
+                (long)out.shardCount - 1);
+            out.shardSet = true;
+            ++argi;
+        } else if ((command == "campaign run" ||
+                    command == "campaign launch") &&
+                   (std::strcmp(argv[argi], "--jobs") == 0 ||
+                    std::strcmp(argv[argi], "-j") == 0)) {
+            if (argi + 1 >= argc)
+                fatal(cmd, ": --jobs needs a thread count");
+            out.jobs = (int)parseCount(cmd, "--jobs", argv[argi + 1],
+                                       0, ThreadPool::kMaxThreads);
+            out.jobsSet = true;
+            ++argi;
+        } else if (command == "campaign launch" &&
+                   std::strcmp(argv[argi], "--workers") == 0) {
+            if (argi + 1 >= argc)
+                fatal(cmd, ": --workers needs a process count");
+            out.workers = (std::size_t)parseCount(
+                cmd, "--workers", argv[argi + 1], 1, 4096);
+            ++argi;
+        } else if (command == "campaign launch" &&
+                   std::strcmp(argv[argi], "--retries") == 0) {
+            if (argi + 1 >= argc)
+                fatal(cmd, ": --retries needs an attempt budget");
+            out.retries = (std::uint64_t)parseCount(
+                cmd, "--retries", argv[argi + 1], 1, 1000);
+            ++argi;
+        } else if (command == "campaign launch" &&
+                   std::strcmp(argv[argi], "--pin") == 0) {
+            out.pin = true;
+        } else {
+            fatal(cmd, ": unknown argument '", argv[argi],
+                  "' (see --help)");
+        }
+    }
+    if (out.dir.empty())
+        fatal(cmd, ": --dir DIR is required");
+    return out;
+}
+
+/** Load the campaign's snapshotted config (written by `plan`). */
+ExperimentConfig
+loadCampaignConfig(const std::string &dir)
+{
+    std::string path = dir + "/config.json";
+    ExperimentConfig config = loadExperimentFile(path);
+    // Shard stores live under the campaign directory; a config
+    // out_dir was already warned about (and ignored) at plan time.
+    config.sweep.outDir.clear();
+    return config;
+}
+
+int
+runCampaignCommand(int argc, char **argv, int argi)
+{
+    if (argi >= argc) {
+        fatal("campaign: needs a subcommand: plan, run, launch, "
+              "merge, or status");
+    }
+    std::string sub = argv[argi++];
+
+    if (sub == "plan") {
+        CampaignArgs args =
+            parseCampaignArgs("campaign plan", argc, argv, argi);
+        if (args.configFile.empty())
+            fatal("campaign plan: --config FILE is required");
+        ExperimentConfig config =
+            loadExperimentFile(args.configFile);
+        if (!config.sweep.outDir.empty()) {
+            warn("campaign plan: config \"out_dir\" is ignored; "
+                 "shard stores live under '", args.dir, "'");
+            config.sweep.outDir.clear();
+        }
+        std::size_t shards =
+            args.shards ? args.shards : config.campaignShards;
+        if (shards == 0) {
+            fatal("campaign plan: pass --shards N or give the config "
+                  "a \"campaign\": {\"shards\": N} block");
+        }
+        campaign::CampaignManifest manifest =
+            campaign::planCampaign(args.dir, config.sweep, shards);
+        // Snapshot the config bytes verbatim so workers and the merge
+        // see exactly the planned sweep even if the original file is
+        // edited later.
+        std::ifstream in(args.configFile);
+        std::ostringstream bytes;
+        bytes << in.rdbuf();
+        if (!in) {
+            fatal("campaign plan: cannot re-read '", args.configFile,
+                  "'");
+        }
+        std::ofstream snapshot(args.dir + "/config.json");
+        snapshot << bytes.str();
+        if (!snapshot.flush()) {
+            fatal("campaign plan: cannot write '", args.dir,
+                  "/config.json'");
+        }
+        inform("campaign '", args.dir, "': fingerprint ",
+               manifest.fingerprint, ", ", manifest.shardCount,
+               " shards, granularity ", manifest.granularity,
+               " slots; run `campaign launch --dir ", args.dir,
+               "` or one `campaign run --shard K/",
+               manifest.shardCount, "` per shard");
+        return 0;
+    }
+
+    if (sub == "run") {
+        CampaignArgs args =
+            parseCampaignArgs("campaign run", argc, argv, argi);
+        if (!args.shardSet)
+            fatal("campaign run: --shard K/N is required");
+        campaign::CampaignManifest manifest =
+            campaign::loadManifest(args.dir);
+        if (args.shardCount != manifest.shardCount) {
+            fatal("campaign run: --shard names ", args.shardCount,
+                  " shards, the campaign has ", manifest.shardCount);
+        }
+        ExperimentConfig config = loadCampaignConfig(args.dir);
+        if (args.jobsSet)
+            config.sweep.jobs = args.jobs;
+        ParallelSweepRunner runner(config.sweep.jobs);
+        auto rows = campaign::runShard(args.dir, config.sweep,
+                                       args.shard, runner);
+        inform("campaign run: shard ", args.shard, "/",
+               manifest.shardCount, " complete (", rows.size(),
+               " slots)");
+        return 0;
+    }
+
+    if (sub == "launch") {
+        CampaignArgs args =
+            parseCampaignArgs("campaign launch", argc, argv, argi);
+        campaign::CampaignManifest manifest =
+            campaign::loadManifest(args.dir);
+        // Each worker is a fresh `campaign run` process image: exec
+        // keeps the forked child free of this process's state (and is
+        // exactly what a cluster launcher would spawn per node).
+        std::string shardCount =
+            std::to_string(manifest.shardCount);
+        campaign::ShardWorker worker =
+            [&args, &shardCount](std::size_t shard) {
+                std::string shardSpec =
+                    std::to_string(shard) + "/" + shardCount;
+                std::vector<const char *> childArgv = {
+                    "nvmexplorer_cli", "campaign", "run",
+                    "--dir", args.dir.c_str(),
+                    "--shard", shardSpec.c_str()};
+                std::string jobs = std::to_string(args.jobs);
+                if (args.jobsSet) {
+                    childArgv.push_back("--jobs");
+                    childArgv.push_back(jobs.c_str());
+                }
+                if (isQuiet())
+                    childArgv.push_back("-q");
+                childArgv.push_back(nullptr);
+                ::execv("/proc/self/exe",
+                        const_cast<char *const *>(childArgv.data()));
+                return 127; // exec failed
+            };
+        campaign::LaunchOptions options;
+        options.workers = args.workers;
+        options.maxAttempts = args.retries;
+        options.pinCpus = args.pin;
+        if (!campaign::launchCampaign(args.dir, options, worker)) {
+            fatal("campaign launch: not all shards completed (see "
+                  "warnings above; `campaign status --dir ", args.dir,
+                  "` for details)");
+        }
+        inform("campaign launch: all ", manifest.shardCount,
+               " shards complete; run `campaign merge --dir ",
+               args.dir, "`");
+        return 0;
+    }
+
+    if (sub == "merge") {
+        CampaignArgs args =
+            parseCampaignArgs("campaign merge", argc, argv, argi);
+        campaign::CampaignManifest manifest =
+            campaign::loadManifest(args.dir);
+        // Guard against a config.json edited after plan: the shard
+        // stores carry the planned fingerprint, so a drifted config
+        // is a user error worth naming before the per-shard checks.
+        ExperimentConfig config = loadCampaignConfig(args.dir);
+        campaign::ShardPlan plan = campaign::makeShardPlan(
+            config.sweep, manifest.shardCount);
+        if (plan.fingerprint != manifest.fingerprint) {
+            fatal("campaign merge: '", args.dir, "/config.json' now "
+                  "fingerprints to ", plan.fingerprint,
+                  ", the campaign was planned for ",
+                  manifest.fingerprint,
+                  " (config edited after `campaign plan`?)");
+        }
+        campaign::MergeSummary summary =
+            campaign::mergeCampaign(args.dir);
+        inform("campaign merge: ", summary.totalSlots,
+               " slots from ", summary.shardCount,
+               " shards merged into '", campaign::mergedDir(args.dir),
+               "' (fingerprint ", manifest.fingerprint, ")");
+        return 0;
+    }
+
+    if (sub == "status") {
+        CampaignArgs args =
+            parseCampaignArgs("campaign status", argc, argv, argi);
+        campaign::CampaignStatus status =
+            campaign::campaignStatus(args.dir);
+        std::cout << "campaign " << args.dir << ": fingerprint "
+                  << status.manifest.fingerprint << ", "
+                  << status.manifest.shardCount
+                  << " shards, granularity "
+                  << status.manifest.granularity << "\n";
+        for (const auto &shard : status.shards) {
+            std::cout << "  shard " << shard.shard << ": "
+                      << shard.state << ", " << shard.doneSlots;
+            if (shard.ownedSlots)
+                std::cout << "/" << shard.ownedSlots;
+            std::cout << " slots journaled, " << shard.attempts
+                      << " attempt(s)\n";
+        }
+        std::cout << "  merged: " << (status.merged ? "yes" : "no")
+                  << "\n";
+        return status.allComplete() ? 0 : 1;
+    }
+
+    fatal("campaign: unknown subcommand '", sub,
+          "' (plan, run, launch, merge, or status)");
+}
+
 } // namespace
 
 int
@@ -304,6 +628,8 @@ main(int argc, char **argv)
         return runQueryCommand(argc, argv, 2);
     if (argc > 1 && std::strcmp(argv[1], "serve") == 0)
         return runServeCommand(argc, argv, 2);
+    if (argc > 1 && std::strcmp(argv[1], "campaign") == 0)
+        return runCampaignCommand(argc, argv, 2);
     int argi = 1;
     std::string outDir;
     bool resume = false;
