@@ -38,7 +38,8 @@ ShardPlan
 makeShardPlan(const SweepConfig &rawConfig, std::size_t shardCount)
 {
     if (shardCount == 0)
-        fatal("shard plan: campaign needs at least one shard");
+        fatal("shard plan: campaign needs at least one shard, got ",
+              shardCount);
     SweepConfig storage;
     const SweepConfig &config = expandSweepWorkloads(rawConfig, storage);
     ShardPlan plan;

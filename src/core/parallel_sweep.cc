@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <mutex>
 
 #include "eval/batch.hh"
 #include "util/logging.hh"
@@ -47,9 +48,24 @@ reliabilityEvaluators(
     return evaluators;
 }
 
-int sweepJobsDefault = 1;
-std::string sweepStoreDirDefault;
-bool sweepStoreDirSet = false;
+/**
+ * Process-wide sweep default knobs, guarded by one mutex so a driver
+ * thread can set them while bench fixtures or worker threads read
+ * them. (The previous bare globals plus a lazily-initialized
+ * $NVMEXP_STORE_DIR probe raced under concurrent first use.)
+ */
+struct SweepDefaults
+{
+    std::mutex mutex;
+    int jobs = 1;
+    std::string storeDir;
+    bool storeDirSet = false; // an explicit set beats the environment
+    bool envProbed = false;
+};
+
+// Deliberately mutable process state; every access takes the mutex.
+// Allowlisted by name (AllowNames) in tools/tidy/nvmexp.clang-tidy.
+SweepDefaults sweepDefaultsState;
 
 void
 warnNoOrganization(const MemCell &cell, double capacity)
@@ -140,16 +156,19 @@ characterizePair(const SweepConfig &config, const MemCell &cell,
 int
 defaultSweepJobs()
 {
-    return sweepJobsDefault;
+    std::lock_guard<std::mutex> hold(sweepDefaultsState.mutex);
+    return sweepDefaultsState.jobs;
 }
 
 void
 setDefaultSweepJobs(int jobs)
 {
-    sweepJobsDefault = ThreadPool::resolveJobs(jobs);
+    const int resolved = ThreadPool::resolveJobs(jobs);
+    std::lock_guard<std::mutex> hold(sweepDefaultsState.mutex);
+    sweepDefaultsState.jobs = resolved;
 }
 
-const std::string &
+std::string
 defaultSweepStoreDir()
 {
     // Bench binaries and study drivers have no store flag of their
@@ -157,22 +176,24 @@ defaultSweepStoreDir()
     // characterization cache. Any explicit setDefaultSweepStoreDir()
     // — including an explicit "" to force persistence off — wins
     // over the environment.
-    static const bool envApplied = [] {
-        if (!sweepStoreDirSet) {
+    std::lock_guard<std::mutex> hold(sweepDefaultsState.mutex);
+    if (!sweepDefaultsState.envProbed) {
+        sweepDefaultsState.envProbed = true;
+        if (!sweepDefaultsState.storeDirSet) {
             if (const char *env = std::getenv("NVMEXP_STORE_DIR"))
-                sweepStoreDirDefault = env;
+                sweepDefaultsState.storeDir = env;
         }
-        return true;
-    }();
-    (void)envApplied;
-    return sweepStoreDirDefault;
+    }
+    return sweepDefaultsState.storeDir;
 }
 
 void
 setDefaultSweepStoreDir(std::string dir)
 {
-    sweepStoreDirDefault = std::move(dir);
-    sweepStoreDirSet = true;
+    std::lock_guard<std::mutex> hold(sweepDefaultsState.mutex);
+    sweepDefaultsState.storeDir = std::move(dir);
+    sweepDefaultsState.storeDirSet = true;
+    sweepDefaultsState.envProbed = true; // the explicit set wins
 }
 
 ParallelSweepRunner::ParallelSweepRunner(int jobs)

@@ -39,9 +39,10 @@ void setDefaultSweepJobs(int jobs);
  * through it so repeated figure regeneration hits the
  * characterization cache. Initialized from $NVMEXP_STORE_DIR on first
  * use unless setDefaultSweepStoreDir() ran earlier; empty disables
- * persistence.
+ * persistence. Returns a copy: the underlying state is mutex-guarded
+ * and may be reset by another thread after this returns.
  */
-const std::string &defaultSweepStoreDir();
+std::string defaultSweepStoreDir();
 void setDefaultSweepStoreDir(std::string dir);
 
 /**

@@ -201,7 +201,7 @@ registerBuiltins(MetricRegistry &registry)
 MetricRegistry &
 MetricRegistry::instance()
 {
-    static MetricRegistry *registry = [] {
+    static MetricRegistry *const registry = [] {
         auto *r = new MetricRegistry();
         registerBuiltins(*r);
         return r;
@@ -213,7 +213,8 @@ void
 MetricRegistry::add(Metric metric)
 {
     if (metric.name.empty())
-        fatal("metric registry: metric with empty name");
+        fatal("metric registry: metric with empty name (registration #",
+              metrics_.size(), ")");
     if (!metric.eval)
         fatal("metric '", metric.name, "': missing eval accessor");
     auto [it, inserted] =

@@ -179,7 +179,9 @@ StoreIndex::query(const store::StoreQuery &query) const
         const auto &col = column(query.topMetric, "store query");
         bool asc = registry.require(query.topMetric).minimize();
         if (query.topK == 0)
-            fatal("store query: k must be a positive count");
+            fatal("store query: k must be a positive count for "
+                  "top-k metric '",
+                  query.topMetric, "'");
 
         std::vector<double> keys(kept.size());
         std::vector<std::size_t> order;

@@ -578,7 +578,8 @@ StoreQuery
 StoreQuery::fromJson(const JsonValue &doc)
 {
     if (!doc.isObject())
-        fatal("store query: document must be a JSON object");
+        fatal("store query: document must be a JSON object, got ",
+              doc.dump(0));
     // Reject unknown keys outright, mirroring the config front-end's
     // top-level vocabulary: a typo'd key ("paretto") would otherwise
     // deserialize as the match-everything query and silently return

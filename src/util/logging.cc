@@ -1,5 +1,6 @@
 #include "util/logging.hh"
 
+#include <atomic>
 #include <condition_variable>
 #include <cstdio>
 #include <cstdlib>
@@ -9,7 +10,9 @@ namespace nvmexp {
 
 namespace {
 
-bool quietFlag = false;
+/** Atomic: the CLI sets quiet once up front, but sweep workers and
+ *  the serve accept loop read it concurrently ever after. */
+std::atomic<bool> quietFlag{false};
 
 /** Thread-local so a lint thread's guard never changes how a
  *  concurrent sweep worker's fatal() behaves. */

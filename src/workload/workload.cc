@@ -265,7 +265,7 @@ Workload::generateFromJson(const JsonValue &spec,
 WorkloadRegistry &
 WorkloadRegistry::instance()
 {
-    static WorkloadRegistry *registry = [] {
+    static WorkloadRegistry *const registry = [] {
         auto *r = new WorkloadRegistry;
         registerLlcWorkload(*r);
         registerDnnWorkload(*r);
@@ -283,7 +283,8 @@ WorkloadRegistry::add(std::unique_ptr<Workload> workload)
 {
     std::string key = workload->name();
     if (key.empty())
-        fatal("workload registration: empty name");
+        fatal("workload registration: empty name (registration #",
+              workloads_.size(), ")");
     auto [it, inserted] =
         workloads_.emplace(key, std::move(workload));
     (void)it;

@@ -382,6 +382,126 @@ TEST_F(CampaignLintTest, RealCampaignLifecycleLintsClean)
     EXPECT_GE(report.checked, 4u);
 }
 
+class BenchLintTest : public LintTest
+{
+  protected:
+    /** A minimal valid google-benchmark snapshot with the two rows
+     *  tools/bench_gate.py requires, one field swappable at a time. */
+    static std::string
+    benchJson(const std::string &contextBody,
+              const std::string &extraRows)
+    {
+        return "{\n"
+               "  \"context\": {" + contextBody + "},\n"
+               "  \"benchmarks\": [\n"
+               "    {\"name\": \"BM_SweepEvalScalar/1\",\n"
+               "     \"run_type\": \"iteration\",\n"
+               "     \"real_time\": 1000.0, \"time_unit\": \"ns\"},\n"
+               "    {\"name\": \"BM_SweepEvalBatched/1\",\n"
+               "     \"run_type\": \"iteration\",\n"
+               "     \"real_time\": 250.0, \"time_unit\": \"ns\"}" +
+               (extraRows.empty() ? "" : ",\n" + extraRows) +
+               "\n  ]\n}\n";
+    }
+};
+
+TEST_F(BenchLintTest, ValidSnapshotIsClean)
+{
+    auto path = write("ok.json", benchJson("\"num_cpus\": 8", ""));
+    LintReport report = lintBenchFile(path);
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+}
+
+TEST_F(BenchLintTest, CommittedSnapshotLintsClean)
+{
+    LintReport report =
+        lintBenchFile(std::string(NVMEXP_SOURCE_DIR) +
+                      "/BENCH_sweep.json");
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+}
+
+TEST_F(BenchLintTest, MissingCpuCountIsDiagnosed)
+{
+    auto path = write("cpus.json", benchJson("\"host_name\": \"x\"", ""));
+    LintReport report = lintBenchFile(path);
+    expectOneDiagnostic(report, path, "context.num_cpus");
+}
+
+TEST_F(BenchLintTest, UnknownTimeUnitIsDiagnosed)
+{
+    // "min" is exactly the hazard: bench_gate scales unknown units by
+    // 1.0 without a warning, so this row would gate at 60x off.
+    auto path = write(
+        "unit.json",
+        benchJson("\"num_cpus\": 8",
+                  "    {\"name\": \"BM_Other/1\","
+                  " \"run_type\": \"iteration\","
+                  " \"real_time\": 2.0, \"time_unit\": \"min\"}"));
+    LintReport report = lintBenchFile(path);
+    expectOneDiagnostic(report, path, "benchmarks[2] (BM_Other/1)");
+    EXPECT_NE(report.diagnostics[0].message.find("ns/us/ms/s"),
+              std::string::npos);
+}
+
+TEST_F(BenchLintTest, DuplicateIterationRowIsDiagnosed)
+{
+    auto path = write(
+        "dup.json",
+        benchJson("\"num_cpus\": 8",
+                  "    {\"name\": \"BM_SweepEvalScalar/1\","
+                  " \"run_type\": \"iteration\","
+                  " \"real_time\": 999.0, \"time_unit\": \"ns\"}"));
+    LintReport report = lintBenchFile(path);
+    expectOneDiagnostic(report, path,
+                        "benchmarks[2] (BM_SweepEvalScalar/1)");
+    EXPECT_NE(report.diagnostics[0].message.find("duplicate"),
+              std::string::npos);
+}
+
+TEST_F(BenchLintTest, MissingReferenceRowIsDiagnosed)
+{
+    auto path = write(
+        "noref.json",
+        "{\n  \"context\": {\"num_cpus\": 8},\n"
+        "  \"benchmarks\": [\n"
+        "    {\"name\": \"BM_SweepEvalBatched/1\",\n"
+        "     \"run_type\": \"iteration\",\n"
+        "     \"real_time\": 250.0, \"time_unit\": \"ns\"}\n  ]\n}\n");
+    LintReport report = lintBenchFile(path);
+    expectOneDiagnostic(report, path, "BM_SweepEvalScalar/1");
+}
+
+TEST_F(BenchLintTest, AggregateRowsNeedNoRealTime)
+{
+    // _mean/_stddev aggregate rows are skipped by the gate; the lint
+    // must not demand iteration fields of them.
+    auto path = write(
+        "agg.json",
+        benchJson("\"num_cpus\": 8",
+                  "    {\"name\": \"BM_SweepEvalScalar/1_mean\","
+                  " \"run_type\": \"aggregate\","
+                  " \"time_unit\": \"ns\"}"));
+    LintReport report = lintBenchFile(path);
+    for (const auto &d : report.diagnostics)
+        ADD_FAILURE() << d.file << ": [" << d.key << "] " << d.message;
+}
+
+TEST_F(BenchLintTest, NonNumericRealTimeIsDiagnosed)
+{
+    auto path = write(
+        "realtime.json",
+        benchJson("\"num_cpus\": 8",
+                  "    {\"name\": \"BM_Other/1\","
+                  " \"run_type\": \"iteration\","
+                  " \"real_time\": \"fast\", \"time_unit\": \"ns\"}"));
+    LintReport report = lintBenchFile(path);
+    expectOneDiagnostic(report, path, "benchmarks[2] (BM_Other/1)");
+    EXPECT_NE(report.diagnostics[0].message.find("real_time"),
+              std::string::npos);
+}
+
 TEST_F(LintTest, MultipleDefectsYieldMultipleDiagnostics)
 {
     auto path = write(

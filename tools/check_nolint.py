@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""NOLINT hygiene gate.
+
+Suppressing a clang-tidy diagnostic is sometimes right, but a bare
+`// NOLINT` hides *which* check was judged wrong and *why*, so the
+suppression can never be audited or retired. This gate enforces the
+repo convention: every NOLINT directive must
+
+  1. name the check(s) it suppresses: NOLINT(nvmexp-foo), never a
+     bare NOLINT / NOLINTNEXTLINE or a wildcard NOLINT(*), and
+  2. carry a trailing `// reason: ...` comment on the same line.
+
+Example of a conforming suppression:
+
+    steadyDeadline();  // NOLINT(nvmexp-no-wallclock-or-entropy) // reason: accept-loop timeout, never serialized
+
+NOLINTBEGIN/END blocks are rejected outright: block suppressions
+drift as code moves between the markers. Per-line directives keep the
+suppression next to the code it excuses.
+
+Scans tracked *.cc/.hh/.h/.cpp files (git ls-files); tools/tidy
+fixtures are exempt because known-bad snippets are their point.
+Exit 0 when clean, 1 with a file:line listing otherwise.
+"""
+
+import re
+import subprocess
+import sys
+
+# Any NOLINT directive, with optional (check-list) capture.
+NOLINT_RE = re.compile(
+    r"//\s*(NOLINTNEXTLINE|NOLINTBEGIN|NOLINTEND|NOLINT)"
+    r"(\(([^)]*)\))?")
+REASON_RE = re.compile(r"//\s*reason:\s*\S")
+
+EXEMPT_PREFIXES = ("tools/tidy/fixtures/",)
+SUFFIXES = (".cc", ".cpp", ".hh", ".h")
+
+
+def tracked_sources(root):
+    out = subprocess.run(["git", "-C", root, "ls-files"],
+                         capture_output=True, text=True, check=True)
+    return [path for path in out.stdout.splitlines()
+            if path.endswith(SUFFIXES)
+            and not path.startswith(EXEMPT_PREFIXES)]
+
+
+def check_line(text):
+    """Return a complaint string for this line, or None."""
+    match = NOLINT_RE.search(text)
+    if not match:
+        return None
+    directive, parens, checks = match.groups()
+    if directive in ("NOLINTBEGIN", "NOLINTEND"):
+        return (f"{directive} block suppression; use a per-line "
+                "NOLINT(check) // reason: ... instead")
+    if not parens or not checks.strip():
+        return (f"bare {directive} suppresses every check; name the "
+                "check: NOLINT(check-name)")
+    if "*" in checks:
+        return (f"{directive}({checks.strip()}) wildcard suppresses "
+                "every check; name the check explicitly")
+    if not REASON_RE.search(text[match.end():]):
+        return (f"{directive}({checks.strip()}) lacks a trailing "
+                "`// reason: ...` comment")
+    return None
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = []
+    for path in tracked_sources(root):
+        with open(f"{root}/{path}", errors="replace") as handle:
+            for number, text in enumerate(handle, start=1):
+                complaint = check_line(text)
+                if complaint:
+                    failures.append(f"{path}:{number}: {complaint}")
+    if failures:
+        print("NOLINT hygiene violations:")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    print("NOLINT hygiene: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

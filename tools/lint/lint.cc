@@ -1,6 +1,7 @@
 #include "lint.hh"
 
 #include <algorithm>
+#include <cmath>
 #include <filesystem>
 #include <fstream>
 #include <ostream>
@@ -259,6 +260,137 @@ lintGoldenFile(const std::string &path)
     }
     guarded(report, path, "results",
             [&] { store::evalResultsFromJson(doc); });
+    return report;
+}
+
+namespace {
+
+/** tools/bench_gate.py's normalization reference and its batched
+ *  counterpart: the gate hard-fails when either is missing, so the
+ *  lint catches a truncated or mis-filtered snapshot at commit time. */
+const char *const kGateReference = "BM_SweepEvalScalar/1";
+const char *const kGateBatched = "BM_SweepEvalBatched/1";
+
+} // namespace
+
+LintReport
+lintBenchFile(const std::string &path)
+{
+    LintReport report;
+    ++report.checked;
+
+    JsonValue doc;
+    if (!guarded(report, path, "",
+                 [&] { doc = JsonValue::parseFile(path); }))
+        return report;
+    if (!doc.isObject()) {
+        report.add(path, "", "benchmark snapshot must be a JSON object");
+        return report;
+    }
+
+    // bench_gate.py bounds hardware-dependent speedup checks with
+    // context.num_cpus; a snapshot without it silently skips those
+    // checks on every runner.
+    if (!doc.has("context") || !doc.at("context").isObject()) {
+        report.add(path, "context", "missing \"context\" object");
+    } else {
+        const JsonValue &context = doc.at("context");
+        if (!context.has("num_cpus") ||
+            !context.at("num_cpus").isNumber() ||
+            context.at("num_cpus").asNumber() < 1) {
+            report.add(path, "context.num_cpus",
+                       "missing or non-positive CPU count (bench_gate "
+                       "silently skips MINCPUS-bounded checks without "
+                       "it)");
+        }
+    }
+
+    if (!doc.has("benchmarks") || !doc.at("benchmarks").isArray() ||
+        doc.at("benchmarks").asArray().empty()) {
+        report.add(path, "benchmarks",
+                   "missing or empty \"benchmarks\" array");
+        return report;
+    }
+
+    // The unit map bench_gate.py normalizes with; an unknown unit
+    // scales by 1.0 there without any warning, corrupting every
+    // committed-vs-fresh ratio built from the row.
+    static const std::set<std::string> knownUnits = {"ns", "us", "ms",
+                                                     "s"};
+    std::set<std::string> iterationNames;
+    double referenceTime = -1.0;
+    const auto &rows = doc.at("benchmarks").asArray();
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+        std::string key = "benchmarks[" + std::to_string(i) + "]";
+        const JsonValue &row = rows[i];
+        if (!row.isObject()) {
+            report.add(path, key, "row must be a JSON object");
+            continue;
+        }
+        if (!row.has("name") || !row.at("name").isString() ||
+            row.at("name").asString().empty()) {
+            report.add(path, key, "row carries no benchmark name");
+            continue;
+        }
+        const std::string name = row.at("name").asString();
+        key += " (" + name + ")";
+
+        bool iteration = true;
+        if (row.has("run_type")) {
+            if (!row.at("run_type").isString()) {
+                report.add(path, key, "run_type must be a string");
+                continue;
+            }
+            const std::string runType = row.at("run_type").asString();
+            if (runType != "iteration" && runType != "aggregate") {
+                report.add(path, key,
+                           "unknown run_type '" + runType +
+                               "' (bench_gate knows iteration and "
+                               "aggregate)");
+            }
+            iteration = runType == "iteration";
+        }
+        if (row.has("time_unit")) {
+            if (!row.at("time_unit").isString() ||
+                !knownUnits.count(row.at("time_unit").asString())) {
+                report.add(path, key,
+                           "time_unit must be one of ns/us/ms/s "
+                           "(bench_gate scales unknown units by 1.0 "
+                           "without warning)");
+            }
+        }
+        if (!iteration)
+            continue;
+        if (!iterationNames.insert(name).second) {
+            report.add(path, key,
+                       "duplicate iteration row (bench_gate keeps "
+                       "only the last, masking the first)");
+        }
+        if (!row.has("real_time") || !row.at("real_time").isNumber() ||
+            !std::isfinite(row.at("real_time").asNumber()) ||
+            row.at("real_time").asNumber() < 0.0) {
+            report.add(path, key,
+                       "real_time must be a finite non-negative "
+                       "number");
+            continue;
+        }
+        if (name == kGateReference)
+            referenceTime = row.at("real_time").asNumber();
+    }
+
+    if (!iterationNames.count(kGateReference)) {
+        report.add(path, kGateReference,
+                   "missing normalization reference iteration row");
+    } else if (referenceTime == 0.0) {
+        report.add(path, kGateReference,
+                   "reference real_time must be positive (every "
+                   "normalized ratio divides by it)");
+    }
+    if (!iterationNames.count(kGateBatched)) {
+        report.add(path, kGateBatched,
+                   "missing batched counterpart iteration row (the "
+                   "gate's min-speedup check needs it)");
+    }
     return report;
 }
 
@@ -598,6 +730,30 @@ lintTree(const std::string &root)
         report.merge(lintConfigFile(path));
     for (const auto &path : jsonFilesIn(root + "/tests/data"))
         report.merge(lintGoldenFile(path));
+
+    // Committed benchmark snapshots at the repo root (BENCH_*.json):
+    // the perf gate normalizes every CI comparison against them, so a
+    // malformed snapshot quietly poisons the gate.
+    {
+        std::vector<std::string> benches;
+        if (fs::is_directory(root)) {
+            for (const auto &entry : fs::directory_iterator(root)) {
+                const std::string name =
+                    entry.path().filename().string();
+                // Freshly measured files (BENCH_*.fresh.json) are
+                // CI-transient, not committed snapshots; skip them so
+                // a workspace with gate leftovers still lints clean.
+                if (entry.is_regular_file() &&
+                    name.rfind("BENCH_", 0) == 0 &&
+                    name.find(".fresh.") == std::string::npos &&
+                    entry.path().extension() == ".json")
+                    benches.push_back(entry.path().string());
+            }
+        }
+        std::sort(benches.begin(), benches.end());
+        for (const auto &path : benches)
+            report.merge(lintBenchFile(path));
+    }
 
     // Store and campaign directories under tests/data (fixtures for
     // the resume, query, and campaign tiers, when present). A

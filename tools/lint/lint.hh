@@ -67,6 +67,13 @@ LintReport lintConfigFile(const std::string &path);
 /** Lint one golden result file ({"format": v, "results": [...]}). */
 LintReport lintGoldenFile(const std::string &path);
 
+/** Lint one committed google-benchmark snapshot (BENCH_*.json):
+ *  exactly the fields tools/bench_gate.py consumes — a context with a
+ *  usable CPU count, iteration rows with unique names, finite
+ *  real_time values in a known time unit, and the scalar/batched
+ *  reference benchmarks the gate normalizes against. */
+LintReport lintBenchFile(const std::string &path);
+
 /** Lint one result-store directory (checkpoint.jsonl header,
  *  stats.json, results.json format). */
 LintReport lintStoreDir(const std::string &dir);

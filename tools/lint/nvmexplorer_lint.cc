@@ -9,6 +9,7 @@
  *   nvmexplorer_lint --golden tests/data/golden_sweep.json
  *   nvmexplorer_lint --store /path/to/store-dir
  *   nvmexplorer_lint --campaign /path/to/campaign-dir
+ *   nvmexplorer_lint --bench BENCH_sweep.json
  *   nvmexplorer_lint --registries
  */
 
@@ -28,7 +29,7 @@ usage(const char *argv0)
         << "       " << argv0 << " [--config FILE | --golden FILE |"
         << " --store DIR |\n"
         << "        " << std::string(std::strlen(argv0), ' ')
-        << " --campaign DIR | --registries]...\n";
+        << " --campaign DIR | --bench FILE | --registries]...\n";
     return 2;
 }
 
@@ -64,7 +65,8 @@ main(int argc, char **argv)
             report.merge(lintRegistries());
             ranAnything = true;
         } else if (arg == "--config" || arg == "--golden" ||
-                   arg == "--store" || arg == "--campaign") {
+                   arg == "--store" || arg == "--campaign" ||
+                   arg == "--bench") {
             if (++i >= argc)
                 return usage(argv[0]);
             if (arg == "--config")
@@ -73,6 +75,8 @@ main(int argc, char **argv)
                 report.merge(lintGoldenFile(argv[i]));
             else if (arg == "--store")
                 report.merge(lintStoreDir(argv[i]));
+            else if (arg == "--bench")
+                report.merge(lintBenchFile(argv[i]));
             else
                 report.merge(lintCampaignDir(argv[i]));
             ranAnything = true;

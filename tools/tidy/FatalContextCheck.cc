@@ -1,0 +1,43 @@
+#include "FatalContextCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/AST/Expr.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+void
+FatalContextCheck::registerMatchers(MatchFinder *Finder)
+{
+    Finder->addMatcher(
+        callExpr(callee(functionDecl(hasName("::nvmexp::fatal"))))
+            .bind("call"),
+        this);
+}
+
+void
+FatalContextCheck::check(const MatchFinder::MatchResult &Result)
+{
+    const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call");
+    if (!Call || !inScope(*Result.SourceManager, Call->getBeginLoc()))
+        return;
+    for (const Expr *Arg : Call->arguments()) {
+        // Any non-literal argument interpolates *something* — a file,
+        // key, name, or value — which is all the convention asks.
+        if (!isa<StringLiteral>(Arg->IgnoreParenImpCasts()))
+            return;
+    }
+    diag(Call->getBeginLoc(),
+         "fatal() message is built only from string literals; "
+         "interpolate the offending file, key, or value so the "
+         "diagnostic is actionable (lint convention: \"file: [key] "
+         "message\")");
+}
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang

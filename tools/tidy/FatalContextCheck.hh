@@ -1,0 +1,47 @@
+/**
+ * @file
+ * nvmexp-fatal-context: flags fatal() calls whose message carries no
+ * context, in the modules whose fatals report on user-supplied files.
+ *
+ * The lint diagnostic convention (tools/lint) is "file: [key]
+ * message" — a fatal() fired while loading a config, store, campaign,
+ * or query must name the artifact, key, or offending value so the
+ * user can act on it. A fatal() built purely from string literals
+ * cannot: whatever file or value triggered it is not in the message.
+ * The check therefore flags calls to nvmexp::fatal() in the scoped
+ * modules where every argument is a plain string literal (interpolate
+ * the file, key, or got-value to satisfy it). Precondition-style
+ * fatals in the math/model modules are out of scope by default — they
+ * fire on programmer error, not on user input.
+ */
+
+#ifndef NVMEXP_TOOLS_TIDY_FATALCONTEXTCHECK_HH
+#define NVMEXP_TOOLS_TIDY_FATALCONTEXTCHECK_HH
+
+#include "NvmexpScopedCheck.hh"
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+class FatalContextCheck : public NvmexpScopedCheck
+{
+  public:
+    FatalContextCheck(StringRef Name, ClangTidyContext *Context)
+        : NvmexpScopedCheck(Name, Context,
+                            "src/core/config;src/workload;src/store;"
+                            "src/campaign;src/serve;src/metrics;"
+                            "tools/lint")
+    {
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(
+        const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang
+
+#endif // NVMEXP_TOOLS_TIDY_FATALCONTEXTCHECK_HH

@@ -1,0 +1,60 @@
+#include "MutableGlobalStateCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+void
+MutableGlobalStateCheck::registerMatchers(MatchFinder *Finder)
+{
+    // Synchronized-by-design types: owning one of these at static
+    // storage is how code is *supposed* to coordinate.
+    auto SyncType = hasCanonicalType(recordType(hasDeclaration(namedDecl(
+        hasAnyName("::std::atomic", "::std::atomic_flag", "::std::mutex",
+                   "::std::recursive_mutex", "::std::shared_mutex",
+                   "::std::timed_mutex", "::std::recursive_timed_mutex",
+                   "::std::once_flag", "::std::condition_variable",
+                   "::std::condition_variable_any")))));
+
+    Finder->addMatcher(
+        varDecl(hasGlobalStorage(),
+                unless(hasThreadStorageDuration()),
+                unless(hasType(isConstQualified())),
+                unless(isConstexpr()),
+                unless(hasType(SyncType)),
+                unless(isImplicit()),
+                unless(isExpansionInSystemHeader()))
+            .bind("var"),
+        this);
+}
+
+void
+MutableGlobalStateCheck::check(const MatchFinder::MatchResult &Result)
+{
+    const auto *Var = Result.Nodes.getNodeAs<VarDecl>("var");
+    // Only definitions: flagging `extern` redeclarations would report
+    // the same variable once per including TU.
+    if (!Var ||
+        Var->isThisDeclarationADefinition() != VarDecl::Definition)
+        return;
+    if (!inScope(*Result.SourceManager, Var->getLocation()))
+        return;
+    for (llvm::StringRef allowed : splitPathList(AllowNames))
+        if (Var->getName() == allowed)
+            return;
+    diag(Var->getLocation(),
+         "mutable %select{global|function-local static}0 %1 can race "
+         "across sweep workers and break run-to-run determinism (the "
+         "lgamma/signgam hazard); make it const, atomic, or "
+         "thread_local, or allowlist it with a reason")
+        << (Var->isStaticLocal() ? 1 : 0) << Var;
+}
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,65 @@
+/**
+ * @file
+ * nvmexp-mutable-global-state: flags non-const globals and mutable
+ * function-local statics in src/.
+ *
+ * This is PR 6's lgamma()/signgam data race promoted to a check:
+ * glibc's lgamma() writes the global `signgam` on every call, which
+ * raced across sweep workers until the call was rerouted through
+ * lgamma_r(). Any unsynchronized mutable static is the same hazard —
+ * a worker-count-dependent race that can perturb results or crash.
+ *
+ * Exempt by construction (not hazards of this kind):
+ *   - const/constexpr declarations,
+ *   - thread_local state (per-thread, cannot race),
+ *   - synchronization primitives and atomics (std::atomic, mutexes,
+ *     std::once_flag, condition variables).
+ *
+ * Deliberate exceptions (e.g. a mutex-guarded process-wide defaults
+ * block) go in the AllowNames/AllowFiles config-file allowlist with a
+ * reason, never behind a bare NOLINT. Note the check inspects the
+ * declared variable, not what it points to: a `T *const` singleton
+ * pointer passes, which is the repo's registry idiom (mutated only
+ * during single-threaded registration).
+ */
+
+#ifndef NVMEXP_TOOLS_TIDY_MUTABLEGLOBALSTATECHECK_HH
+#define NVMEXP_TOOLS_TIDY_MUTABLEGLOBALSTATECHECK_HH
+
+#include "NvmexpScopedCheck.hh"
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+class MutableGlobalStateCheck : public NvmexpScopedCheck
+{
+  public:
+    MutableGlobalStateCheck(StringRef Name, ClangTidyContext *Context)
+        : NvmexpScopedCheck(Name, Context, "src/"),
+          AllowNames(std::string(Options.get("AllowNames", "")))
+    {
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(
+        const ast_matchers::MatchFinder::MatchResult &Result) override;
+
+    void
+    storeOptions(ClangTidyOptions::OptionMap &Opts) override
+    {
+        NvmexpScopedCheck::storeOptions(Opts);
+        Options.store(Opts, "AllowNames", AllowNames);
+    }
+
+  private:
+    /** Semicolon-separated variable names exempted by the config-file
+     *  allowlist (exact match on the unqualified name). */
+    const std::string AllowNames;
+};
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang
+
+#endif // NVMEXP_TOOLS_TIDY_MUTABLEGLOBALSTATECHECK_HH

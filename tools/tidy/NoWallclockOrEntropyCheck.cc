@@ -1,0 +1,78 @@
+#include "NoWallclockOrEntropyCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+void
+NoWallclockOrEntropyCheck::registerMatchers(MatchFinder *Finder)
+{
+    // Free functions: the C wall-clock and PRNG surface, both the
+    // global and the std:: declarations.
+    Finder->addMatcher(
+        callExpr(callee(functionDecl(
+                     hasAnyName("::time", "::std::time", "::clock",
+                                "::std::clock", "::gettimeofday",
+                                "::clock_gettime", "::timespec_get",
+                                "::rand", "::std::rand", "::srand",
+                                "::std::srand", "::random", "::srandom",
+                                "::rand_r", "::getentropy"))
+                     .bind("callee")))
+            .bind("call"),
+        this);
+    // Clock now(): every std::chrono clock, monotonic ones included —
+    // a steady_clock reading that escapes into an artifact is just as
+    // nondeterministic as a system_clock one.
+    Finder->addMatcher(
+        callExpr(callee(cxxMethodDecl(
+                     hasName("now"),
+                     ofClass(hasAnyName(
+                         "::std::chrono::system_clock",
+                         "::std::chrono::steady_clock",
+                         "::std::chrono::high_resolution_clock")))
+                     .bind("callee")))
+            .bind("call"),
+        this);
+    // Hardware entropy: constructing a std::random_device.
+    Finder->addMatcher(
+        cxxConstructExpr(
+            hasType(hasCanonicalType(recordType(hasDeclaration(
+                cxxRecordDecl(hasName("::std::random_device")))))))
+            .bind("ctor"),
+        this);
+}
+
+void
+NoWallclockOrEntropyCheck::check(const MatchFinder::MatchResult &Result)
+{
+    if (const auto *Call = Result.Nodes.getNodeAs<CallExpr>("call")) {
+        if (!inScope(*Result.SourceManager, Call->getBeginLoc()))
+            return;
+        const auto *Callee =
+            Result.Nodes.getNodeAs<FunctionDecl>("callee");
+        diag(Call->getBeginLoc(),
+             "call to %0 is a wall-clock/entropy source in a "
+             "deterministic module; inject the value from the caller "
+             "or add a config-file AllowFiles entry with a reason")
+            << Callee;
+        return;
+    }
+    if (const auto *Ctor =
+            Result.Nodes.getNodeAs<CXXConstructExpr>("ctor")) {
+        if (!inScope(*Result.SourceManager, Ctor->getBeginLoc()))
+            return;
+        diag(Ctor->getBeginLoc(),
+             "std::random_device draws hardware entropy in a "
+             "deterministic module; seed util/random.hh explicitly "
+             "or add a config-file AllowFiles entry with a reason");
+    }
+}
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang

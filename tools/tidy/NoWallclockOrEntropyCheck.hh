@@ -1,0 +1,42 @@
+/**
+ * @file
+ * nvmexp-no-wallclock-or-entropy: flags wall-clock and entropy sources
+ * in deterministic modules.
+ *
+ * time(), clock_gettime(), std::chrono::*_clock::now(), rand(), and
+ * std::random_device all produce values that differ run to run; any
+ * of them reaching an evaluation path or an artifact breaks the
+ * byte-identity contract the differential tests pin. Randomized
+ * behavior must flow from an explicit seed (util/random.hh) and time
+ * must be injected by the caller. Deliberate uses — the serve accept
+ * loop's poll timeout and its latency counters — are exempted via the
+ * AllowFiles config-file allowlist, never a bare NOLINT.
+ */
+
+#ifndef NVMEXP_TOOLS_TIDY_NOWALLCLOCKORENTROPYCHECK_HH
+#define NVMEXP_TOOLS_TIDY_NOWALLCLOCKORENTROPYCHECK_HH
+
+#include "NvmexpScopedCheck.hh"
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+class NoWallclockOrEntropyCheck : public NvmexpScopedCheck
+{
+  public:
+    NoWallclockOrEntropyCheck(StringRef Name, ClangTidyContext *Context)
+        : NvmexpScopedCheck(Name, Context, "src/")
+    {
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(
+        const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang
+
+#endif // NVMEXP_TOOLS_TIDY_NOWALLCLOCKORENTROPYCHECK_HH

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Base class for all nvmexp-tidy checks: a ClangTidyCheck carrying the
+ * shared `Modules` / `AllowFiles` scoping options (see
+ * NvmexpTidyUtils.hh for their semantics). Subclasses call inScope()
+ * with the location they are about to diagnose; out-of-scope and
+ * allowlisted locations stay silent.
+ */
+
+#ifndef NVMEXP_TOOLS_TIDY_NVMEXPSCOPEDCHECK_HH
+#define NVMEXP_TOOLS_TIDY_NVMEXPSCOPEDCHECK_HH
+
+#include <string>
+
+#include "clang-tidy/ClangTidyCheck.h"
+
+#include "NvmexpTidyUtils.hh"
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+class NvmexpScopedCheck : public ClangTidyCheck
+{
+  public:
+    NvmexpScopedCheck(StringRef Name, ClangTidyContext *Context,
+                      StringRef DefaultModules)
+        : ClangTidyCheck(Name, Context),
+          Modules(std::string(Options.get("Modules", DefaultModules))),
+          AllowFiles(std::string(Options.get("AllowFiles", "")))
+    {
+    }
+
+    bool
+    isLanguageVersionSupported(const LangOptions &LangOpts) const override
+    {
+        return LangOpts.CPlusPlus;
+    }
+
+    void
+    storeOptions(ClangTidyOptions::OptionMap &Opts) override
+    {
+        Options.store(Opts, "Modules", Modules);
+        Options.store(Opts, "AllowFiles", AllowFiles);
+    }
+
+    /** Whether a diagnostic at `Loc` is in this check's module scope
+     *  and not exempted by the config-file allowlist. */
+    bool
+    inScope(const SourceManager &SM, SourceLocation Loc) const
+    {
+        return pathInScope(locationPath(SM, Loc), Modules, AllowFiles);
+    }
+
+  protected:
+    const std::string Modules;
+    const std::string AllowFiles;
+};
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang
+
+#endif // NVMEXP_TOOLS_TIDY_NVMEXPSCOPEDCHECK_HH

@@ -1,0 +1,55 @@
+/**
+ * @file
+ * The nvmexp-tidy clang-tidy plugin module: registers the five
+ * determinism-contract checks under the `nvmexp-` prefix. Built into
+ * libnvmexp-tidy.so (see CMakeLists.txt) and loaded with
+ *
+ *   clang-tidy --load=libnvmexp-tidy.so --checks=-*,nvmexp-* ...
+ *
+ * The checks' symbols resolve against the hosting clang-tidy binary
+ * at load time, so the plugin must be built against the headers of
+ * the exact clang-tidy version that loads it (CI pins both; see
+ * fetch_clang_tidy_headers.sh).
+ */
+
+#include "clang-tidy/ClangTidyModule.h"
+#include "clang-tidy/ClangTidyModuleRegistry.h"
+
+#include "FatalContextCheck.hh"
+#include "MutableGlobalStateCheck.hh"
+#include "NoWallclockOrEntropyCheck.hh"
+#include "RawDoubleFormatCheck.hh"
+#include "UnorderedResultIterationCheck.hh"
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+class NvmexpTidyModule : public ClangTidyModule
+{
+  public:
+    void
+    addCheckFactories(ClangTidyCheckFactories &CheckFactories) override
+    {
+        CheckFactories.registerCheck<UnorderedResultIterationCheck>(
+            "nvmexp-unordered-result-iteration");
+        CheckFactories.registerCheck<NoWallclockOrEntropyCheck>(
+            "nvmexp-no-wallclock-or-entropy");
+        CheckFactories.registerCheck<MutableGlobalStateCheck>(
+            "nvmexp-mutable-global-state");
+        CheckFactories.registerCheck<RawDoubleFormatCheck>(
+            "nvmexp-raw-double-format");
+        CheckFactories.registerCheck<FatalContextCheck>(
+            "nvmexp-fatal-context");
+    }
+};
+
+} // namespace nvmexp
+
+// Static registration runs when clang-tidy dlopens the plugin.
+static ClangTidyModuleRegistry::Add<nvmexp::NvmexpTidyModule>
+    nvmexpTidyModuleInit("nvmexp-module",
+                         "nvmexp determinism-contract checks");
+
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Shared scoping helpers for the nvmexp-tidy checks.
+ *
+ * Every check is scoped by two semicolon-separated path-substring
+ * options read from the clang-tidy configuration:
+ *
+ *   Modules     a location is in scope only when its (forward-slashed)
+ *               file path contains one of these substrings; the empty
+ *               list means "everywhere" (the fixture harness uses
+ *               that to run checks on standalone snippets)
+ *   AllowFiles  the config-file allowlist: locations whose path
+ *               contains one of these substrings are exempt — the
+ *               repo convention for deliberate exceptions (never a
+ *               bare NOLINT)
+ *
+ * Substring matching (rather than globs) keeps the options readable
+ * in YAML and independent of where the checkout lives.
+ */
+
+#ifndef NVMEXP_TOOLS_TIDY_NVMEXPTIDYUTILS_HH
+#define NVMEXP_TOOLS_TIDY_NVMEXPTIDYUTILS_HH
+
+#include <algorithm>
+#include <string>
+
+#include "clang/Basic/SourceLocation.h"
+#include "clang/Basic/SourceManager.h"
+#include "llvm/ADT/SmallVector.h"
+#include "llvm/ADT/StringRef.h"
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+/** Split a semicolon-separated option value, dropping empty entries. */
+inline llvm::SmallVector<llvm::StringRef, 8>
+splitPathList(llvm::StringRef list)
+{
+    llvm::SmallVector<llvm::StringRef, 8> parts;
+    list.split(parts, ';', /*MaxSplit=*/-1, /*KeepEmpty=*/false);
+    return parts;
+}
+
+/** Forward-slashed spelling-file path of `loc`, empty when invalid. */
+inline std::string
+locationPath(const SourceManager &sm, SourceLocation loc)
+{
+    if (loc.isInvalid())
+        return {};
+    std::string path = sm.getFilename(sm.getSpellingLoc(loc)).str();
+    std::replace(path.begin(), path.end(), '\\', '/');
+    return path;
+}
+
+/** @return whether `path` is inside `modules` and not allowlisted by
+ *  `allowFiles` (both semicolon-separated substring lists; an empty
+ *  `modules` list means every path is in scope). */
+inline bool
+pathInScope(const std::string &path, llvm::StringRef modules,
+            llvm::StringRef allowFiles)
+{
+    if (path.empty())
+        return false;
+    auto moduleList = splitPathList(modules);
+    bool inModules = moduleList.empty();
+    for (llvm::StringRef module : moduleList) {
+        if (path.find(module.str()) != std::string::npos) {
+            inModules = true;
+            break;
+        }
+    }
+    if (!inModules)
+        return false;
+    for (llvm::StringRef allowed : splitPathList(allowFiles))
+        if (path.find(allowed.str()) != std::string::npos)
+            return false;
+    return true;
+}
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang
+
+#endif // NVMEXP_TOOLS_TIDY_NVMEXPTIDYUTILS_HH

@@ -1,0 +1,71 @@
+#include "UnorderedResultIterationCheck.hh"
+
+#include "clang/AST/ASTContext.h"
+#include "clang/ASTMatchers/ASTMatchers.h"
+
+using namespace clang::ast_matchers;
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+void
+UnorderedResultIterationCheck::registerMatchers(MatchFinder *Finder)
+{
+    auto UnorderedDecl = classTemplateSpecializationDecl(
+        hasAnyName("::std::unordered_map", "::std::unordered_set",
+                   "::std::unordered_multimap",
+                   "::std::unordered_multiset"));
+    // hasCanonicalType sees through typedefs/using aliases; the
+    // expression type of an lvalue already has references stripped.
+    auto UnorderedExpr = expr(hasType(hasCanonicalType(
+        recordType(hasDeclaration(UnorderedDecl)))));
+
+    Finder->addMatcher(
+        cxxForRangeStmt(hasRangeInit(UnorderedExpr.bind("range")))
+            .bind("loop"),
+        this);
+    // Explicit iterator walks: m.begin()/m.cbegin()/m.rbegin().
+    // Range-for statements desugar into hidden begin()/end() calls,
+    // so exclude anything inside one to avoid double reports.
+    Finder->addMatcher(
+        cxxMemberCallExpr(callee(cxxMethodDecl(hasAnyName(
+                              "begin", "cbegin", "rbegin", "crbegin"))),
+                          on(UnorderedExpr),
+                          unless(hasAncestor(cxxForRangeStmt())))
+            .bind("begin"),
+        this);
+}
+
+void
+UnorderedResultIterationCheck::check(
+    const MatchFinder::MatchResult &Result)
+{
+    if (const auto *Loop =
+            Result.Nodes.getNodeAs<CXXForRangeStmt>("loop")) {
+        const auto *Range = Result.Nodes.getNodeAs<Expr>("range");
+        if (!inScope(*Result.SourceManager, Loop->getForLoc()))
+            return;
+        diag(Loop->getForLoc(),
+             "iterating unordered container %0 in a result-producing "
+             "module can leak hash-table ordering into artifacts; "
+             "iterate a sorted copy or use std::map/std::set")
+            << Range->getType();
+        return;
+    }
+    if (const auto *Begin =
+            Result.Nodes.getNodeAs<CXXMemberCallExpr>("begin")) {
+        if (!inScope(*Result.SourceManager, Begin->getBeginLoc()))
+            return;
+        diag(Begin->getBeginLoc(),
+             "iterator walk over unordered container %0 in a "
+             "result-producing module can leak hash-table ordering "
+             "into artifacts; iterate a sorted copy or use "
+             "std::map/std::set")
+            << Begin->getImplicitObjectArgument()->getType();
+    }
+}
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * nvmexp-unordered-result-iteration: flags iteration over std
+ * unordered associative containers inside result-producing modules.
+ *
+ * Hash-table iteration order depends on libstdc++ version, seed, and
+ * insertion history — never on the data alone — so a range-for (or an
+ * explicit begin()/cbegin() iterator walk) over an unordered
+ * container can leak nondeterministic ordering into results.json,
+ * results.csv, checkpoint journals, or served query responses. The
+ * repo's byte-identity contract (same bytes across jobs, batch sizes,
+ * and shard counts) therefore bans it in the modules whose output
+ * escapes into artifacts; use std::map/std::set or iterate a sorted
+ * copy instead.
+ */
+
+#ifndef NVMEXP_TOOLS_TIDY_UNORDEREDRESULTITERATIONCHECK_HH
+#define NVMEXP_TOOLS_TIDY_UNORDEREDRESULTITERATIONCHECK_HH
+
+#include "NvmexpScopedCheck.hh"
+
+namespace clang {
+namespace tidy {
+namespace nvmexp {
+
+class UnorderedResultIterationCheck : public NvmexpScopedCheck
+{
+  public:
+    UnorderedResultIterationCheck(StringRef Name,
+                                  ClangTidyContext *Context)
+        : NvmexpScopedCheck(
+              Name, Context,
+              "src/core;src/eval;src/store;src/campaign;src/serve")
+    {
+    }
+
+    void registerMatchers(ast_matchers::MatchFinder *Finder) override;
+    void check(
+        const ast_matchers::MatchFinder::MatchResult &Result) override;
+};
+
+} // namespace nvmexp
+} // namespace tidy
+} // namespace clang
+
+#endif // NVMEXP_TOOLS_TIDY_UNORDEREDRESULTITERATIONCHECK_HH

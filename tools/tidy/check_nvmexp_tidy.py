@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Fixture harness for the nvmexp-tidy clang-tidy plugin.
+
+Each fixture directory holds standalone C++ snippets plus a .clang-tidy
+config enabling exactly one nvmexp-* check (and exercising its
+Modules/AllowFiles/AllowNames options). Expectations are annotated in
+the snippets themselves:
+
+    int bad;  // expect: nvmexp-mutable-global-state: mutable global
+
+    // expect+1: nvmexp-fatal-context: string literals
+    fatal("no context here");
+
+`expect` anchors to its own line, `expect+N`/`expect-N` to a nearby
+line; the text after the check name must be a substring of the
+diagnostic message. A fixture with no markers (the `clean-*` /
+`allowed-*` snippets) asserts exact silence. The harness fails when
+any expected diagnostic is missing, any unexpected nvmexp-* diagnostic
+fires, or the plugin fails to register its checks.
+
+Exit codes: 0 all fixtures behave, 1 mismatch or harness error,
+77 skipped (clang-tidy or the plugin is not available — the ctest
+suites map 77 to SKIPPED so default builds stay green without LLVM).
+"""
+
+import argparse
+import os
+import re
+import shutil
+import subprocess
+import sys
+
+EXPECT_RE = re.compile(
+    r"//\s*expect([+-]\d+)?:\s*(nvmexp-[a-z\-]+):\s*(.*\S)")
+DIAG_RE = re.compile(
+    r"^(?P<file>[^:\n]+):(?P<line>\d+):\d+:\s+"
+    r"(?:warning|error):\s+(?P<message>.*?)\s+\[(?P<check>[^\]]+)\]\s*$",
+    re.MULTILINE)
+
+EXPECTED_CHECKS = (
+    "nvmexp-unordered-result-iteration",
+    "nvmexp-no-wallclock-or-entropy",
+    "nvmexp-mutable-global-state",
+    "nvmexp-raw-double-format",
+    "nvmexp-fatal-context",
+)
+
+
+def skip(message):
+    print(f"SKIP: {message}")
+    sys.exit(77)
+
+
+def parse_expectations(path):
+    """[(line, check, substring)] from the fixture's expect markers."""
+    expectations = []
+    with open(path) as handle:
+        for number, text in enumerate(handle, start=1):
+            match = EXPECT_RE.search(text)
+            if match:
+                offset = int(match.group(1) or 0)
+                expectations.append(
+                    (number + offset, match.group(2), match.group(3)))
+    return expectations
+
+
+def run_clang_tidy(clang_tidy, plugin, source, extra_args):
+    command = [clang_tidy, f"--load={plugin}", "--quiet", source,
+               "--", "-std=c++17"] + extra_args
+    proc = subprocess.run(command, capture_output=True, text=True)
+    diagnostics = []
+    for match in DIAG_RE.finditer(proc.stdout):
+        if match.group("check").startswith("nvmexp-"):
+            diagnostics.append((os.path.abspath(match.group("file")),
+                                int(match.group("line")),
+                                match.group("check"),
+                                match.group("message")))
+    # clang-tidy exits nonzero on WarningsAsErrors or compile errors;
+    # compile errors mean a broken fixture, surface them.
+    if "error: " in proc.stdout and not diagnostics:
+        print(proc.stdout)
+        print(proc.stderr, file=sys.stderr)
+        sys.exit(f"error: clang-tidy failed on {source}")
+    return diagnostics
+
+
+def check_fixture(clang_tidy, plugin, source, extra_args):
+    """0 when the fixture's diagnostics match its markers, else 1."""
+    expected = parse_expectations(source)
+    actual = run_clang_tidy(clang_tidy, plugin, source, extra_args)
+    failures = []
+
+    unmatched = list(actual)
+    for line, check, substring in expected:
+        hit = next((d for d in unmatched
+                    if d[1] == line and d[2] == check
+                    and substring in d[3]), None)
+        if hit is None:
+            failures.append(
+                f"missing: line {line} [{check}] ...{substring}...")
+        else:
+            unmatched.remove(hit)
+    for _, line, check, message in unmatched:
+        failures.append(f"unexpected: line {line} [{check}] {message}")
+
+    name = os.path.basename(source)
+    if failures:
+        print(f"FAIL {name}")
+        for failure in failures:
+            print(f"  {failure}")
+        return 1
+    verdict = "clean" if not expected else f"{len(expected)} expected"
+    print(f"ok   {name} ({verdict})")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--clang-tidy", default="clang-tidy",
+                        help="clang-tidy binary (default %(default)s)")
+    parser.add_argument("--plugin", required=True,
+                        help="path to libnvmexp-tidy.so")
+    parser.add_argument("--fixtures", action="append", required=True,
+                        help="fixture directory (repeatable)")
+    parser.add_argument("--list-checks-only", action="store_true",
+                        help="only verify the plugin registers all "
+                             "nvmexp-* checks")
+    args = parser.parse_args()
+
+    clang_tidy = shutil.which(args.clang_tidy)
+    if clang_tidy is None:
+        skip(f"'{args.clang_tidy}' not on PATH")
+    if not os.path.exists(args.plugin):
+        skip(f"plugin '{args.plugin}' not built "
+             "(NVMEXP_BUILD_TIDY_PLUGIN=OFF?)")
+
+    # The plugin was provided, so from here on problems are failures,
+    # not skips: verify every check actually registered.
+    listed = subprocess.run(
+        [clang_tidy, f"--load={args.plugin}", "--checks=-*,nvmexp-*",
+         "--list-checks"], capture_output=True, text=True)
+    missing = [check for check in EXPECTED_CHECKS
+               if check not in listed.stdout]
+    if missing:
+        print(listed.stdout)
+        print(listed.stderr, file=sys.stderr)
+        sys.exit(f"error: plugin did not register: {', '.join(missing)}")
+    print(f"plugin registers {len(EXPECTED_CHECKS)} nvmexp-* checks")
+    if args.list_checks_only:
+        return 0
+
+    status = 0
+    total = 0
+    for directory in args.fixtures:
+        sources = sorted(
+            entry for entry in os.listdir(directory)
+            if entry.endswith((".cc", ".cpp")))
+        if not sources:
+            sys.exit(f"error: no fixtures in {directory}")
+        for entry in sources:
+            total += 1
+            status |= check_fixture(clang_tidy, args.plugin,
+                                    os.path.join(directory, entry), [])
+    print(f"{total} fixture(s): "
+          f"{'ALL BEHAVE' if status == 0 else 'MISMATCH'}")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,33 @@
+#!/bin/sh
+# Fetch the clang-tidy plugin-API headers into DEST/clang-tidy/.
+#
+# Debian/Ubuntu ship the clang-tidy binary and the clang/LLVM dev
+# headers, but the clang-tidy headers themselves (clang-tools-extra)
+# are not packaged. A -load plugin only needs the nine below; they
+# must come from the SAME release as the clang-tidy binary that will
+# load the plugin (the classes are resolved from that binary at
+# dlopen time), so the tag is pinned and CI passes it explicitly.
+#
+# usage: fetch_clang_tidy_headers.sh DEST [TAG]
+set -eu
+
+DEST="${1:?usage: fetch_clang_tidy_headers.sh DEST [TAG]}"
+TAG="${2:-llvmorg-18.1.3}"
+BASE="https://raw.githubusercontent.com/llvm/llvm-project/${TAG}/clang-tools-extra/clang-tidy"
+
+mkdir -p "${DEST}/clang-tidy"
+for header in \
+    ClangTidyCheck.h \
+    ClangTidyDiagnosticConsumer.h \
+    ClangTidyModule.h \
+    ClangTidyModuleRegistry.h \
+    ClangTidyOptions.h \
+    ClangTidyProfiling.h \
+    FileExtensionsSet.h \
+    GlobList.h \
+    NoLintDirectiveHandler.h; do
+    echo "fetching ${TAG}/clang-tidy/${header}"
+    curl -fsSL --retry 3 "${BASE}/${header}" \
+        -o "${DEST}/clang-tidy/${header}"
+done
+echo "clang-tidy headers for ${TAG} in ${DEST}/clang-tidy"

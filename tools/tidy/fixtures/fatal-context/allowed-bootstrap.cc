@@ -1,0 +1,13 @@
+// Allowlisted: same literal-only hazard as bad-literal-only.cc, but
+// this file matches the AllowFiles entry ('allowed-') in the fixture
+// .clang-tidy, so the check must stay silent.
+namespace nvmexp {
+template <typename... Args> void fatal(const Args &...args);
+}
+
+void
+bootstrap(bool ready)
+{
+    if (!ready)
+        nvmexp::fatal("bootstrap failed before any config was read");
+}

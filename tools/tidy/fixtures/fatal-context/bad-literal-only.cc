@@ -1,0 +1,20 @@
+// Known-bad: fatal() calls whose every argument is a string literal —
+// the user gets no file, key, or value to act on. The stand-in
+// declaration mirrors nvmexp::fatal in util/logging.hh; the check
+// matches the qualified name, not the real header.
+namespace nvmexp {
+template <typename... Args> void fatal(const Args &...args);
+}
+
+void
+loadConfig(const char *path, int jobs)
+{
+    if (jobs < 1) {
+        // expect+1: nvmexp-fatal-context: string literals
+        nvmexp::fatal("jobs must be positive");
+    }
+    if (!path) {
+        // expect+1: nvmexp-fatal-context: string literals
+        nvmexp::fatal("config: ", "missing path");
+    }
+}

@@ -1,0 +1,24 @@
+// Known-clean: fatal() calls that interpolate context, and a
+// same-named function outside namespace nvmexp that the check must
+// not confuse with the real one.
+#include <string>
+
+namespace nvmexp {
+template <typename... Args> void fatal(const Args &...args);
+}
+
+void fatal(const char *message); // unrelated global fatal()
+
+void
+loadConfig(const std::string &path, int jobs)
+{
+    if (jobs < 1)
+        nvmexp::fatal("config '", path, "': jobs must be positive, got ",
+                      jobs);
+}
+
+void
+unrelated()
+{
+    fatal("the global fatal() is outside the check's reach");
+}

@@ -1,0 +1,11 @@
+// Allowlisted: same mutable-global hazard as bad-globals.cc, but this
+// file matches the AllowFiles entry ('allowed-') in the fixture
+// .clang-tidy, so the check must stay silent.
+int processDefaults = 4;
+
+int
+bumpDefaults()
+{
+    static int generation = 0;
+    return ++generation + processDefaults;
+}

@@ -1,0 +1,18 @@
+// Known-bad: writable globals and a mutable function-local static —
+// the same shape as the lgamma/signgam race fixed in the TSan PR.
+#include <string>
+
+int callCount = 0; // expect: nvmexp-mutable-global-state: mutable global
+
+namespace {
+std::string lastLabel; // expect: nvmexp-mutable-global-state: mutable global
+} // namespace
+
+int
+nextTicket()
+{
+    // expect+1: nvmexp-mutable-global-state: function-local static
+    static int ticket = 0;
+    lastLabel = "ticket";
+    return ++ticket + callCount;
+}

@@ -1,0 +1,35 @@
+// Known-clean: every exemption the check grants by construction —
+// const/constexpr, atomics and sync primitives, thread_local, the
+// pointer-to-registry *const idiom, and the AllowNames knob.
+#include <atomic>
+#include <mutex>
+#include <string>
+
+const int kLimit = 8;
+constexpr double kScale = 2.0;
+static const std::string kName = "nvmexp";
+std::atomic<int> counter{0};
+std::mutex tableMutex;
+thread_local int perThreadDepth = 0;
+int deliberateKnob = 1; // exempt via AllowNames in .clang-tidy
+
+struct Registry
+{
+    int size = 0;
+};
+
+// The repo's registry idiom: the pointer itself is const, so the
+// initialised-once singleton cannot be reseated after startup.
+Registry *const globalRegistry = new Registry;
+
+int
+bump()
+{
+    static std::once_flag onceFlag;
+    (void)onceFlag;
+    static const int cached = kLimit * 2;
+    std::lock_guard<std::mutex> hold(tableMutex);
+    return cached + counter.fetch_add(1) + perThreadDepth +
+           globalRegistry->size + deliberateKnob +
+           static_cast<int>(kScale);
+}

@@ -1,0 +1,12 @@
+// Allowlisted: same steady_clock hazard as bad-wallclock.cc, but this
+// file matches the AllowFiles entry ('allowed-') in the fixture
+// .clang-tidy — mirroring how src/serve/server.cc is exempted for its
+// accept timeout — so the check must stay silent.
+#include <chrono>
+
+long
+acceptDeadlineNs()
+{
+    auto t = std::chrono::steady_clock::now();
+    return static_cast<long>(t.time_since_epoch().count());
+}

@@ -1,0 +1,11 @@
+// Known-bad: hardware entropy seeds results that can never be
+// reproduced from the input config.
+#include <random>
+
+unsigned
+hardwareSeed()
+{
+    // expect+1: nvmexp-no-wallclock-or-entropy: hardware entropy
+    std::random_device device;
+    return device();
+}

@@ -1,0 +1,34 @@
+// Known-bad: wall-clock reads and libc pseudo-randomness.
+#include <chrono>
+#include <cstdlib>
+#include <ctime>
+
+long
+stamp()
+{
+    // expect+1: nvmexp-no-wallclock-or-entropy: wall-clock/entropy source
+    return static_cast<long>(::time(nullptr));
+}
+
+double
+jitter()
+{
+    // expect+1: nvmexp-no-wallclock-or-entropy: wall-clock/entropy source
+    return std::rand() / 2.0;
+}
+
+long
+wallNs()
+{
+    // expect+1: nvmexp-no-wallclock-or-entropy: wall-clock/entropy source
+    auto t = std::chrono::system_clock::now();
+    return static_cast<long>(t.time_since_epoch().count());
+}
+
+long
+monotonicNs()
+{
+    // expect+1: nvmexp-no-wallclock-or-entropy: wall-clock/entropy source
+    auto t = std::chrono::steady_clock::now();
+    return static_cast<long>(t.time_since_epoch().count());
+}

@@ -1,0 +1,19 @@
+// Known-clean: explicitly seeded PRNGs and clock-free duration
+// arithmetic are deterministic, so the check must stay silent.
+#include <chrono>
+#include <random>
+
+unsigned
+draw(unsigned seed)
+{
+    std::mt19937 rng(seed);
+    return rng();
+}
+
+long
+toNanoseconds(std::chrono::milliseconds interval)
+{
+    return static_cast<long>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(interval)
+            .count());
+}

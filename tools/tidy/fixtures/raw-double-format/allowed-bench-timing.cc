@@ -1,0 +1,14 @@
+// Allowlisted: same raw-double hazard as bad-raw-doubles.cc, but this
+// file matches the AllowFiles entry ('allowed-') in the fixture
+// .clang-tidy — the shape a human-readable timing log would use — so
+// the check must stay silent.
+#include <sstream>
+#include <string>
+
+std::string
+timingLine(double seconds)
+{
+    std::ostringstream out;
+    out << "elapsed: " << seconds << "s";
+    return out.str();
+}

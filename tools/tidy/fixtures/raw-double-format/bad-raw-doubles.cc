@@ -1,0 +1,35 @@
+// Known-bad: all three lossy double-formatting routes the check
+// covers — ostream operator<<, the printf family, and std::to_string.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+std::string
+renderRow(double watts)
+{
+    std::ostringstream out;
+    // expect+1: nvmexp-raw-double-format: operator<<
+    out << watts;
+    return out.str();
+}
+
+void
+printRow(double watts)
+{
+    // expect+1: nvmexp-raw-double-format: printf-family
+    std::printf("%g\n", watts);
+}
+
+std::string
+label(double mib)
+{
+    // expect+1: nvmexp-raw-double-format: std::to_string
+    return std::to_string(mib);
+}
+
+void
+bufferRow(char *buffer, unsigned size, float ratio)
+{
+    // expect+1: nvmexp-raw-double-format: printf-family
+    std::snprintf(buffer, size, "%f", ratio);
+}

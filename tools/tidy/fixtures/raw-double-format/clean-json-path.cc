@@ -1,0 +1,31 @@
+// Known-clean: integers and strings format losslessly, and doubles
+// routed through a dedicated formatter (the util/json dump path in
+// the real tree) never hit a raw formatting call in this module.
+#include <cstdio>
+#include <sstream>
+#include <string>
+
+std::string
+renderCount(long rows)
+{
+    std::ostringstream out;
+    out << "rows=" << rows;
+    return out.str();
+}
+
+std::string
+hexKey(unsigned long long hash)
+{
+    char buffer[17];
+    std::snprintf(buffer, sizeof buffer, "%016llx", hash);
+    return buffer;
+}
+
+// Stands in for JsonValue::formatNumber() in the real tree.
+std::string viaFormatter(double value);
+
+std::string
+renderCell(double value)
+{
+    return viaFormatter(value);
+}

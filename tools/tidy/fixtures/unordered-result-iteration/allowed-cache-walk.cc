@@ -1,0 +1,14 @@
+// Allowlisted: same hazard as bad-range-for.cc, but this file matches
+// the AllowFiles entry ('allowed-') in the fixture .clang-tidy, so
+// the check must stay silent.
+#include <string>
+#include <unordered_map>
+
+int
+sumValues(const std::unordered_map<std::string, int> &counts)
+{
+    int total = 0;
+    for (const auto &entry : counts)
+        total += entry.second;
+    return total;
+}

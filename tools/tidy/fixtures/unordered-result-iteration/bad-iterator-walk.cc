@@ -1,0 +1,12 @@
+// Known-bad: explicit begin() iterator walk over an unordered map.
+#include <string>
+#include <unordered_map>
+
+int
+firstKeyLength(const std::unordered_map<std::string, int> &counts)
+{
+    // expect+1: nvmexp-unordered-result-iteration: iterator walk
+    for (auto it = counts.begin(); it != counts.end(); ++it)
+        return static_cast<int>(it->first.size());
+    return 0;
+}

@@ -1,0 +1,27 @@
+// Known-bad: range-for over unordered containers, directly and
+// through a type alias.
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+
+int
+sumValues(const std::unordered_map<std::string, int> &counts)
+{
+    int total = 0;
+    // expect+1: nvmexp-unordered-result-iteration: hash-table ordering
+    for (const auto &entry : counts)
+        total += entry.second;
+    return total;
+}
+
+using Ids = std::unordered_set<int>;
+
+int
+sumAlias(const Ids &ids)
+{
+    int total = 0;
+    // expect+1: nvmexp-unordered-result-iteration: hash-table ordering
+    for (int id : ids)
+        total += id;
+    return total;
+}

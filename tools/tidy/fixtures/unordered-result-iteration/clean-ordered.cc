@@ -1,0 +1,28 @@
+// Known-clean: ordered iteration and point lookups stay silent —
+// std::map iterates deterministically, and find()/count() on an
+// unordered container never exposes its ordering.
+#include <map>
+#include <string>
+#include <unordered_map>
+
+int
+sumOrdered(const std::map<std::string, int> &counts)
+{
+    int total = 0;
+    for (const auto &entry : counts)
+        total += entry.second;
+    return total;
+}
+
+int
+lookupOnly(const std::unordered_map<std::string, int> &counts)
+{
+    auto it = counts.find("hit");
+    return it == counts.end() ? 0 : it->second;
+}
+
+bool
+membershipOnly(const std::unordered_map<std::string, int> &counts)
+{
+    return counts.count("hit") > 0;
+}
